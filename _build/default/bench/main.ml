@@ -1,0 +1,299 @@
+(* Bechamel benchmarks: one per paper table/figure (measuring the cost
+   of regenerating it at reduced scale) plus ablation benches for the
+   design choices DESIGN.md calls out, and microbenches for the hot
+   substrate operations.  Scales are chosen so the full suite finishes
+   in a few minutes; the bin/hypart.exe runners regenerate the tables
+   at full fidelity. *)
+
+open Bechamel
+open Toolkit
+module Rng = Hypart_rng.Rng
+module H = Hypart_hypergraph.Hypergraph
+module Suite = Hypart_generator.Ibm_suite
+module Problem = Hypart_partition.Problem
+module Initial = Hypart_partition.Initial
+module Fm = Hypart_fm.Fm
+module Fm_config = Hypart_fm.Fm_config
+module Matching = Hypart_multilevel.Matching
+module Ml = Hypart_multilevel.Ml_partitioner
+module Kl = Hypart_kl.Kl
+module Experiments = Hypart_harness.Experiments
+
+let ignore1 f = Staged.stage (fun () -> ignore (f ()))
+
+(* ------------- per-table/figure regeneration benches ------------- *)
+
+let table_benches =
+  Test.make_grouped ~name:"tables"
+    [
+      Test.make ~name:"table1"
+        (ignore1 (fun () ->
+             Experiments.table1 ~scale:64.0 ~runs:2 ~instances:[ "ibm01" ] ~seed:1 ()));
+      Test.make ~name:"table2"
+        (ignore1 (fun () ->
+             Experiments.table_reported_vs_ours ~engine:`Lifo ~scale:64.0 ~runs:2
+               ~instances:[ "ibm01" ] ~seed:1 ()));
+      Test.make ~name:"table3"
+        (ignore1 (fun () ->
+             Experiments.table_reported_vs_ours ~engine:`Clip ~scale:64.0 ~runs:2
+               ~instances:[ "ibm01" ] ~seed:1 ()));
+      Test.make ~name:"table4_2pct"
+        (ignore1 (fun () ->
+             Experiments.table_multistart_eval ~scale:64.0 ~repeats:1
+               ~configs:[ 1; 2 ] ~instances:[ "ibm01" ] ~tolerance:0.02 ~seed:1 ()));
+      Test.make ~name:"table5_10pct"
+        (ignore1 (fun () ->
+             Experiments.table_multistart_eval ~scale:64.0 ~repeats:1
+               ~configs:[ 1; 2 ] ~instances:[ "ibm01" ] ~tolerance:0.10 ~seed:1 ()));
+      Test.make ~name:"fig_bsf"
+        (ignore1 (fun () ->
+             Experiments.bsf_figure ~scale:64.0 ~starts:4 ~budgets:[| 0.01; 0.1 |]
+               ~instance:"ibm01" ~seed:1 ()));
+      Test.make ~name:"fig_pareto"
+        (ignore1 (fun () ->
+             Experiments.pareto_figure ~scale:64.0 ~repeats:1 ~instance:"ibm01"
+               ~seed:1 ()));
+      Test.make ~name:"fig_ranking"
+        (ignore1 (fun () ->
+             Experiments.ranking_figure ~scale:64.0 ~starts:4
+               ~budgets:[| 0.01; 0.1 |] ~instances:[ "ibm01" ] ~seed:1 ()));
+      Test.make ~name:"fig_corking"
+        (ignore1 (fun () ->
+             Experiments.corking_report ~scale:32.0 ~runs:2 ~instance:"ibm01"
+               ~seed:1 ()));
+    ]
+
+(* ------------- engine benches (one start, fixed instance) ------------- *)
+
+let bench_problem = lazy (Problem.make ~tolerance:0.02 (Suite.instance ~scale:16.0 "ibm01"))
+
+let engine_benches =
+  Test.make_grouped ~name:"engines"
+    [
+      Test.make ~name:"flat_lifo_start"
+        (ignore1 (fun () ->
+             Fm.run_random_start ~config:Fm_config.strong_lifo (Rng.create 1)
+               (Lazy.force bench_problem)));
+      Test.make ~name:"flat_clip_start"
+        (ignore1 (fun () ->
+             Fm.run_random_start ~config:Fm_config.strong_clip (Rng.create 1)
+               (Lazy.force bench_problem)));
+      Test.make ~name:"ml_lifo_start"
+        (ignore1 (fun () ->
+             Ml.run ~config:Ml.ml_lifo (Rng.create 1) (Lazy.force bench_problem)));
+      Test.make ~name:"ml_clip_start"
+        (ignore1 (fun () ->
+             Ml.run ~config:Ml.ml_clip (Rng.create 1) (Lazy.force bench_problem)));
+      Test.make ~name:"kl_start"
+        (ignore1 (fun () ->
+             let h = Suite.instance ~scale:128.0 "ibm01" in
+             Kl.run_random_start (Rng.create 1) h));
+      Test.make ~name:"spectral_eig1"
+        (ignore1 (fun () ->
+             let h = Suite.instance ~scale:16.0 "ibm01" in
+             Hypart_spectral.Spectral.run (Rng.create 1) h));
+      Test.make ~name:"sa_start"
+        (ignore1 (fun () ->
+             Hypart_sa.Sa_partitioner.run ~moves_per_vertex:20 (Rng.create 1)
+               (Lazy.force bench_problem)));
+    ]
+
+(* ------------- ablation benches (design choices of DESIGN.md §5) ------------- *)
+
+let run_with config =
+  ignore1 (fun () ->
+      Fm.run_random_start ~config (Rng.create 1) (Lazy.force bench_problem))
+
+let ablation_benches =
+  Test.make_grouped ~name:"ablations"
+    [
+      Test.make_grouped ~name:"insertion"
+        [
+          Test.make ~name:"lifo"
+            (run_with { Fm_config.strong_lifo with Fm_config.insertion = Fm_config.Lifo });
+          Test.make ~name:"fifo"
+            (run_with { Fm_config.strong_lifo with Fm_config.insertion = Fm_config.Fifo });
+          Test.make ~name:"random"
+            (run_with { Fm_config.strong_lifo with Fm_config.insertion = Fm_config.Random });
+        ];
+      Test.make_grouped ~name:"illegal_head"
+        [
+          Test.make ~name:"skip_side"
+            (run_with { Fm_config.strong_lifo with Fm_config.illegal_head = Fm_config.Skip_side });
+          Test.make ~name:"skip_bucket"
+            (run_with { Fm_config.strong_lifo with Fm_config.illegal_head = Fm_config.Skip_bucket });
+          Test.make ~name:"scan_bucket"
+            (run_with { Fm_config.strong_lifo with Fm_config.illegal_head = Fm_config.Scan_bucket });
+        ];
+      Test.make_grouped ~name:"exclusion"
+        [
+          Test.make ~name:"with_fix"
+            (run_with { Fm_config.strong_clip with Fm_config.exclude_oversized = true });
+          Test.make ~name:"without_fix"
+            (run_with { Fm_config.strong_clip with Fm_config.exclude_oversized = false });
+        ];
+      Test.make_grouped ~name:"pass_best"
+        [
+          Test.make ~name:"first"
+            (run_with { Fm_config.strong_lifo with Fm_config.pass_best = Fm_config.First });
+          Test.make ~name:"last"
+            (run_with { Fm_config.strong_lifo with Fm_config.pass_best = Fm_config.Last });
+          Test.make ~name:"most_balanced"
+            (run_with { Fm_config.strong_lifo with Fm_config.pass_best = Fm_config.Most_balanced });
+        ];
+      Test.make_grouped ~name:"lookahead"
+        [
+          Test.make ~name:"depth1"
+            (ignore1 (fun () ->
+                 Hypart_fm.Lookahead_fm.run_random_start ~lookahead:1
+                   (Rng.create 1) (Lazy.force bench_problem)));
+          Test.make ~name:"depth2"
+            (ignore1 (fun () ->
+                 Hypart_fm.Lookahead_fm.run_random_start ~lookahead:2
+                   (Rng.create 1) (Lazy.force bench_problem)));
+          Test.make ~name:"depth3"
+            (ignore1 (fun () ->
+                 Hypart_fm.Lookahead_fm.run_random_start ~lookahead:3
+                   (Rng.create 1) (Lazy.force bench_problem)));
+        ];
+      Test.make_grouped ~name:"kway"
+        [
+          Test.make ~name:"recursive_bisection_k4"
+            (ignore1 (fun () ->
+                 Hypart_multilevel.Recursive_bisection.run ~k:4 (Rng.create 1)
+                   (Suite.instance ~scale:32.0 "ibm01")));
+          Test.make ~name:"direct_kway_fm_k4"
+            (ignore1 (fun () ->
+                 Hypart_fm.Kway_fm.run_random_start ~k:4 (Rng.create 1)
+                   (Suite.instance ~scale:32.0 "ibm01")));
+          Test.make ~name:"ml_kway_k4"
+            (ignore1 (fun () ->
+                 Hypart_multilevel.Ml_kway.run ~k:4 (Rng.create 1)
+                   (Suite.instance ~scale:32.0 "ibm01")));
+        ];
+      Test.make_grouped ~name:"coarsening"
+        [
+          Test.make ~name:"edge_coarsening"
+            (ignore1 (fun () ->
+                 Ml.run
+                   ~config:{ Ml.ml_lifo with Ml.scheme = Matching.Edge_coarsening }
+                   (Rng.create 1) (Lazy.force bench_problem)));
+          Test.make ~name:"heavy_edge"
+            (ignore1 (fun () ->
+                 Ml.run
+                   ~config:{ Ml.ml_lifo with Ml.scheme = Matching.Heavy_edge }
+                   (Rng.create 1) (Lazy.force bench_problem)));
+          Test.make ~name:"first_choice"
+            (ignore1 (fun () ->
+                 Ml.run
+                   ~config:{ Ml.ml_lifo with Ml.scheme = Matching.First_choice }
+                   (Rng.create 1) (Lazy.force bench_problem)));
+          Test.make ~name:"hyperedge"
+            (ignore1 (fun () ->
+                 Ml.run
+                   ~config:
+                     { Ml.ml_lifo with Ml.scheme = Matching.Hyperedge_coarsening }
+                   (Rng.create 1) (Lazy.force bench_problem)));
+        ];
+      Test.make_grouped ~name:"refinement"
+        [
+          Test.make ~name:"full"
+            (ignore1 (fun () ->
+                 Ml.run
+                   ~config:{ Ml.ml_lifo with Ml.boundary_refinement = false }
+                   (Rng.create 1) (Lazy.force bench_problem)));
+          Test.make ~name:"boundary_only"
+            (ignore1 (fun () ->
+                 Ml.run
+                   ~config:{ Ml.ml_lifo with Ml.boundary_refinement = true }
+                   (Rng.create 1) (Lazy.force bench_problem)));
+        ];
+      Test.make_grouped ~name:"initial_solution"
+        [
+          Test.make ~name:"random"
+            (ignore1 (fun () ->
+                 Initial.random (Rng.create 1) (Lazy.force bench_problem)));
+          Test.make ~name:"area_levelled"
+            (ignore1 (fun () ->
+                 Initial.area_levelled (Rng.create 1) (Lazy.force bench_problem)));
+          Test.make ~name:"cluster_grown"
+            (ignore1 (fun () ->
+                 Initial.cluster_grown (Rng.create 1) (Lazy.force bench_problem)));
+        ];
+    ]
+
+(* ------------- substrate microbenches ------------- *)
+
+let substrate_benches =
+  let h = lazy (Suite.instance ~scale:16.0 "ibm01") in
+  Test.make_grouped ~name:"substrate"
+    [
+      Test.make ~name:"generate_ibm01_x64"
+        (ignore1 (fun () -> Suite.instance ~scale:64.0 "ibm01"));
+      Test.make ~name:"cut_evaluation"
+        (ignore1 (fun () ->
+             let problem = Lazy.force bench_problem in
+             let sol = Initial.random (Rng.create 1) problem in
+             Hypart_partition.Bipartition.cut problem.Problem.hypergraph sol));
+      Test.make ~name:"contract_one_level"
+        (ignore1 (fun () ->
+             let h = Lazy.force h in
+             let fixed = Array.make (H.num_vertices h) (-1) in
+             let cluster_of, k =
+               Matching.compute ~scheme:Matching.Edge_coarsening
+                 ~rng:(Rng.create 1)
+                 ~max_cluster_weight:(H.total_vertex_weight h / 50)
+                 ~fixed h
+             in
+             H.contract h ~cluster_of ~num_clusters:k));
+    ]
+
+(* ------------- driver ------------- *)
+
+let benchmark tests =
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+  in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg =
+    Benchmark.cfg ~limit:200 ~quota:(Time.second 0.5) ~kde:(Some 10) ()
+  in
+  let raw = Benchmark.all cfg instances tests in
+  Analyze.all ols Instance.monotonic_clock raw
+
+let print_results results =
+  let rows = ref [] in
+  Hashtbl.iter
+    (fun name ols ->
+      let ns =
+        match Analyze.OLS.estimates ols with
+        | Some (x :: _) -> x
+        | _ -> nan
+      in
+      rows := (name, ns) :: !rows)
+    results;
+  let rows = List.sort (fun (a, _) (b, _) -> compare a b) !rows in
+  Printf.printf "%-50s %15s\n" "benchmark" "time/run";
+  Printf.printf "%s\n" (String.make 66 '-');
+  List.iter
+    (fun (name, ns) ->
+      let pretty =
+        if Float.is_nan ns then "n/a"
+        else if ns >= 1e9 then Printf.sprintf "%8.2f s" (ns /. 1e9)
+        else if ns >= 1e6 then Printf.sprintf "%8.2f ms" (ns /. 1e6)
+        else if ns >= 1e3 then Printf.sprintf "%8.2f us" (ns /. 1e3)
+        else Printf.sprintf "%8.0f ns" ns
+      in
+      Printf.printf "%-50s %15s\n" name pretty)
+    rows
+
+let () =
+  let groups =
+    [ table_benches; engine_benches; ablation_benches; substrate_benches ]
+  in
+  List.iter
+    (fun tests ->
+      let results = benchmark tests in
+      print_results results;
+      print_newline ())
+    groups

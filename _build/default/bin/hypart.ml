@@ -1,0 +1,650 @@
+(* Command-line interface: instance generation, partitioning, and the
+   regeneration target for every table and figure of the paper.  See
+   DESIGN.md for the experiment index. *)
+
+open Cmdliner
+module H = Hypart_hypergraph.Hypergraph
+module Io = Hypart_hypergraph.Netlist_io
+module Rng = Hypart_rng.Rng
+module Suite = Hypart_generator.Ibm_suite
+module Problem = Hypart_partition.Problem
+module Bipartition = Hypart_partition.Bipartition
+module Fm = Hypart_fm.Fm
+module Fm_config = Hypart_fm.Fm_config
+module Ml = Hypart_multilevel.Ml_partitioner
+module Kl = Hypart_kl.Kl
+module Table = Hypart_harness.Table
+module Experiments = Hypart_harness.Experiments
+module Machine = Hypart_harness.Machine
+
+(* ---------------- shared flags ---------------- *)
+
+let seed_t =
+  Arg.(value & opt int 1 & info [ "seed" ] ~docv:"N" ~doc:"Random seed.")
+
+let scale_t =
+  Arg.(
+    value
+    & opt float 4.0
+    & info [ "scale" ]
+        ~docv:"S"
+        ~doc:
+          "Instance size divisor; 1.0 regenerates the published ISPD98 sizes, \
+           larger values shrink instances proportionally.")
+
+let runs_t default =
+  Arg.(
+    value
+    & opt int default
+    & info [ "runs" ] ~docv:"N"
+        ~doc:"Independent single-start trials per table cell (the paper used 100).")
+
+let csv_t =
+  Arg.(value & flag & info [ "csv" ] ~doc:"Emit CSV instead of an aligned table.")
+
+let instances_t default =
+  Arg.(
+    value
+    & opt (list string) default
+    & info [ "instances" ] ~docv:"NAMES" ~doc:"Comma-separated instance names.")
+
+let emit csv table =
+  if csv then print_string (Table.to_csv table) else Table.print table
+
+let verbose_t =
+  let setup verbose =
+    if verbose then begin
+      Logs.set_reporter (Logs.format_reporter ());
+      Logs.set_level (Some Logs.Debug)
+    end
+  in
+  Term.(
+    const setup
+    $ Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Trace engine passes."))
+
+(* ---------------- generate ---------------- *)
+
+let generate_cmd =
+  let run name scale seed out =
+    let h = Suite.instance ~scale ~seed name in
+    let base = match out with Some o -> o | None -> name in
+    Io.write_hgr (base ^ ".hgr") h;
+    Io.write_are (base ^ ".are") h;
+    Format.printf "%a@." H.pp h;
+    Printf.printf "wrote %s.hgr and %s.are\n" base base
+  in
+  let name_t =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"INSTANCE")
+  in
+  let out_t =
+    Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"BASE")
+  in
+  Cmd.v
+    (Cmd.info "generate" ~doc:"Generate a synthetic ISPD98 twin as .hgr/.are files.")
+    Term.(const run $ name_t $ scale_t $ seed_t $ out_t)
+
+(* ---------------- partition ---------------- *)
+
+let partition_cmd =
+  let run () input scale seed tolerance engine starts domains =
+    let h =
+      if Filename.check_suffix input ".hgr" then Io.read_hgr input
+      else Suite.instance ~scale input
+    in
+    let problem = Problem.make ~tolerance h in
+    let one_start rng =
+      match engine with
+      | "flat" -> Fm.run_random_start ~config:Fm_config.strong_lifo rng problem
+      | "clip" -> Fm.run_random_start ~config:Fm_config.strong_clip rng problem
+      | "ml" -> Ml.run ~config:Ml.ml_lifo rng problem
+      | "mlclip" | "hmetis" -> Ml.run ~config:Ml.ml_clip rng problem
+      | other -> failwith ("unknown engine: " ^ other)
+    in
+    let (result, records), dt =
+      Machine.cpu_time (fun () ->
+          if domains > 1 then begin
+            (* parallel fan-out: one derived seed per start *)
+            let seeds = List.init starts (fun i -> seed + i) in
+            let results =
+              Hypart_harness.Parallel.map_seeds ~domains ~seeds (fun s ->
+                  one_start (Rng.create s))
+            in
+            let best =
+              List.fold_left
+                (fun (b : Fm.result) (r : Fm.result) ->
+                  if (r.Fm.legal && not b.Fm.legal)
+                     || (r.Fm.legal = b.Fm.legal && r.Fm.cut < b.Fm.cut)
+                  then r
+                  else b)
+                (List.hd results) (List.tl results)
+            in
+            let records =
+              List.map
+                (fun (r : Fm.result) ->
+                  { Fm.start_cut = r.Fm.cut; Fm.start_seconds = 0.0 })
+                results
+            in
+            (best, records)
+          end
+          else begin
+            let rng = Rng.create seed in
+            match engine with
+            | "flat" -> Fm.multistart ~config:Fm_config.strong_lifo rng problem ~starts
+            | "clip" -> Fm.multistart ~config:Fm_config.strong_clip rng problem ~starts
+            | "ml" -> Ml.multistart ~config:Ml.ml_lifo rng problem ~starts
+            | "mlclip" -> Ml.multistart ~config:Ml.ml_clip rng problem ~starts
+            | "hmetis" ->
+              Ml.multistart ~config:Ml.ml_clip ~vcycle_best:1 rng problem ~starts
+            | other -> failwith ("unknown engine: " ^ other)
+          end)
+    in
+    Format.printf "%a@." H.pp h;
+    Printf.printf "engine: %s, %d start(s), tolerance %.0f%%\n" engine starts
+      (100. *. tolerance);
+    Printf.printf "best cut: %d (%s)\n" result.Fm.cut
+      (if result.Fm.legal then "legal" else "ILLEGAL");
+    Printf.printf "part weights: %d / %d\n"
+      (Bipartition.part_weight result.Fm.solution 0)
+      (Bipartition.part_weight result.Fm.solution 1);
+    Printf.printf "per-start cuts: %s\n"
+      (String.concat " "
+         (List.map (fun r -> string_of_int r.Fm.start_cut) records));
+    Printf.printf "CPU: %.3fs\n" (Machine.normalize dt)
+  in
+  let input_t =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"INPUT" ~doc:"An instance name (ibm01..ibm18) or an .hgr file.")
+  in
+  let tol_t =
+    Arg.(value & opt float 0.02 & info [ "tol" ] ~docv:"T" ~doc:"Balance tolerance.")
+  in
+  let engine_t =
+    Arg.(
+      value
+      & opt string "mlclip"
+      & info [ "engine" ] ~docv:"E" ~doc:"flat | clip | ml | mlclip | hmetis.")
+  in
+  let starts_t =
+    Arg.(value & opt int 1 & info [ "starts" ] ~docv:"N" ~doc:"Independent starts.")
+  in
+  let domains_t =
+    Arg.(
+      value
+      & opt int 1
+      & info [ "domains" ] ~docv:"D"
+          ~doc:
+            "Fan independent starts out over D domains (multicore).  Parallel \
+             runs derive one seed per start, so results differ from the \
+             sequential seed stream but remain deterministic.")
+  in
+  Cmd.v
+    (Cmd.info "partition" ~doc:"Bipartition an instance and report the cut.")
+    Term.(
+      const run $ verbose_t $ input_t $ scale_t $ seed_t $ tol_t $ engine_t
+      $ starts_t $ domains_t)
+
+(* ---------------- evaluate ---------------- *)
+
+let load_instance input scale =
+  if Filename.check_suffix input ".hgr" then Io.read_hgr input
+  else if Filename.check_suffix input ".netD" || Filename.check_suffix input ".netd"
+  then fst (Io.read_netd input)
+  else if Filename.check_suffix input ".nodes" then
+    fst
+      (Hypart_hypergraph.Bookshelf.read
+         ~basename:(Filename.remove_extension input))
+  else Suite.instance ~scale input
+
+let evaluate_cmd =
+  let run input part_file scale tolerance =
+    let h = load_instance input scale in
+    let side = Io.read_partition part_file ~num_vertices:(H.num_vertices h) in
+    let k = 1 + Array.fold_left max 0 side in
+    Format.printf "%a@." H.pp h;
+    if k <= 2 then begin
+      let s = Bipartition.make h side in
+      let problem = Problem.make ~tolerance h in
+      Printf.printf "cut:          %d\n" (Bipartition.cut h s);
+      Printf.printf "part weights: %d / %d (%s)\n"
+        (Bipartition.part_weight s 0) (Bipartition.part_weight s 1)
+        (if Bipartition.is_legal s problem.Hypart_partition.Problem.balance then
+           Printf.sprintf "legal at %.0f%%" (100. *. tolerance)
+         else Printf.sprintf "ILLEGAL at %.0f%%" (100. *. tolerance));
+      List.iter
+        (fun obj ->
+          Printf.printf "%-12s  %.4f\n"
+            (Hypart_partition.Objective.name obj ^ ":")
+            (Hypart_partition.Objective.evaluate obj h s))
+        Hypart_partition.Objective.[ Ratio_cut; Scaled_cost; Absorption ]
+    end
+    else begin
+      Printf.printf "%d-way cut:   %d\n" k
+        (Hypart_multilevel.Recursive_bisection.kway_cut h side);
+      let weights = Array.make k 0 in
+      Array.iteri (fun v p -> weights.(p) <- weights.(p) + H.vertex_weight h v) side;
+      Printf.printf "part weights:";
+      Array.iter (Printf.printf " %d") weights;
+      print_newline ()
+    end
+  in
+  let input_t = Arg.(required & pos 0 (some string) None & info [] ~docv:"INPUT") in
+  let part_t = Arg.(required & pos 1 (some string) None & info [] ~docv:"PARTITION") in
+  let tol_t = Arg.(value & opt float 0.02 & info [ "tol" ] ~docv:"T") in
+  Cmd.v
+    (Cmd.info "evaluate"
+       ~doc:"Evaluate a partition file against an instance: cut, balance, objectives.")
+    Term.(const run $ input_t $ part_t $ scale_t $ tol_t)
+
+(* ---------------- kway ---------------- *)
+
+let kway_cmd =
+  let run input k scale seed tolerance engine out =
+    let h = load_instance input scale in
+    let rng = Rng.create seed in
+    let (part_of, cut, weights), dt =
+      Machine.cpu_time (fun () ->
+          match engine with
+          | "rb" ->
+            let r = Hypart_multilevel.Recursive_bisection.run ~tolerance ~k rng h in
+            ( r.Hypart_multilevel.Recursive_bisection.part_of,
+              r.Hypart_multilevel.Recursive_bisection.cut,
+              r.Hypart_multilevel.Recursive_bisection.part_weights )
+          | "direct" | "mlk" ->
+            let r =
+              if engine = "mlk" then
+                Hypart_multilevel.Ml_kway.run ~tolerance ~k rng h
+              else Hypart_fm.Kway_fm.run_random_start ~tolerance ~k rng h
+            in
+            let weights = Array.make k 0 in
+            Array.iteri
+              (fun v p -> weights.(p) <- weights.(p) + H.vertex_weight h v)
+              r.Hypart_fm.Kway_fm.part_of;
+            (r.Hypart_fm.Kway_fm.part_of, r.Hypart_fm.Kway_fm.cut, weights)
+          | other -> failwith ("unknown kway engine: " ^ other))
+    in
+    Format.printf "%a@." H.pp h;
+    Printf.printf "%d-way cut (%s): %d (%.3fs)\n" k engine cut (Machine.normalize dt);
+    Printf.printf "part weights:";
+    Array.iter (Printf.printf " %d") weights;
+    print_newline ();
+    Option.iter
+      (fun path ->
+        Io.write_partition path part_of;
+        Printf.printf "wrote %s\n" path)
+      out
+  in
+  let input_t = Arg.(required & pos 0 (some string) None & info [] ~docv:"INPUT") in
+  let k_t = Arg.(value & opt int 4 & info [ "k" ] ~docv:"K" ~doc:"Part count.") in
+  let tol_t = Arg.(value & opt float 0.10 & info [ "tol" ] ~docv:"T") in
+  let engine_t =
+    Arg.(
+      value
+      & opt string "rb"
+      & info [ "engine" ] ~docv:"E"
+          ~doc:"rb (recursive bisection) | direct (flat k-way FM) | mlk (multilevel k-way).")
+  in
+  let out_t = Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE") in
+  Cmd.v
+    (Cmd.info "kway"
+       ~doc:"k-way partitioning (recursive bisection or direct k-way FM).")
+    Term.(const run $ input_t $ k_t $ scale_t $ seed_t $ tol_t $ engine_t $ out_t)
+
+(* ---------------- place ---------------- *)
+
+let place_cmd =
+  let run input scale seed detailed svg_out pl_out =
+    let h = load_instance input scale in
+    let module Topdown = Hypart_placement.Topdown in
+    let module Detailed = Hypart_placement.Detailed in
+    let rng = Rng.create seed in
+    let pl, dt = Machine.cpu_time (fun () -> Topdown.place rng h) in
+    let random = Topdown.random_placement (Rng.create (seed + 1)) h in
+    Format.printf "%a@." H.pp h;
+    Printf.printf "chip: %.1f x %.1f\n" pl.Topdown.width pl.Topdown.height;
+    Printf.printf "min-cut HPWL: %.0f (%.2fs)\n" (Topdown.hpwl h pl)
+      (Machine.normalize dt);
+    Printf.printf "random  HPWL: %.0f\n" (Topdown.hpwl h random);
+    let rudy = Hypart_placement.Congestion.rudy h pl in
+    Printf.printf "congestion (RUDY): peak %.0f, avg %.0f\n"
+      (Hypart_placement.Congestion.peak rudy)
+      (Hypart_placement.Congestion.average rudy);
+    let final =
+      if detailed then begin
+        let legal = Detailed.legalize h pl in
+        let refined, stats = Detailed.anneal rng h legal in
+        Printf.printf "legalized HPWL: %.0f; after annealing: %.0f\n"
+          stats.Detailed.initial_hpwl stats.Detailed.final_hpwl;
+        refined.Detailed.placement
+      end
+      else pl
+    in
+    Option.iter
+      (fun path ->
+        Hypart_placement.Svg_export.write path h final;
+        Printf.printf "wrote %s\n" path)
+      svg_out;
+    Option.iter
+      (fun basename ->
+        Hypart_hypergraph.Bookshelf.write_pl ~basename ~x:final.Topdown.x
+          ~y:final.Topdown.y;
+        Printf.printf "wrote %s.pl\n" basename)
+      pl_out
+  in
+  let input_t = Arg.(required & pos 0 (some string) None & info [] ~docv:"INPUT") in
+  let detailed_t =
+    Arg.(
+      value & flag
+      & info [ "detailed" ]
+          ~doc:"Run row legalization and annealing after the coarse placement.")
+  in
+  let svg_t =
+    Arg.(value & opt (some string) None & info [ "svg" ] ~docv:"FILE"
+         ~doc:"Write an SVG rendering of the placement.")
+  in
+  let pl_t =
+    Arg.(value & opt (some string) None & info [ "pl" ] ~docv:"BASE"
+         ~doc:"Write a Bookshelf .pl placement file.")
+  in
+  Cmd.v
+    (Cmd.info "place"
+       ~doc:"Top-down min-cut coarse placement; reports HPWL vs a random placement.")
+    Term.(const run $ input_t $ scale_t $ seed_t $ detailed_t $ svg_t $ pl_t)
+
+(* ---------------- tables ---------------- *)
+
+let table1_cmd =
+  let run scale runs seed csv instances =
+    emit csv (Experiments.table1 ~scale ~runs ~instances ~seed ())
+  in
+  Cmd.v
+    (Cmd.info "table1"
+       ~doc:
+         "Regenerate Table 1: min/avg cuts for the implicit-decision matrix \
+          (updates x bias x engine), 2% tolerance, actual areas.")
+    Term.(
+      const run $ scale_t $ runs_t 20 $ seed_t $ csv_t $ instances_t Suite.names_small)
+
+let table2_cmd =
+  let run scale runs seed csv instances =
+    emit csv
+      (Experiments.table_reported_vs_ours ~engine:`Lifo ~scale ~runs ~instances
+         ~seed ())
+  in
+  Cmd.v
+    (Cmd.info "table2"
+       ~doc:"Regenerate Table 2: our LIFO FM vs the weak 'Reported LIFO' baseline.")
+    Term.(
+      const run $ scale_t $ runs_t 20 $ seed_t $ csv_t $ instances_t Suite.names_small)
+
+let table3_cmd =
+  let run scale runs seed csv instances =
+    emit csv
+      (Experiments.table_reported_vs_ours ~engine:`Clip ~scale ~runs ~instances
+         ~seed ())
+  in
+  Cmd.v
+    (Cmd.info "table3"
+       ~doc:
+         "Regenerate Table 3: our CLIP FM (with the corking fix) vs the weak \
+          'Reported CLIP' baseline.")
+    Term.(
+      const run $ scale_t $ runs_t 20 $ seed_t $ csv_t $ instances_t Suite.names_small)
+
+let tables45_cmd =
+  let run scale repeats seed csv instances tolerance configs =
+    emit csv
+      (Experiments.table_multistart_eval ~scale ~repeats ~configs ~instances
+         ~tolerance ~seed ())
+  in
+  let tol_t =
+    Arg.(
+      value
+      & opt float 0.02
+      & info [ "tol" ] ~docv:"T"
+          ~doc:"Balance tolerance: 0.02 regenerates Table 4, 0.10 Table 5.")
+  in
+  let repeats_t =
+    Arg.(
+      value
+      & opt int 5
+      & info [ "repeats" ] ~docv:"N"
+          ~doc:"Protocol repetitions per configuration (the paper used 50).")
+  in
+  let configs_t =
+    Arg.(
+      value
+      & opt (list int) [ 1; 2; 4; 8; 16; 100 ]
+      & info [ "configs" ] ~docv:"NS" ~doc:"Starts per configuration.")
+  in
+  Cmd.v
+    (Cmd.info "tables45"
+       ~doc:
+         "Regenerate Tables 4/5: multistart evaluation of the multilevel engine \
+          (avg cut / avg CPU s per configuration).")
+    Term.(
+      const run $ scale_t $ repeats_t $ seed_t $ csv_t
+      $ instances_t Suite.names_eval $ tol_t $ configs_t)
+
+let bsf_cmd =
+  let run scale starts seed csv instance =
+    emit csv (Experiments.bsf_figure ~scale ~starts ~instance ~seed ())
+  in
+  let starts_t =
+    Arg.(value & opt int 20 & info [ "starts" ] ~docv:"N" ~doc:"Recorded starts.")
+  in
+  let instance_t =
+    Arg.(value & opt string "ibm01" & info [ "instance" ] ~docv:"NAME")
+  in
+  Cmd.v
+    (Cmd.info "bsf"
+       ~doc:
+         "Best-so-far curves (expected best cut vs CPU budget) for flat LIFO, \
+          flat CLIP and ML CLIP.")
+    Term.(const run $ scale_t $ starts_t $ seed_t $ csv_t $ instance_t)
+
+let pareto_cmd =
+  let run scale repeats seed csv instance =
+    let table, frontier =
+      Experiments.pareto_figure ~scale ~repeats ~instance ~seed ()
+    in
+    emit csv table;
+    print_newline ();
+    print_endline "non-dominated frontier (cost, CPU s):";
+    List.iter
+      (fun (label, cost, runtime) ->
+        Printf.printf "  %-20s %8.1f %8.3f\n" label cost runtime)
+      frontier
+  in
+  let repeats_t = Arg.(value & opt int 3 & info [ "repeats" ] ~docv:"N") in
+  let instance_t =
+    Arg.(value & opt string "ibm01" & info [ "instance" ] ~docv:"NAME")
+  in
+  Cmd.v
+    (Cmd.info "pareto"
+       ~doc:"(cost, runtime) performance points and their non-dominated frontier.")
+    Term.(const run $ scale_t $ repeats_t $ seed_t $ csv_t $ instance_t)
+
+let ranking_cmd =
+  let run scale starts seed csv instances =
+    emit csv (Experiments.ranking_figure ~scale ~starts ~instances ~seed ())
+  in
+  let starts_t = Arg.(value & opt int 15 & info [ "starts" ] ~docv:"N") in
+  Cmd.v
+    (Cmd.info "ranking"
+       ~doc:"Speed-dependent ranking diagram: dominant heuristic per (instance, budget).")
+    Term.(
+      const run $ scale_t $ starts_t $ seed_t $ csv_t $ instances_t Suite.names_small)
+
+let corking_cmd =
+  let run scale runs seed csv instance =
+    emit csv (Experiments.corking_report ~scale ~runs ~instance ~seed ())
+  in
+  let instance_t =
+    Arg.(value & opt string "ibm01" & info [ "instance" ] ~docv:"NAME")
+  in
+  Cmd.v
+    (Cmd.info "corking"
+       ~doc:"CLIP corking diagnostic: corking events with and without the fix.")
+    Term.(const run $ scale_t $ runs_t 10 $ seed_t $ csv_t $ instance_t)
+
+let compare_cmd =
+  let run scale runs seed engine_a engine_b instance =
+    let table, verdict =
+      Experiments.compare_engines ~scale ~runs ~engine_a ~engine_b ~instance
+        ~seed ()
+    in
+    Table.print table;
+    print_newline ();
+    print_endline verdict
+  in
+  let a_t = Arg.(required & pos 0 (some string) None & info [] ~docv:"ENGINE_A") in
+  let b_t = Arg.(required & pos 1 (some string) None & info [] ~docv:"ENGINE_B") in
+  let instance_t =
+    Arg.(value & opt string "ibm01" & info [ "instance" ] ~docv:"NAME")
+  in
+  Cmd.v
+    (Cmd.info "compare"
+       ~doc:
+         "Head-to-head engine comparison with significance tests (Welch t, \
+          Mann-Whitney U) and bootstrap confidence intervals — the 3.2/Brglez \
+          protocol.  Engines: flat | clip | ml | mlclip | lookahead | sa | \
+          reported | reported-clip.")
+    Term.(const run $ scale_t $ runs_t 20 $ seed_t $ a_t $ b_t $ instance_t)
+
+let placement_cmd =
+  let run scale runs seed csv instance =
+    emit csv (Experiments.placement_table ~scale ~runs ~instance ~seed ())
+  in
+  let instance_t =
+    Arg.(value & opt string "ibm01" & info [ "instance" ] ~docv:"NAME")
+  in
+  Cmd.v
+    (Cmd.info "placement-quality"
+       ~doc:
+         "Use-model consequence of partitioner quality: placement HPWL per \
+          partitioning engine.")
+    Term.(const run $ scale_t $ runs_t 3 $ seed_t $ csv_t $ instance_t)
+
+let regime_cmd =
+  let run seed csv big =
+    emit csv (Experiments.runtime_regime_table ~include_750k:big ~seed ())
+  in
+  let big_t =
+    Arg.(
+      value & flag
+      & info [ "big" ]
+          ~doc:"Include a 750,000-cell synthetic instance (adds ~2 CPU minutes).")
+  in
+  Cmd.v
+    (Cmd.info "regime"
+       ~doc:
+         "Runtime-regime check (2.1): one multilevel start per full-size \
+          instance against the top-down placement CPU budget.")
+    Term.(const run $ seed_t $ csv_t $ big_t)
+
+let fixed_cmd =
+  let run scale runs seed csv instance =
+    emit csv (Experiments.fixed_terminals_table ~scale ~runs ~instance ~seed ())
+  in
+  let instance_t =
+    Arg.(value & opt string "ibm01" & info [ "instance" ] ~docv:"NAME")
+  in
+  Cmd.v
+    (Cmd.info "fixed"
+       ~doc:
+         "Fixed-terminals study (§2.1): cut, variance and runtime as a growing \
+          fraction of vertices is fixed.")
+    Term.(const run $ scale_t $ runs_t 12 $ seed_t $ csv_t $ instance_t)
+
+let ablation_cmd =
+  let run scale runs seed csv instance =
+    emit csv (Experiments.ablation_table ~scale ~runs ~instance ~seed ())
+  in
+  let instance_t =
+    Arg.(value & opt string "ibm01" & info [ "instance" ] ~docv:"NAME")
+  in
+  Cmd.v
+    (Cmd.info "ablation"
+       ~doc:
+         "Quality ablation of every design dimension: insertion order, \
+          illegal-head policy, oversized-cell handling, pass-best rule, \
+          initial generator, coarsening scheme, boundary refinement.")
+    Term.(const run $ scale_t $ runs_t 10 $ seed_t $ csv_t $ instance_t)
+
+let all_cmd =
+  let run scale runs seed out =
+    Option.iter
+      (fun dir -> if not (Sys.file_exists dir) then Sys.mkdir dir 0o755)
+      out;
+    let emit slug name table =
+      Printf.printf "\n=== %s ===\n%!" name;
+      Table.print table;
+      Option.iter
+        (fun dir ->
+          let write ext contents =
+            let oc = open_out (Filename.concat dir (slug ^ ext)) in
+            output_string oc contents;
+            close_out oc
+          in
+          write ".txt" (Table.render table);
+          write ".csv" (Table.to_csv table))
+        out
+    in
+    emit "table1" "Table 1 (implicit decisions)"
+      (Experiments.table1 ~scale ~runs ~seed ());
+    emit "table2" "Table 2 (LIFO: reported vs ours)"
+      (Experiments.table_reported_vs_ours ~engine:`Lifo ~scale ~runs ~seed ());
+    emit "table3" "Table 3 (CLIP: reported vs ours)"
+      (Experiments.table_reported_vs_ours ~engine:`Clip ~scale ~runs ~seed ());
+    emit "table4" "Table 4 (multistart eval, 2%)"
+      (Experiments.table_multistart_eval ~scale:(scale *. 2.) ~tolerance:0.02 ~seed ());
+    emit "table5" "Table 5 (multistart eval, 10%)"
+      (Experiments.table_multistart_eval ~scale:(scale *. 2.) ~tolerance:0.10 ~seed ());
+    (* the flat-vs-multilevel crossover only shows on instances large
+       enough that flat FM cannot reach multilevel quality, so the
+       figures run at the base scale, not the reduced tables45 scale *)
+    let fig_scale = Float.max 1.0 (scale /. 8.) in
+    emit "fig_bsf" "BSF curves (ibm03)"
+      (Experiments.bsf_figure ~scale:fig_scale ~starts:12 ~instance:"ibm03" ~seed ());
+    emit "fig_pareto" "Pareto frontier (ibm03)"
+      (fst (Experiments.pareto_figure ~scale:fig_scale ~instance:"ibm03" ~seed ()));
+    emit "fig_ranking" "Ranking diagram"
+      (Experiments.ranking_figure ~scale:fig_scale ~starts:10 ~seed ());
+    emit "regime" "Runtime regimes (full-size instances)"
+      (Experiments.runtime_regime_table ~seed ());
+    emit "placement_quality" "Placement quality per engine (ibm01)"
+      (Experiments.placement_table ~scale ~instance:"ibm01" ~seed ());
+    emit "fixed_terminals" "Fixed terminals (ibm01)"
+      (Experiments.fixed_terminals_table ~scale ~instance:"ibm01" ~seed ());
+    emit "ablation" "Ablations (ibm01)"
+      (Experiments.ablation_table ~scale ~instance:"ibm01" ~seed ());
+    emit "corking" "Corking diagnostic (ibm01)"
+      (Experiments.corking_report ~instance:"ibm01" ~scale ~seed ())
+  in
+  let out_t =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "out" ] ~docv:"DIR"
+          ~doc:"Also write every table as .txt and .csv into this directory.")
+  in
+  Cmd.v
+    (Cmd.info "all" ~doc:"Regenerate every table and figure at the given scale.")
+    Term.(const run $ scale_t $ runs_t 20 $ seed_t $ out_t)
+
+let main_cmd =
+  Cmd.group
+    (Cmd.info "hypart" ~version:"1.0.0"
+       ~doc:
+         "Hypergraph partitioning for VLSI CAD: FM/CLIP/multilevel engines and \
+          the DAC'99 methodology experiments.")
+    [
+      generate_cmd; partition_cmd; evaluate_cmd; kway_cmd; place_cmd;
+      table1_cmd; table2_cmd; table3_cmd;
+      tables45_cmd; bsf_cmd; pareto_cmd; ranking_cmd; corking_cmd;
+      regime_cmd; fixed_cmd; ablation_cmd; placement_cmd; compare_cmd; all_cmd;
+    ]
+
+let () = exit (Cmd.eval main_cmd)

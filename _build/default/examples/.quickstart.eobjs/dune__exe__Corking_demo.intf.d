@@ -1,0 +1,1 @@
+examples/corking_demo.mli:

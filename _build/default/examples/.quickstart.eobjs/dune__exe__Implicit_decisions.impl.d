@@ -1,0 +1,1 @@
+examples/implicit_decisions.ml: Array Hypart_fm Hypart_generator Hypart_partition Hypart_rng Hypart_stats List Printf

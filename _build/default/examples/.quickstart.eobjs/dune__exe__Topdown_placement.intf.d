@@ -1,0 +1,1 @@
+examples/topdown_placement.mli:

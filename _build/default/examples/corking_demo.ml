@@ -1,0 +1,59 @@
+(* §2.3 of the paper: the CLIP corking effect.  CLIP starts every pass
+   with all moves in the zero-gain bucket, highest-initial-gain cells at
+   the heads.  On actual-area instances the highest-gain cells tend to
+   be the largest ones; when such a cell is too heavy to move legally it
+   "corks" the bucket and the pass can terminate having moved nothing.
+   The fix: never insert cells heavier than the balance slack.
+
+   This demo traces corking events with and without the fix on an
+   instance with realistic macros, and shows the quality consequence.
+
+   Run with: dune exec examples/corking_demo.exe *)
+
+module H = Hypart_hypergraph.Hypergraph
+module Rng = Hypart_rng.Rng
+module Suite = Hypart_generator.Ibm_suite
+module Balance = Hypart_partition.Balance
+module Problem = Hypart_partition.Problem
+module Fm = Hypart_fm.Fm
+module Fm_config = Hypart_fm.Fm_config
+module D = Hypart_stats.Descriptive
+
+let runs = 15
+
+let trace name config rng problem =
+  let cuts = Array.make runs 0 in
+  let corks = ref 0 and empty = ref 0 in
+  for i = 0 to runs - 1 do
+    let r = Fm.run_random_start ~config rng problem in
+    cuts.(i) <- r.Fm.cut;
+    corks := !corks + r.Fm.stats.Fm.corking_events;
+    empty := !empty + r.Fm.stats.Fm.empty_passes
+  done;
+  Printf.printf "  %-26s min/avg cut %-10s corking events/run %6.1f   empty passes/run %.2f\n"
+    name (D.min_avg cuts)
+    (float_of_int !corks /. float_of_int runs)
+    (float_of_int !empty /. float_of_int runs);
+  cuts
+
+let () =
+  let h = Suite.instance ~scale:8.0 "ibm02" in
+  let problem = Problem.make ~tolerance:0.02 h in
+  let slack = Balance.slack problem.Problem.balance in
+  let oversized = ref 0 and max_area = ref 0 in
+  for v = 0 to H.num_vertices h - 1 do
+    let w = H.vertex_weight h v in
+    if w > slack then incr oversized;
+    if w > !max_area then max_area := w
+  done;
+  Format.printf "%a@." H.pp h;
+  Printf.printf
+    "balance slack at 2%%: %d area units; %d cells exceed it (max area %d)\n\
+     — exactly the cells CLIP puts at the heads of its zero-gain buckets.\n\n"
+    slack !oversized !max_area;
+  let no_fix = trace "CLIP without fix" Fm_config.reported_clip (Rng.create 3) problem in
+  let fixed = trace "CLIP with corking fix" Fm_config.strong_clip (Rng.create 3) problem in
+  let avg a = D.mean (D.of_ints a) in
+  Printf.printf
+    "\nthe fix improves the average cut by %.1fx at essentially zero overhead.\n"
+    (avg no_fix /. avg fixed)

@@ -1,0 +1,60 @@
+(* The use model (§2.1) speaks of "timing- and routing congestion-driven
+   recursive min-cut bisection": in practice, nets on critical timing
+   paths receive boosted weights so the min-cut partitioner avoids
+   cutting them (a cut net crosses the chip and picks up delay).
+
+   This example marks a random 5% of nets as timing-critical, boosts
+   their weights 10x, and compares partitioning with and without the
+   boost: the weighted run cuts far fewer critical nets at a modest
+   total-cut premium — weighted hyperedges are all the mechanism needed.
+
+   Run with: dune exec examples/timing_driven.exe *)
+
+module H = Hypart_hypergraph.Hypergraph
+module Rng = Hypart_rng.Rng
+module Suite = Hypart_generator.Ibm_suite
+module Problem = Hypart_partition.Problem
+module Bipartition = Hypart_partition.Bipartition
+module Ml = Hypart_multilevel.Ml_partitioner
+
+let () =
+  let h = Suite.instance ~scale:8.0 "ibm01" in
+  Format.printf "%a@.@." H.pp h;
+  let rng = Rng.create 7 in
+  let ne = H.num_edges h in
+  let critical = Array.make ne false in
+  let n_critical = ne / 20 in
+  Array.iter
+    (fun e -> critical.(e) <- true)
+    (Hypart_rng.Rng.sample_distinct rng ~n:n_critical ~universe:ne);
+  Printf.printf "critical nets: %d of %d (weight boosted 10x)\n\n" n_critical ne;
+  let boosted =
+    H.reweight_edges h
+      ~weights:
+        (Array.init ne (fun e ->
+             let w = H.edge_weight h e in
+             if critical.(e) then 10 * w else w))
+  in
+  let report name instance =
+    let problem = Problem.make ~tolerance:0.02 instance in
+    let r = Ml.run ~config:Ml.ml_clip (Rng.create 9) problem in
+    (* evaluate both metrics on the ORIGINAL weights *)
+    let plain_cut = Bipartition.cut h r.Hypart_fm.Fm.solution in
+    let critical_cut = ref 0 in
+    for e = 0 to ne - 1 do
+      if critical.(e) then begin
+        let c0, c1 = Bipartition.pins_on_side h r.Hypart_fm.Fm.solution e in
+        if c0 > 0 && c1 > 0 then incr critical_cut
+      end
+    done;
+    Printf.printf "  %-18s total cut %5d   critical nets cut %4d\n" name
+      plain_cut !critical_cut
+  in
+  report "plain min-cut" h;
+  report "timing-weighted" boosted;
+  print_newline ();
+  print_endline
+    "The weighted run trades a small increase in total cut for a large\n\
+     reduction in cut critical nets — the timing-driven use model the\n\
+     paper's partitioners must serve, and why every engine here treats\n\
+     hyperedge weights as first-class."

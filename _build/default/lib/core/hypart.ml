@@ -1,0 +1,70 @@
+(** The [hypart] facade: one module that re-exports the whole public
+    API.  Downstream code can depend on the [hypart] library alone and
+    write [Hypart.Fm.run], [Hypart.Topdown.place], etc.; the individual
+    [hypart_*] libraries remain available for finer-grained
+    dependencies.
+
+    {1 Substrates}
+
+    - {!Rng} — deterministic splitmix64 randomness
+    - {!Hypergraph}, {!Stats_summary} — CSR hypergraphs
+    - {!Netlist_io} — [.hgr] / [.are] reading and writing
+    - {!Generator}, {!Ibm_suite} — synthetic ISPD98 twins
+
+    {1 Partitioning}
+
+    - {!Balance}, {!Problem}, {!Bipartition}, {!Objective}, {!Initial}
+    - {!Fm_config}, {!Gain_container}, {!Fm} — flat FM / CLIP
+    - {!Matching}, {!Coarsen}, {!Ml_partitioner} — multilevel
+    - {!Recursive_bisection} — k-way
+    - {!Kl} — Kernighan-Lin baseline
+    - {!Spectral} — EIG1 ratio-cut baseline
+
+    {1 Applications and reporting}
+
+    - {!Topdown} — top-down min-cut placement (the paper's use model)
+    - {!Descriptive}, {!Significance}, {!Bsf}, {!Pareto}, {!Ranking}
+    - {!Machine}, {!Table}, {!Experiments} — the paper's tables/figures *)
+
+module Rng = Hypart_rng.Rng
+module Hypergraph = Hypart_hypergraph.Hypergraph
+module Stats_summary = Hypart_hypergraph.Stats_summary
+module Netlist_io = Hypart_hypergraph.Netlist_io
+module Bookshelf = Hypart_hypergraph.Bookshelf
+module Clique_expansion = Hypart_hypergraph.Clique_expansion
+module Generator = Hypart_generator.Generator
+module Ibm_suite = Hypart_generator.Ibm_suite
+module Balance = Hypart_partition.Balance
+module Problem = Hypart_partition.Problem
+module Bipartition = Hypart_partition.Bipartition
+module Objective = Hypart_partition.Objective
+module Initial = Hypart_partition.Initial
+module Kway_objective = Hypart_partition.Kway_objective
+module Fm_config = Hypart_fm.Fm_config
+module Gain_container = Hypart_fm.Gain_container
+module Fm = Hypart_fm.Fm
+module Kway_fm = Hypart_fm.Kway_fm
+module Lookahead_fm = Hypart_fm.Lookahead_fm
+module Matching = Hypart_multilevel.Matching
+module Coarsen = Hypart_multilevel.Coarsen
+module Ml_partitioner = Hypart_multilevel.Ml_partitioner
+module Recursive_bisection = Hypart_multilevel.Recursive_bisection
+module Ml_kway = Hypart_multilevel.Ml_kway
+module Kl = Hypart_kl.Kl
+module Spectral = Hypart_spectral.Spectral
+module Sa_partitioner = Hypart_sa.Sa_partitioner
+module Topdown = Hypart_placement.Topdown
+module Detailed = Hypart_placement.Detailed
+module Svg_export = Hypart_placement.Svg_export
+module Congestion = Hypart_placement.Congestion
+module Descriptive = Hypart_stats.Descriptive
+module Significance = Hypart_stats.Significance
+module Bsf = Hypart_stats.Bsf
+module Histogram = Hypart_stats.Histogram
+module Bootstrap = Hypart_stats.Bootstrap
+module Pareto = Hypart_stats.Pareto
+module Ranking = Hypart_stats.Ranking
+module Machine = Hypart_harness.Machine
+module Table = Hypart_harness.Table
+module Parallel = Hypart_harness.Parallel
+module Experiments = Hypart_harness.Experiments

@@ -1,0 +1,1 @@
+lib/fm/fm.mli: Fm_config Hypart_partition Hypart_rng

@@ -1,0 +1,1 @@
+lib/fm/fm_config.ml: Printf

@@ -1,0 +1,1 @@
+lib/fm/gain_container.ml: Array Fm_config Hypart_rng

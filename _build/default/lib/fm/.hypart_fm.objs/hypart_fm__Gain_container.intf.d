@@ -1,0 +1,1 @@
+lib/fm/gain_container.mli: Fm_config Hypart_rng

@@ -1,0 +1,1 @@
+lib/fm/kway_fm.ml: Array Float Fm_config Gain_container Hypart_hypergraph Hypart_rng

@@ -1,0 +1,1 @@
+lib/fm/kway_fm.mli: Hypart_hypergraph Hypart_rng

@@ -1,0 +1,1 @@
+lib/fm/lookahead_fm.ml: Array Fm_config Gain_container Hypart_hypergraph Hypart_partition Hypart_rng

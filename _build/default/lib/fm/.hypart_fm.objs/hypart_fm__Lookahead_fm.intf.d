@@ -1,0 +1,1 @@
+lib/fm/lookahead_fm.mli: Hypart_partition Hypart_rng

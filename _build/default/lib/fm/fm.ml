@@ -1,0 +1,402 @@
+module H = Hypart_hypergraph.Hypergraph
+module Rng = Hypart_rng.Rng
+module Balance = Hypart_partition.Balance
+module Bipartition = Hypart_partition.Bipartition
+module Problem = Hypart_partition.Problem
+module Initial = Hypart_partition.Initial
+
+let log_src = Logs.Src.create "hypart.fm" ~doc:"FM engine pass tracing"
+
+module Log = (val Logs.src_log log_src)
+
+type stats = {
+  passes : int;
+  moves : int;
+  empty_passes : int;
+  corking_events : int;
+  zero_delta_updates : int;
+}
+
+type result = {
+  solution : Bipartition.t;
+  cut : int;
+  legal : bool;
+  stats : stats;
+}
+
+type start_record = { start_cut : int; start_seconds : float }
+
+(* Mutable per-run state.  [count.(side).(e)] is the number of pins of
+   net [e] currently on [side]; [gain.(v)] is the actual gain (cut
+   decrease) of moving [v]; for CLIP the container key is the
+   cumulative delta gain [gain.(v) - initial_gain.(v)] instead. *)
+type state = {
+  h : H.t;
+  problem : Problem.t;
+  config : Fm_config.t;
+  sol : Bipartition.t;
+  count : int array array;
+  gain : int array;
+  locked : bool array;
+  container : Gain_container.t;
+  mutable cur_cut : int;
+  mutable n_moves : int;
+  mutable n_corking : int;
+  mutable n_zero_delta : int;
+}
+
+let weighted_degree h v =
+  H.fold_edges h v ~init:0 ~f:(fun acc e -> acc + H.edge_weight h e)
+
+let max_weighted_degree h =
+  let m = ref 0 in
+  for v = 0 to H.num_vertices h - 1 do
+    let d = weighted_degree h v in
+    if d > !m then m := d
+  done;
+  !m
+
+let recompute_counts st =
+  let h = st.h in
+  for e = 0 to H.num_edges h - 1 do
+    st.count.(0).(e) <- 0;
+    st.count.(1).(e) <- 0
+  done;
+  for v = 0 to H.num_vertices h - 1 do
+    let s = Bipartition.side st.sol v in
+    H.iter_edges h v (fun e -> st.count.(s).(e) <- st.count.(s).(e) + 1)
+  done
+
+(* Actual gain of [v] from scratch: +w for nets where v is alone on its
+   side, -w for nets entirely on v's side. *)
+let compute_gain st v =
+  let s = Bipartition.side st.sol v in
+  H.fold_edges st.h v ~init:0 ~f:(fun acc e ->
+      let w = H.edge_weight st.h e in
+      let cs = st.count.(s).(e) and co = st.count.(1 - s).(e) in
+      if cs = 1 then acc + w else if co = 0 then acc - w else acc)
+
+(* Eligibility for the gain structure: free, (with the corking fix) not
+   heavier than the balance slack, and (under boundary refinement) on
+   at least one cut net. *)
+let on_boundary st v =
+  H.fold_edges st.h v ~init:false ~f:(fun acc e ->
+      acc || (st.count.(0).(e) > 0 && st.count.(1).(e) > 0))
+
+let insertable st v =
+  Problem.is_free st.problem v
+  && ((not st.config.Fm_config.exclude_oversized)
+      || H.vertex_weight st.h v <= Balance.slack st.problem.Problem.balance)
+  && ((not st.config.Fm_config.boundary_only) || on_boundary st v)
+
+(* Populate the container for a pass.  CLIP inserts every move with key
+   0, ordered so the highest-initial-gain cells end up at the bucket
+   heads; classic FM inserts with key = gain in vertex order. *)
+let populate st =
+  Gain_container.clear st.container;
+  let n = H.num_vertices st.h in
+  for v = 0 to n - 1 do
+    if insertable st v then st.gain.(v) <- compute_gain st v
+  done;
+  match st.config.Fm_config.engine with
+  | Fm_config.Lifo_fm ->
+    for v = 0 to n - 1 do
+      if insertable st v then
+        Gain_container.insert st.container ~side:(Bipartition.side st.sol v)
+          ~key:st.gain.(v) v
+    done
+  | Fm_config.Clip_fm ->
+    let vs = ref [] in
+    for v = n - 1 downto 0 do
+      if insertable st v then vs := v :: !vs
+    done;
+    let order = Array.of_list !vs in
+    (* ascending initial gain: with LIFO insertion the last (highest
+       gain) vertex lands at the bucket head, as CLIP prescribes; with
+       FIFO we insert descending instead so heads still hold the
+       highest-gain cells. *)
+    Array.sort (fun a b -> compare (st.gain.(a), a) (st.gain.(b), b)) order;
+    let insert v =
+      Gain_container.insert st.container ~side:(Bipartition.side st.sol v) ~key:0 v
+    in
+    (match st.config.Fm_config.insertion with
+     | Fm_config.Fifo ->
+       for i = Array.length order - 1 downto 0 do
+         insert order.(i)
+       done
+     | Fm_config.Lifo | Fm_config.Random -> Array.iter insert order)
+
+(* Apply the move of [v] and propagate delta gains to its neighbours
+   per the naive "four cut values" scheme the paper describes: for each
+   incident net, each unlocked neighbour's contribution is recomputed
+   from the pin counts before and after the move, and the neighbour is
+   repositioned unless the delta is zero and the policy says skip. *)
+let apply_move st v =
+  let h = st.h in
+  let f = Bipartition.side st.sol v in
+  let t = 1 - f in
+  st.cur_cut <- st.cur_cut - st.gain.(v);
+  Gain_container.remove st.container v;
+  st.locked.(v) <- true;
+  H.iter_edges h v (fun e ->
+      let w = H.edge_weight h e in
+      let cb_f = st.count.(f).(e) and cb_t = st.count.(t).(e) in
+      let ca_f = cb_f - 1 and ca_t = cb_t + 1 in
+      (* when both sides stay at >= 2 pins (source at >= 3 before the
+         move), every neighbour's delta is provably zero: skip the pin
+         scan.  Under All_delta_gain those zero deltas must still
+         reposition vertices, so the fast path applies to Nonzero_only
+         runs — where it makes moves on huge clock-like nets O(1). *)
+      let all_deltas_zero = cb_f >= 3 && cb_t >= 2 in
+      if all_deltas_zero && st.config.Fm_config.update = Fm_config.Nonzero_only
+      then begin
+        st.count.(f).(e) <- ca_f;
+        st.count.(t).(e) <- ca_t
+      end
+      else begin
+      H.iter_pins h e (fun u ->
+          if u <> v && (not st.locked.(u)) && Gain_container.mem st.container u
+          then begin
+            let s = Bipartition.side st.sol u in
+            let cb_s, cb_o = if s = f then (cb_f, cb_t) else (cb_t, cb_f) in
+            let ca_s, ca_o = if s = f then (ca_f, ca_t) else (ca_t, ca_f) in
+            let contrib cs co = if cs = 1 then w else if co = 0 then -w else 0 in
+            let delta = contrib ca_s ca_o - contrib cb_s cb_o in
+            if delta <> 0 then begin
+              st.gain.(u) <- st.gain.(u) + delta;
+              Gain_container.update_key st.container u ~delta
+            end
+            else begin
+              st.n_zero_delta <- st.n_zero_delta + 1;
+              match st.config.Fm_config.update with
+              | Fm_config.All_delta_gain -> Gain_container.refresh st.container u
+              | Fm_config.Nonzero_only -> ()
+            end
+          end);
+      st.count.(f).(e) <- ca_f;
+      st.count.(t).(e) <- ca_t
+      end);
+  Bipartition.move st.sol h v;
+  st.n_moves <- st.n_moves + 1
+
+(* Margin to the balance window edges; larger = further from violating. *)
+let balance_margin st =
+  let b = st.problem.Problem.balance in
+  let w0 = Bipartition.part_weight st.sol 0 in
+  min (w0 - b.Balance.lower) (b.Balance.upper - w0)
+
+let select_side st side =
+  let b = st.problem.Problem.balance in
+  (* a move is acceptable when it lands inside the balance window, or —
+     balance repair, needed when the initial solution starts outside an
+     asymmetric window — when it strictly reduces the violation *)
+  let legal v =
+    let w0 = Bipartition.part_weight st.sol 0 in
+    let w = H.vertex_weight st.h v in
+    let w0' = if Bipartition.side st.sol v = 0 then w0 - w else w0 + w in
+    let before = Balance.violation b ~part0_weight:w0 in
+    let after = Balance.violation b ~part0_weight:w0' in
+    if before = 0 then after = 0 else after < before
+  in
+  let r =
+    Gain_container.select st.container ~side ~legal
+      ~illegal_head:st.config.Fm_config.illegal_head
+  in
+  if Gain_container.last_select_corked st.container then
+    st.n_corking <- st.n_corking + 1;
+  r
+
+(* One FM pass: move until no legal move remains, then roll back to the
+   best legal prefix.  Returns the best legal cut seen (max_int when no
+   prefix, including the empty one, was legal) and the move count. *)
+let pass st =
+  populate st;
+  Array.fill st.locked 0 (Array.length st.locked) false;
+  let moves = ref [] and n_applied = ref 0 in
+  let best_cut = ref max_int
+  and best_idx = ref 0
+  and best_margin = ref min_int in
+  let consider idx =
+    let margin = balance_margin st in
+    if margin >= 0 then begin
+      let better =
+        match st.config.Fm_config.pass_best with
+        | Fm_config.First -> st.cur_cut < !best_cut
+        | Fm_config.Last -> st.cur_cut <= !best_cut
+        | Fm_config.Most_balanced ->
+          st.cur_cut < !best_cut
+          || (st.cur_cut = !best_cut && margin > !best_margin)
+      in
+      if better then begin
+        best_cut := st.cur_cut;
+        best_idx := idx;
+        best_margin := margin
+      end
+    end
+  in
+  consider 0;
+  let last_from = ref (-1) in
+  let continue = ref true in
+  while !continue do
+    let c0 = select_side st 0 and c1 = select_side st 1 in
+    let chosen =
+      match (c0, c1) with
+      | None, None -> None
+      | Some (v, _), None | None, Some (v, _) -> Some v
+      | Some (v0, _), Some (v1, _) ->
+        let k0 = Gain_container.key st.container v0
+        and k1 = Gain_container.key st.container v1 in
+        if k0 > k1 then Some v0
+        else if k1 > k0 then Some v1
+        else begin
+          (* equal highest gains on both sides: the §2.2 tie-break *)
+          let preferred =
+            match st.config.Fm_config.bias with
+            | Fm_config.Part0 -> 0
+            | Fm_config.Away -> if !last_from < 0 then 0 else 1 - !last_from
+            | Fm_config.Toward -> if !last_from < 0 then 0 else !last_from
+          in
+          Some (if preferred = 0 then v0 else v1)
+        end
+    in
+    match chosen with
+    | None -> continue := false
+    | Some v ->
+      last_from := Bipartition.side st.sol v;
+      apply_move st v;
+      moves := v :: !moves;
+      incr n_applied;
+      consider !n_applied
+  done;
+  (* roll back to the best prefix (all of it if nothing legal was seen) *)
+  let undo = if !best_cut = max_int then !n_applied else !n_applied - !best_idx in
+  let rec undo_moves k = function
+    | [] -> ()
+    | v :: rest ->
+      if k > 0 then begin
+        (* flip back; counts and gains are rebuilt next pass *)
+        Bipartition.move st.sol st.h v;
+        undo_moves (k - 1) rest
+      end
+  in
+  undo_moves undo !moves;
+  if !best_cut <> max_int then st.cur_cut <- !best_cut
+  else st.cur_cut <- Bipartition.cut st.h st.sol;
+  (!best_cut, !n_applied)
+
+let run ?(config = Fm_config.default) rng problem initial =
+  let h = problem.Problem.hypergraph in
+  let n = H.num_vertices h in
+  let gmax = max 1 (max_weighted_degree h) in
+  let st =
+    {
+      h;
+      problem;
+      config;
+      sol = Bipartition.copy initial;
+      count = [| Array.make (H.num_edges h) 0; Array.make (H.num_edges h) 0 |];
+      gain = Array.make n 0;
+      locked = Array.make n false;
+      container =
+        Gain_container.create ~num_vertices:n
+          ~max_key:((2 * gmax) + 1)
+          ~insertion:config.Fm_config.insertion ~rng;
+      cur_cut = 0;
+      n_moves = 0;
+      n_corking = 0;
+      n_zero_delta = 0;
+    }
+  in
+  st.cur_cut <- Bipartition.cut h st.sol;
+  let initial_legal = Bipartition.is_legal st.sol problem.Problem.balance in
+  let best = ref (if initial_legal then st.cur_cut else max_int) in
+  let n_passes = ref 0 and n_empty = ref 0 in
+  let improving = ref true in
+  while !improving && !n_passes < config.Fm_config.max_passes do
+    recompute_counts st;
+    let pass_best, pass_moves = pass st in
+    incr n_passes;
+    if pass_moves = 0 then incr n_empty;
+    Log.debug (fun m ->
+        m "pass %d (%s): best cut %d, %d moves" !n_passes
+          (Fm_config.describe config)
+          (if pass_best = max_int then -1 else pass_best)
+          pass_moves);
+    if pass_best < !best then best := pass_best else improving := false
+  done;
+  let legal = Bipartition.is_legal st.sol problem.Problem.balance in
+  {
+    solution = st.sol;
+    cut = st.cur_cut;
+    legal;
+    stats =
+      {
+        passes = !n_passes;
+        moves = st.n_moves;
+        empty_passes = !n_empty;
+        corking_events = st.n_corking;
+        zero_delta_updates = st.n_zero_delta;
+      };
+  }
+
+let run_random_start ?(config = Fm_config.default) rng problem =
+  let initial = Initial.random rng problem in
+  run ~config rng problem initial
+
+let multistart ?(config = Fm_config.default) rng problem ~starts =
+  if starts < 1 then invalid_arg "Fm.multistart: starts must be >= 1";
+  let best = ref None in
+  let records = ref [] in
+  for _ = 1 to starts do
+    let t0 = Sys.time () in
+    let r = run_random_start ~config rng problem in
+    let dt = Sys.time () -. t0 in
+    records := { start_cut = r.cut; start_seconds = dt } :: !records;
+    let better =
+      match !best with
+      | None -> true
+      | Some b ->
+        (r.legal && not b.legal) || (r.legal = b.legal && r.cut < b.cut)
+    in
+    if better then best := Some r
+  done;
+  match !best with
+  | Some b -> (b, List.rev !records)
+  | None -> assert false
+
+let multistart_pruned ?(config = Fm_config.default) ?(prune_factor = 1.5) rng
+    problem ~starts =
+  if starts < 1 then invalid_arg "Fm.multistart_pruned: starts must be >= 1";
+  if prune_factor < 1.0 then
+    invalid_arg "Fm.multistart_pruned: prune_factor must be >= 1";
+  let one_pass = { config with Fm_config.max_passes = 1 } in
+  let best = ref None and records = ref [] and pruned = ref 0 in
+  let best_cut () =
+    match !best with Some (b : result) when b.legal -> b.cut | _ -> max_int
+  in
+  for _ = 1 to starts do
+    let t0 = Sys.time () in
+    let initial = Initial.random rng problem in
+    let peek = run ~config:one_pass rng problem initial in
+    let threshold =
+      let b = best_cut () in
+      if b = max_int then max_int
+      else int_of_float (prune_factor *. float_of_int b)
+    in
+    let r =
+      if peek.cut > threshold then begin
+        incr pruned;
+        peek
+      end
+      else run ~config rng problem peek.solution
+    in
+    let dt = Sys.time () -. t0 in
+    records := { start_cut = r.cut; start_seconds = dt } :: !records;
+    let better =
+      match !best with
+      | None -> true
+      | Some b -> (r.legal && not b.legal) || (r.legal = b.legal && r.cut < b.cut)
+    in
+    if better then best := Some r
+  done;
+  (Option.get !best, List.rev !records, !pruned)

@@ -1,0 +1,79 @@
+(** The Fiduccia-Mattheyses pass engine (flat FM and CLIP).
+
+    One engine implements both gain disciplines: classic FM keys moves
+    by their current actual gain; CLIP (Dutt & Deng) keys them by
+    cumulative delta gain, starting every pass with all moves in the
+    zero bucket ordered by initial gain.  Every implicit decision of
+    {!Fm_config} is honoured.
+
+    The engine maintains the cut incrementally; the test-suite
+    cross-checks the incremental value against
+    {!Hypart_partition.Bipartition.cut} recomputed from scratch. *)
+
+type stats = {
+  passes : int;  (** passes executed (including the final, non-improving one) *)
+  moves : int;  (** moves applied across all passes, including rolled-back ones *)
+  empty_passes : int;  (** passes that made no move at all — CLIP corking at its worst *)
+  corking_events : int;
+      (** selections that found the head of a highest-gain bucket
+          illegal (§2.3's corking diagnostic) *)
+  zero_delta_updates : int;
+      (** neighbour updates with zero delta gain (repositioned under
+          [All_delta_gain], skipped under [Nonzero_only]) *)
+}
+
+type result = {
+  solution : Hypart_partition.Bipartition.t;
+  cut : int;  (** cut of [solution] *)
+  legal : bool;  (** whether [solution] satisfies the balance constraint *)
+  stats : stats;
+}
+
+val run :
+  ?config:Fm_config.t ->
+  Hypart_rng.Rng.t ->
+  Hypart_partition.Problem.t ->
+  Hypart_partition.Bipartition.t ->
+  result
+(** [run rng problem initial] improves [initial] by repeated FM passes
+    until a pass fails to improve the best legal cut (or
+    [config.max_passes] is reached).  The input solution is not
+    mutated.  [rng] is used only for [Random] bucket insertion. *)
+
+val run_random_start :
+  ?config:Fm_config.t ->
+  Hypart_rng.Rng.t ->
+  Hypart_partition.Problem.t ->
+  result
+(** Generate a {!Hypart_partition.Initial.random} solution and [run]. *)
+
+type start_record = { start_cut : int; start_seconds : float }
+(** Outcome of one independent start: its final cut and its CPU time. *)
+
+val multistart :
+  ?config:Fm_config.t ->
+  Hypart_rng.Rng.t ->
+  Hypart_partition.Problem.t ->
+  starts:int ->
+  result * start_record list
+(** [multistart rng problem ~starts] runs [starts] independent
+    random-start trials and returns the best result (lowest legal cut)
+    together with the per-start records (in execution order) that
+    best-so-far curves and speed-dependent rankings are built from. *)
+
+val multistart_pruned :
+  ?config:Fm_config.t ->
+  ?prune_factor:float ->
+  Hypart_rng.Rng.t ->
+  Hypart_partition.Problem.t ->
+  starts:int ->
+  result * start_record list * int
+(** Multistart with pruning — the §3.2 technique of "early termination
+    of starts that appear unpromising relative to previous starts"
+    (which is also why sampling-based ranking methods cannot model
+    advanced metaheuristics).  Each start runs a single FM pass; if its
+    cut exceeds [prune_factor] (default 1.5) times the best completed
+    start so far, the start is abandoned, otherwise it continues to
+    convergence.  Returns the best result, the per-start records
+    (pruned starts report their one-pass cut), and the number of starts
+    pruned. *)

@@ -1,0 +1,57 @@
+type engine = Lifo_fm | Clip_fm
+type insertion_order = Lifo | Fifo | Random
+type bias = Away | Part0 | Toward
+type update_policy = All_delta_gain | Nonzero_only
+type pass_best = First | Last | Most_balanced
+type illegal_head = Skip_side | Skip_bucket | Scan_bucket
+
+type t = {
+  engine : engine;
+  insertion : insertion_order;
+  bias : bias;
+  update : update_policy;
+  pass_best : pass_best;
+  illegal_head : illegal_head;
+  exclude_oversized : bool;
+  boundary_only : bool;
+  max_passes : int;
+}
+
+let default =
+  {
+    engine = Lifo_fm;
+    insertion = Lifo;
+    bias = Away;
+    update = Nonzero_only;
+    pass_best = Most_balanced;
+    illegal_head = Skip_side;
+    exclude_oversized = true;
+    boundary_only = false;
+    max_passes = 100;
+  }
+
+let strong_lifo = default
+
+let reported_lifo =
+  {
+    default with
+    insertion = Fifo;
+    bias = Part0;
+    update = All_delta_gain;
+    pass_best = First;
+    exclude_oversized = false;
+  }
+
+let strong_clip = { default with engine = Clip_fm }
+let reported_clip = { reported_lifo with engine = Clip_fm }
+
+let with_bias bias t = { t with bias }
+let with_update update t = { t with update }
+
+let describe t =
+  let engine = match t.engine with Lifo_fm -> "FM" | Clip_fm -> "CLIP" in
+  let ins = match t.insertion with Lifo -> "lifo" | Fifo -> "fifo" | Random -> "rand" in
+  let bias = match t.bias with Away -> "away" | Part0 -> "part0" | Toward -> "toward" in
+  let upd = match t.update with All_delta_gain -> "alldg" | Nonzero_only -> "nonzero" in
+  Printf.sprintf "%s/%s-ins/%s/%s%s" engine ins bias upd
+    (if t.exclude_oversized then "" else "/cork")

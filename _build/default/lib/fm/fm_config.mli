@@ -1,0 +1,95 @@
+(** Configuration of the Fiduccia-Mattheyses engine.
+
+    Every field corresponds to one of the {e implicit implementation
+    decisions} the paper identifies (§2.2-2.3): underspecified features
+    of the original FM description that any implementation must resolve,
+    and whose resolution can swamp the solution-quality effects of
+    genuine algorithmic innovation.  Making them explicit configuration
+    is the point of this library. *)
+
+(** Gain discipline. *)
+type engine =
+  | Lifo_fm  (** classic FM: moves keyed by current actual gain *)
+  | Clip_fm
+      (** CLIP [Dutt & Deng, ICCAD'96]: moves keyed by cumulative delta
+          gain (actual gain minus initial gain); every move starts in
+          the zero-gain bucket with the highest-initial-gain cells at
+          the bucket heads. *)
+
+(** Where a vertex is (re)inserted within its gain bucket.  Hagen,
+    Huang & Kahng (EDAC'95) showed LIFO clearly preferable; [Random]
+    here is the constant-time approximation that picks head or tail
+    with equal probability. *)
+type insertion_order = Lifo | Fifo | Random
+
+(** Tie-breaking between the two sides' highest-gain buckets when both
+    head moves are legal and have equal gain (§2.2): move [Away] from
+    the last moved vertex's source partition, always prefer partition 0
+    ([Part0]), or move [Toward] the last source partition.  Before any
+    move has been made, partition 0 is used. *)
+type bias = Away | Part0 | Toward
+
+(** Whether to reposition a vertex whose delta gain is zero
+    ([All_delta_gain] reinserts it, shifting its position within the
+    bucket) or to skip the update ([Nonzero_only], leaving the position
+    unchanged). *)
+type update_policy = All_delta_gain | Nonzero_only
+
+(** Tie-breaking when several prefixes of the move sequence achieve the
+    best cut of the pass: take the first one, the last one, or the one
+    whose part weights are furthest from violating the balance
+    constraint. *)
+type pass_best = First | Last | Most_balanced
+
+(** What to do when the head move of a highest-gain bucket is illegal:
+    skip all buckets of that partition for this selection
+    ([Skip_side]), descend to the next nonempty bucket of the same
+    partition ([Skip_bucket]), or walk bucket lists looking for a legal
+    move ([Scan_bucket] — the paper finds this too slow and harmful). *)
+type illegal_head = Skip_side | Skip_bucket | Scan_bucket
+
+type t = {
+  engine : engine;
+  insertion : insertion_order;
+  bias : bias;
+  update : update_policy;
+  pass_best : pass_best;
+  illegal_head : illegal_head;
+  exclude_oversized : bool;
+      (** the corking fix: never insert cells whose area exceeds the
+          balance slack into the gain structure ("benefits all FM
+          variants, and has essentially zero overhead"). *)
+  boundary_only : bool;
+      (** insert only boundary vertices (those on at least one cut net
+          at pass start) into the gain structure — the refinement
+          speed-up used by multilevel partitioners such as hMetis.
+          Pointless for from-scratch flat runs (a random solution's
+          boundary is almost everything); default [false]. *)
+  max_passes : int;  (** safety cap on passes per run. *)
+}
+
+val default : t
+(** Strong settings: LIFO FM, LIFO insertion, [Away] bias,
+    [Nonzero_only] updates, [Most_balanced] pass best, [Skip_side],
+    oversized cells excluded. *)
+
+val strong_lifo : t
+(** "Our LIFO FM" of Tables 1-2. *)
+
+val reported_lifo : t
+(** The weak-combination stand-in for the "Reported LIFO FM" baseline of
+    Table 2: FIFO insertion, [All_delta_gain] updates, [Part0] bias,
+    first-best pass selection, no oversized-cell exclusion. *)
+
+val strong_clip : t
+(** "Our CLIP FM" of Tables 1 and 3 (includes the corking fix). *)
+
+val reported_clip : t
+(** Weak CLIP: as {!reported_lifo} but with the CLIP engine and no
+    corking fix, reproducing the susceptibility described in §2.3. *)
+
+val with_bias : bias -> t -> t
+val with_update : update_policy -> t -> t
+
+val describe : t -> string
+(** e.g. ["CLIP/LIFO-ins/away/nonzero"]. *)

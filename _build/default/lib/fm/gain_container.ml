@@ -1,0 +1,179 @@
+module Rng = Hypart_rng.Rng
+
+(* Intrusive doubly-linked bucket lists.  Sentinel values in the link
+   arrays: [absent] marks a vertex not in the container, [nil] ends a
+   list.  Bucket index = key + max_key. *)
+
+let absent = -2
+let nil = -1
+
+type t = {
+  max_key : int;
+  insertion : Fm_config.insertion_order;
+  rng : Rng.t;
+  prev : int array;
+  next : int array;
+  vkey : int array;
+  vside : int array;
+  heads : int array array;  (* heads.(side).(key + max_key) *)
+  tails : int array array;
+  maxptr : int array;       (* upper bound on the max nonempty bucket index *)
+  count : int array;
+  mutable corked : bool;
+}
+
+let create ~num_vertices ~max_key ~insertion ~rng =
+  let nbuckets = (2 * max_key) + 1 in
+  {
+    max_key;
+    insertion;
+    rng;
+    prev = Array.make num_vertices absent;
+    next = Array.make num_vertices absent;
+    vkey = Array.make num_vertices 0;
+    vside = Array.make num_vertices 0;
+    heads = [| Array.make nbuckets nil; Array.make nbuckets nil |];
+    tails = [| Array.make nbuckets nil; Array.make nbuckets nil |];
+    maxptr = [| 0; 0 |];
+    count = [| 0; 0 |];
+    corked = false;
+  }
+
+let mem c v = c.prev.(v) <> absent
+let key c v = c.vkey.(v)
+let size c side = c.count.(side)
+
+let clear c =
+  for side = 0 to 1 do
+    let heads = c.heads.(side) and tails = c.tails.(side) in
+    for b = 0 to Array.length heads - 1 do
+      let v = ref heads.(b) in
+      while !v <> nil do
+        let n = c.next.(!v) in
+        c.prev.(!v) <- absent;
+        c.next.(!v) <- absent;
+        v := n
+      done;
+      heads.(b) <- nil;
+      tails.(b) <- nil
+    done;
+    c.maxptr.(side) <- 0;
+    c.count.(side) <- 0
+  done
+
+let push_front c side b v =
+  let heads = c.heads.(side) and tails = c.tails.(side) in
+  let h = heads.(b) in
+  c.prev.(v) <- nil;
+  c.next.(v) <- h;
+  if h <> nil then c.prev.(h) <- v else tails.(b) <- v;
+  heads.(b) <- v
+
+let push_back c side b v =
+  let heads = c.heads.(side) and tails = c.tails.(side) in
+  let t = tails.(b) in
+  c.next.(v) <- nil;
+  c.prev.(v) <- t;
+  if t <> nil then c.next.(t) <- v else heads.(b) <- v;
+  tails.(b) <- v
+
+let insert c ~side ~key v =
+  assert (not (mem c v));
+  assert (abs key <= c.max_key);
+  let b = key + c.max_key in
+  c.vkey.(v) <- key;
+  c.vside.(v) <- side;
+  (match c.insertion with
+   | Fm_config.Lifo -> push_front c side b v
+   | Fm_config.Fifo -> push_back c side b v
+   | Fm_config.Random ->
+     if Rng.bool c.rng then push_front c side b v else push_back c side b v);
+  if b > c.maxptr.(side) then c.maxptr.(side) <- b;
+  c.count.(side) <- c.count.(side) + 1
+
+let remove c v =
+  if mem c v then begin
+    let side = c.vside.(v) in
+    let b = c.vkey.(v) + c.max_key in
+    let p = c.prev.(v) and n = c.next.(v) in
+    if p <> nil then c.next.(p) <- n else c.heads.(side).(b) <- n;
+    if n <> nil then c.prev.(n) <- p else c.tails.(side).(b) <- p;
+    c.prev.(v) <- absent;
+    c.next.(v) <- absent;
+    c.count.(side) <- c.count.(side) - 1
+  end
+
+let update_key c v ~delta =
+  assert (mem c v);
+  let side = c.vside.(v) in
+  let key = c.vkey.(v) + delta in
+  remove c v;
+  insert c ~side ~key v
+
+let refresh c v =
+  assert (mem c v);
+  let side = c.vside.(v) and key = c.vkey.(v) in
+  remove c v;
+  insert c ~side ~key v
+
+(* Decay the max pointer past empty buckets; returns the index of the
+   highest nonempty bucket or [nil]. *)
+let settle_max c side =
+  let heads = c.heads.(side) in
+  let b = ref c.maxptr.(side) in
+  while !b >= 0 && heads.(!b) = nil do
+    decr b
+  done;
+  if !b >= 0 then c.maxptr.(side) <- !b;
+  !b
+
+let head_of_max_bucket c ~side =
+  let b = settle_max c side in
+  if b < 0 then None else Some c.heads.(side).(b)
+
+let last_select_corked c = c.corked
+
+let select c ~side ~legal ~illegal_head =
+  c.corked <- false;
+  let heads = c.heads.(side) in
+  let b = settle_max c side in
+  if b < 0 then None
+  else
+    match illegal_head with
+    | Fm_config.Skip_side ->
+      let h = heads.(b) in
+      if legal h then Some (h, false)
+      else begin
+        c.corked <- true;
+        None
+      end
+    | Fm_config.Skip_bucket ->
+      let rec down b =
+        if b < 0 then None
+        else if heads.(b) = nil then down (b - 1)
+        else
+          let h = heads.(b) in
+          if legal h then Some (h, c.corked)
+          else begin
+            c.corked <- true;
+            down (b - 1)
+          end
+      in
+      down b
+    | Fm_config.Scan_bucket ->
+      let rec scan_list v =
+        if v = nil then None
+        else if legal v then Some v
+        else begin
+          c.corked <- true;
+          scan_list c.next.(v)
+        end
+      in
+      let rec down b =
+        if b < 0 then None
+        else
+          match scan_list heads.(b) with
+          | Some v -> Some (v, c.corked)
+          | None -> down (b - 1)
+      in
+      down b

@@ -1,0 +1,1 @@
+lib/generator/generator.ml: Array Float Hypart_hypergraph Hypart_rng

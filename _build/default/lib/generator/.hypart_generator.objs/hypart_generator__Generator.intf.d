@@ -1,0 +1,1 @@
+lib/generator/generator.mli: Hypart_hypergraph Hypart_rng

@@ -1,0 +1,1 @@
+lib/generator/ibm_suite.ml: Char Generator Hypart_rng List String

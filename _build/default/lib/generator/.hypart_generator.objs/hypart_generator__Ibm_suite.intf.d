@@ -1,0 +1,1 @@
+lib/generator/ibm_suite.mli: Hypart_hypergraph

@@ -1,0 +1,151 @@
+module Rng = Hypart_rng.Rng
+module Hypergraph = Hypart_hypergraph.Hypergraph
+
+type params = {
+  num_cells : int;
+  num_nets : int;
+  num_pins : int;
+  leaf_size : int;
+  rent_exponent : float;
+  mega_net_count : int;
+  mega_net_size : int;
+  macro_count : int;
+  macro_area_pct : float * float;
+}
+
+let default_params ~num_cells ~num_nets ~num_pins =
+  {
+    num_cells;
+    num_nets;
+    num_pins;
+    leaf_size = 16;
+    rent_exponent = 0.65;
+    (* Real designs have a handful of global nets (clock, reset, scan
+       enable); size a few hundred pins, capped by design size. *)
+    mega_net_count = max 2 (num_nets / 5000);
+    mega_net_size = max 32 (min 600 (num_cells / 25));
+    macro_count = max 3 (num_cells / 4000);
+    (* the ISPD98 instances include macros whose area exceeds even a 10%
+       balance slack (which is what makes actual-area partitioning, and
+       CLIP corking, interesting at both of the paper's tolerances) *)
+    macro_area_pct = (0.5, 12.0);
+  }
+
+(* Depth of the block hierarchy: blocks at depth d have size about
+   n / 2^d; leaves have size >= leaf_size. *)
+let hierarchy_depth ~num_cells ~leaf_size =
+  let rec go d size = if size <= leaf_size then d else go (d + 1) ((size + 1) / 2) in
+  go 0 num_cells
+
+(* Block (range [lo, hi)) at depth [d] containing cell [c]. *)
+let block_at ~num_cells ~depth:d c =
+  let size =
+    (* ceil (n / 2^d), but never 0 *)
+    let denom = 1 lsl d in
+    max 1 ((num_cells + denom - 1) / denom)
+  in
+  let lo = c / size * size in
+  (lo, min num_cells (lo + size))
+
+(* Skewed small-cell area: powers of two up to 16, weighted toward 1.
+   Mirrors the drive-strength spread of a standard-cell library. *)
+let small_area rng =
+  let w = [| 48.; 26.; 14.; 8.; 4. |] in
+  1 lsl Rng.choose_weighted rng w
+
+let generate rng p =
+  if p.num_cells < 2 then invalid_arg "Generator.generate: need >= 2 cells";
+  if p.num_nets < 1 then invalid_arg "Generator.generate: need >= 1 net";
+  let n = p.num_cells in
+  let depth = hierarchy_depth ~num_cells:n ~leaf_size:p.leaf_size in
+  let mega = min p.mega_net_count p.num_nets in
+  let normal = p.num_nets - mega in
+  let mega_size = min p.mega_net_size n in
+  let mega_pins = mega * mega_size in
+  (* Mean size for normal nets chosen to land on the pin target; net
+     sizes are 2 + geometric, so mean = 1 + 1/prob. *)
+  let budget = max (2 * normal) (p.num_pins - mega_pins) in
+  let mean = float_of_int budget /. float_of_int (max 1 normal) in
+  let prob = if mean <= 2.0 then 1.0 else 1.0 /. (mean -. 1.0) in
+  let edges = Array.make p.num_nets [||] in
+  let degree = Array.make n 0 in
+  let some_net_of = Array.make n (-1) in
+  let add_net i pins =
+    edges.(i) <- pins;
+    Array.iter
+      (fun v ->
+        degree.(v) <- degree.(v) + 1;
+        some_net_of.(v) <- i)
+      pins
+  in
+  for i = 0 to mega - 1 do
+    add_net i (Rng.sample_distinct rng ~n:mega_size ~universe:n)
+  done;
+  (* Rent-rule depth distribution: the number of nets at depth d is
+     proportional to 2^(d (1 - p_rent)), so a block of g cells sees
+     ~g^p_rent nets crossing its internal cutline. *)
+  let depth_weight =
+    Array.init (depth + 1) (fun d ->
+        Float.exp (float_of_int d *. (1.0 -. p.rent_exponent) *. Float.log 2.0))
+  in
+  for i = mega to p.num_nets - 1 do
+    let c = Rng.int rng n in
+    let d = Rng.choose_weighted rng depth_weight in
+    let lo, hi = block_at ~num_cells:n ~depth:d c in
+    (* the trailing block of a level can truncate to < 2 cells; widen it
+       leftward so every net has room for two pins *)
+    let lo = if hi - lo < 2 then max 0 (hi - 2) else lo in
+    let span = hi - lo in
+    let size = min span (1 + Rng.geometric rng ~p:prob) in
+    let size = max 2 size in
+    let pins = Rng.sample_distinct rng ~n:size ~universe:span in
+    add_net i (Array.map (fun v -> lo + v) pins)
+  done;
+  (* Tie isolated cells into the design by appending each as a pin to a
+     net incident to a hierarchy neighbour; preserves the net count and
+     cannot isolate anyone else. *)
+  for v = 0 to n - 1 do
+    if degree.(v) = 0 then begin
+      (* find the nearest cell with degree > 0 (one always exists: total
+         pins >= 2 * num_nets >= 2) and one of its nets *)
+      let u = ref (-1) in
+      let d = ref 1 in
+      while !u < 0 do
+        if v - !d >= 0 && degree.(v - !d) > 0 then u := v - !d
+        else if v + !d < n && degree.(v + !d) > 0 then u := v + !d
+        else incr d
+      done;
+      let net = some_net_of.(!u) in
+      (* mega nets qualify too; appending one pin to any net is safe *)
+      edges.(net) <- Array.append edges.(net) [| v |];
+      degree.(v) <- 1;
+      some_net_of.(v) <- net
+    end
+  done;
+  (* Areas: skewed small cells plus a few large macros.  The first
+     macro is a "monster" (RAM-like) whose area exceeds even a 10%
+     balance slack.  Macro area correlates with pin count, as in real
+     netlists — which is exactly what parks macros at the heads of
+     CLIP's zero-gain buckets (§2.3 of the paper). *)
+  let areas = Array.init n (fun _ -> small_area rng) in
+  let base_total = Array.fold_left ( + ) 0 areas in
+  let lo_pct, hi_pct = p.macro_area_pct in
+  let macro_cells = Rng.sample_distinct rng ~n:(min p.macro_count n) ~universe:n in
+  Array.iteri
+    (fun i v ->
+      let pct =
+        if i = 0 then Float.max hi_pct 10.5 +. Rng.float rng 6.0
+        else lo_pct +. Rng.float rng (hi_pct -. lo_pct)
+      in
+      areas.(v) <- max 1 (int_of_float (pct /. 100.0 *. float_of_int base_total));
+      (* pin-count boost proportional to area: append the macro to many
+         normal nets (duplicates are merged by Hypergraph.create) *)
+      if normal > 0 then begin
+        let boost = min (normal / 8) (15 + int_of_float (pct *. 8.0)) in
+        for _ = 1 to boost do
+          let e = mega + Rng.int rng normal in
+          edges.(e) <- Array.append edges.(e) [| v |]
+        done
+      end)
+    macro_cells;
+  Hypergraph.create ~vertex_weights:areas ~num_vertices:n ~edges ()

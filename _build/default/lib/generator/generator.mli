@@ -1,0 +1,47 @@
+(** Synthetic VLSI netlist generation.
+
+    The ISPD98 IBM benchmarks are proprietary netlists; only their
+    statistics were published.  This generator produces hypergraphs
+    matching those statistics and, crucially, the structural properties
+    the paper's experiments depend on:
+
+    - {b locality}: nets are drawn inside blocks of a recursive
+      (Rent-rule style) hierarchy over the cell ordering, so small
+      bisection cuts exist and multilevel methods pay off;
+    - {b sparsity}: average net sizes between 3 and 5, net count close
+      to cell count;
+    - {b mega-nets}: a small number of very large (clock/reset-like)
+      nets spanning the whole design;
+    - {b actual areas}: a skewed cell-area distribution (drive-strength
+      spread) plus a few large macros whose area exceeds typical balance
+      slacks — these are what trigger the CLIP corking effect. *)
+
+type params = {
+  num_cells : int;
+  num_nets : int;
+  num_pins : int;  (** target total pin count; achieved within a few %. *)
+  leaf_size : int;  (** hierarchy leaf block size (cells); default 16. *)
+  rent_exponent : float;
+      (** Rent exponent [p] controlling locality: a net lives at
+          hierarchy depth [d] (0 = whole chip) with probability
+          proportional to [2^(d (1 - p))], which makes the number of
+          nets crossing a block of [g] cells scale as [g^p], as Rent's
+          rule prescribes.  Realistic standard-cell designs have
+          [p] in [0.55, 0.75]; default 0.65. *)
+  mega_net_count : int;  (** number of clock/reset-like mega nets. *)
+  mega_net_size : int;  (** pins per mega net. *)
+  macro_count : int;  (** number of large macros. *)
+  macro_area_pct : float * float;
+      (** macro areas drawn uniformly in this percentage range of the
+          total standard-cell area, e.g. [(0.5, 6.0)]. *)
+}
+
+val default_params : num_cells:int -> num_nets:int -> num_pins:int -> params
+(** Realistic defaults for the remaining knobs, scaled to the instance
+    size. *)
+
+val generate : Hypart_rng.Rng.t -> params -> Hypart_hypergraph.Hypergraph.t
+(** Generate an instance.  Deterministic given the generator state.
+    Every cell is guaranteed to have degree at least 1 (isolated cells
+    are tied to a hierarchy neighbour with 2-pin nets, inside the net
+    budget). *)

@@ -1,0 +1,39 @@
+let recommended_domains () = min 8 (Domain.recommended_domain_count ())
+
+let map_seeds ?domains ~seeds f =
+  let domains =
+    match domains with
+    | Some d ->
+      if d < 1 then invalid_arg "Parallel.map_seeds: domains must be >= 1";
+      d
+    | None -> recommended_domains ()
+  in
+  let seeds = Array.of_list seeds in
+  let n = Array.length seeds in
+  if n = 0 then []
+  else begin
+    let domains = min domains n in
+    let results = Array.make n None in
+    (* static block partition: domain d owns seeds [lo, hi) *)
+    let worker d () =
+      let lo = d * n / domains and hi = (d + 1) * n / domains in
+      for i = lo to hi - 1 do
+        results.(i) <- Some (f seeds.(i))
+      done
+    in
+    let handles = Array.init domains (fun d -> Domain.spawn (worker d)) in
+    Array.iter Domain.join handles;
+    Array.to_list
+      (Array.map
+         (function Some r -> r | None -> assert false)
+         results)
+  end
+
+let best_of ?domains ~seeds run =
+  let results = map_seeds ?domains ~seeds run in
+  List.fold_left
+    (fun best r ->
+      match best with
+      | None -> Some r
+      | Some (bc, _) -> if fst r < bc then Some r else best)
+    None results

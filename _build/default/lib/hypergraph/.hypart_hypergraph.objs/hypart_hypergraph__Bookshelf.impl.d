@@ -1,0 +1,1 @@
+lib/hypergraph/bookshelf.ml: Array Hypergraph List Printf String

@@ -1,0 +1,1 @@
+lib/hypergraph/bookshelf.mli: Hypergraph

@@ -1,0 +1,1 @@
+lib/hypergraph/clique_expansion.ml: Array Hashtbl Hypergraph List

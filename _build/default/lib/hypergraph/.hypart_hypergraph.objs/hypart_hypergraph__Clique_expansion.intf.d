@@ -1,0 +1,1 @@
+lib/hypergraph/clique_expansion.mli: Hypergraph

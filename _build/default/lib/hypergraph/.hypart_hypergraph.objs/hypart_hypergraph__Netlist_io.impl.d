@@ -1,0 +1,1 @@
+lib/hypergraph/netlist_io.ml: Array Hypergraph List Printf String

@@ -1,0 +1,1 @@
+lib/hypergraph/netlist_io.mli: Hypergraph

@@ -1,0 +1,1 @@
+lib/hypergraph/stats_summary.ml: Format

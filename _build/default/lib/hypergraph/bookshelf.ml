@@ -1,0 +1,190 @@
+exception Parse_error of string
+
+let parse_error path line fmt =
+  Printf.ksprintf
+    (fun msg -> raise (Parse_error (Printf.sprintf "%s:%d: %s" path line msg)))
+    fmt
+
+let with_out path f =
+  let oc = open_out path in
+  (try f oc with e -> close_out_noerr oc; raise e);
+  close_out oc
+
+(* Bookshelf comment lines start with '#'. *)
+let read_lines path =
+  let ic =
+    try open_in path
+    with Sys_error msg -> raise (Parse_error msg)
+  in
+  let lines = ref [] in
+  let lineno = ref 0 in
+  (try
+     while true do
+       let l = input_line ic in
+       incr lineno;
+       let l = String.trim l in
+       if l <> "" && l.[0] <> '#' then lines := (!lineno, l) :: !lines
+     done
+   with End_of_file -> ());
+  close_in ic;
+  List.rev !lines
+
+let tokens l = String.split_on_char ' ' l |> List.filter (fun s -> s <> "")
+
+let vertex_name ~num_cells v =
+  if v < num_cells then Printf.sprintf "a%d" v
+  else Printf.sprintf "p%d" (v - num_cells)
+
+let vertex_of_name path lineno ~num_cells ~num_pads name =
+  if String.length name < 2 then parse_error path lineno "bad node name %S" name;
+  let id =
+    match int_of_string_opt (String.sub name 1 (String.length name - 1)) with
+    | Some v -> v
+    | None -> parse_error path lineno "bad node name %S" name
+  in
+  match name.[0] with
+  | 'a' when id >= 0 && id < num_cells -> id
+  | 'p' when id >= 0 && id < num_pads -> num_cells + id
+  | _ -> parse_error path lineno "node %S out of range" name
+
+(* expects "Key : value" possibly with the value on the same tokens *)
+let header_count path lineno key toks =
+  match toks with
+  | [ k; ":"; v ] when k = key -> (
+      match int_of_string_opt v with
+      | Some n -> n
+      | None -> parse_error path lineno "bad %s value %S" key v)
+  | _ -> parse_error path lineno "expected \"%s : <n>\"" key
+
+let write ?(num_pads = 0) ~basename h =
+  let nv = Hypergraph.num_vertices h in
+  if num_pads < 0 || num_pads > nv then
+    invalid_arg "Bookshelf.write: bad pad count";
+  let num_cells = nv - num_pads in
+  with_out (basename ^ ".nodes") (fun oc ->
+      output_string oc "UCLA nodes 1.0\n";
+      Printf.fprintf oc "NumNodes : %d\n" nv;
+      Printf.fprintf oc "NumTerminals : %d\n" num_pads;
+      for v = 0 to nv - 1 do
+        Printf.fprintf oc "  %s %d 1%s\n" (vertex_name ~num_cells v)
+          (Hypergraph.vertex_weight h v)
+          (if v >= num_cells then " terminal" else "")
+      done);
+  with_out (basename ^ ".nets") (fun oc ->
+      output_string oc "UCLA nets 1.0\n";
+      Printf.fprintf oc "NumNets : %d\n" (Hypergraph.num_edges h);
+      Printf.fprintf oc "NumPins : %d\n" (Hypergraph.num_pins h);
+      for e = 0 to Hypergraph.num_edges h - 1 do
+        Printf.fprintf oc "NetDegree : %d  n%d\n" (Hypergraph.edge_size h e) e;
+        Hypergraph.iter_pins h e (fun v ->
+            Printf.fprintf oc "  %s B\n" (vertex_name ~num_cells v))
+      done)
+
+let read_nodes path =
+  match read_lines path with
+  | (l1, header) :: (l2, nodes_line) :: (l3, terms_line) :: rest ->
+    if header <> "UCLA nodes 1.0" then parse_error path l1 "bad .nodes header";
+    let nv = header_count path l2 "NumNodes" (tokens nodes_line) in
+    let num_pads = header_count path l3 "NumTerminals" (tokens terms_line) in
+    if List.length rest <> nv then
+      raise
+        (Parse_error
+           (Printf.sprintf "%s: expected %d node lines, found %d" path nv
+              (List.length rest)));
+    let num_cells = nv - num_pads in
+    let widths = Array.make nv 1 in
+    List.iter
+      (fun (lineno, l) ->
+        match tokens l with
+        | name :: width :: _ ->
+          let v = vertex_of_name path lineno ~num_cells ~num_pads name in
+          (match int_of_string_opt width with
+           | Some w when w > 0 -> widths.(v) <- w
+           | _ -> parse_error path lineno "bad width %S" width)
+        | _ -> parse_error path lineno "expected \"name width height\"")
+      rest;
+    (nv, num_pads, widths)
+  | _ -> raise (Parse_error (path ^ ": truncated .nodes file"))
+
+let read_nets path ~num_cells ~num_pads =
+  match read_lines path with
+  | (l1, header) :: (l2, nets_line) :: (l3, pins_line) :: rest ->
+    if header <> "UCLA nets 1.0" then parse_error path l1 "bad .nets header";
+    let num_nets = header_count path l2 "NumNets" (tokens nets_line) in
+    let num_pins = header_count path l3 "NumPins" (tokens pins_line) in
+    let nets = ref [] in
+    let remaining = ref rest in
+    let total_pins = ref 0 in
+    for _ = 1 to num_nets do
+      match !remaining with
+      | (lineno, l) :: rest -> (
+          remaining := rest;
+          match tokens l with
+          | "NetDegree" :: ":" :: d :: _ ->
+            let d =
+              match int_of_string_opt d with
+              | Some d when d >= 1 -> d
+              | _ -> parse_error path lineno "bad net degree %S" d
+            in
+            let pins = Array.make d 0 in
+            for i = 0 to d - 1 do
+              match !remaining with
+              | (lineno, l) :: rest -> (
+                  remaining := rest;
+                  match tokens l with
+                  | name :: _ ->
+                    pins.(i) <-
+                      vertex_of_name path lineno ~num_cells ~num_pads name
+                  | [] -> parse_error path lineno "empty pin line")
+              | [] ->
+                raise (Parse_error (path ^ ": truncated net pin list"))
+            done;
+            total_pins := !total_pins + d;
+            nets := pins :: !nets
+          | _ -> parse_error path lineno "expected \"NetDegree : d\"")
+      | [] -> raise (Parse_error (path ^ ": fewer nets than promised"))
+    done;
+    if !total_pins <> num_pins then
+      raise
+        (Parse_error
+           (Printf.sprintf "%s: header promised %d pins, found %d" path num_pins
+              !total_pins));
+    Array.of_list (List.rev !nets)
+  | _ -> raise (Parse_error (path ^ ": truncated .nets file"))
+
+let read ~basename =
+  let nv, num_pads, widths = read_nodes (basename ^ ".nodes") in
+  let edges = read_nets (basename ^ ".nets") ~num_cells:(nv - num_pads) ~num_pads in
+  ( Hypergraph.create ~vertex_weights:widths ~num_vertices:nv ~edges (),
+    num_pads )
+
+let write_pl ~basename ~x ~y =
+  if Array.length x <> Array.length y then
+    invalid_arg "Bookshelf.write_pl: coordinate arrays disagree";
+  with_out (basename ^ ".pl") (fun oc ->
+      output_string oc "UCLA pl 1.0\n";
+      Array.iteri
+        (fun v _ -> Printf.fprintf oc "  a%d %.4f %.4f : N\n" v x.(v) y.(v))
+        x)
+
+let read_pl path ~num_vertices =
+  let x = Array.make num_vertices 0.0 and y = Array.make num_vertices 0.0 in
+  (match read_lines path with
+   | (l1, header) :: rest ->
+     if header <> "UCLA pl 1.0" then parse_error path l1 "bad .pl header";
+     List.iter
+       (fun (lineno, l) ->
+         match tokens l with
+         | name :: xs :: ys :: _ ->
+           let v =
+             vertex_of_name path lineno ~num_cells:num_vertices ~num_pads:0 name
+           in
+           (match (float_of_string_opt xs, float_of_string_opt ys) with
+            | Some xv, Some yv ->
+              x.(v) <- xv;
+              y.(v) <- yv
+            | _ -> parse_error path lineno "bad coordinates")
+         | _ -> parse_error path lineno "expected \"name x y : orient\"")
+       rest
+   | [] -> raise (Parse_error (path ^ ": empty .pl file")));
+  (x, y)

@@ -1,0 +1,35 @@
+(** The UCLA "Bookshelf" physical-design interchange format — the
+    benchmark format later standardized by the paper's own research
+    group (GSRC Bookshelf; Caldwell, Kahng & Markov among its authors).
+
+    Three of the Bookshelf slots are supported:
+
+    - [.nodes] — ["UCLA nodes 1.0"] header, [NumNodes]/[NumTerminals]
+      counts, then one ["name width height [terminal]"] line per cell;
+      cell areas map to widths (height 1), pads are terminals;
+    - [.nets] — ["UCLA nets 1.0"] header, [NumNets]/[NumPins] counts,
+      then per net a ["NetDegree : d  name"] line followed by [d] pin
+      lines;
+    - [.pl] — one ["name x y : N"] placement line per cell (writer
+      only, for exporting {!Hypart_placement} results).
+
+    Cells are named [a<i>] (or [p<j>] for the trailing [num_pads]
+    terminals), matching the {!Netlist_io} conventions. *)
+
+exception Parse_error of string
+
+val write :
+  ?num_pads:int -> basename:string -> Hypergraph.t -> unit
+(** [write ~basename h] writes [basename.nodes] and [basename.nets].
+    The last [num_pads] (default 0) vertices become terminals. *)
+
+val read : basename:string -> Hypergraph.t * int
+(** Parse [basename.nodes] + [basename.nets]; returns the hypergraph
+    (cell areas from node widths) and the terminal count. *)
+
+val write_pl :
+  basename:string -> x:float array -> y:float array -> unit
+(** Write [basename.pl] with one placement row per cell. *)
+
+val read_pl : string -> num_vertices:int -> float array * float array
+(** Parse a [.pl] file back into coordinate arrays. *)

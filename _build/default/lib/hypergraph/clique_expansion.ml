@@ -1,0 +1,32 @@
+let adjacency ?(skip_nets_above = 64) h =
+  let n = Hypergraph.num_vertices h in
+  let adj = Array.make n [] in
+  let tbl = Hashtbl.create (4 * n) in
+  for e = 0 to Hypergraph.num_edges h - 1 do
+    let size = Hypergraph.edge_size h e in
+    if size >= 2 && size <= skip_nets_above then begin
+      let w = float_of_int (Hypergraph.edge_weight h e) /. float_of_int (size - 1) in
+      let pins = Hypergraph.edge_pins h e in
+      Array.iter
+        (fun a ->
+          Array.iter
+            (fun b ->
+              if a < b then begin
+                let key = (a * n) + b in
+                let cur = try Hashtbl.find tbl key with Not_found -> 0.0 in
+                Hashtbl.replace tbl key (cur +. w)
+              end)
+            pins)
+        pins
+    end
+  done;
+  Hashtbl.iter
+    (fun key w ->
+      let a = key / n and b = key mod n in
+      adj.(a) <- (b, w) :: adj.(a);
+      adj.(b) <- (a, w) :: adj.(b))
+    tbl;
+  adj
+
+let degrees adj =
+  Array.map (List.fold_left (fun acc (_, w) -> acc +. w) 0.0) adj

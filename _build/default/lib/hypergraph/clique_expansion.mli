@@ -1,0 +1,16 @@
+(** Clique-model graph approximation of a hypergraph.
+
+    Each net of size [s] contributes weight [w(e) / (s - 1)] between
+    every pin pair, the standard net model used by graph-based
+    partitioners (Kernighan-Lin, spectral methods) when applied to
+    netlists.  Nets larger than [skip_nets_above] are dropped — their
+    cliques are dense, expensive and carry almost no cut signal. *)
+
+val adjacency :
+  ?skip_nets_above:int -> Hypergraph.t -> (int * float) list array
+(** [adjacency h] returns, for every vertex, its neighbour list with
+    accumulated clique weights (symmetric; no self-loops).  Default
+    [skip_nets_above] is 64. *)
+
+val degrees : (int * float) list array -> float array
+(** Weighted degree of every vertex (row sums). *)

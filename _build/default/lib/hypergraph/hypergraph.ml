@@ -1,0 +1,370 @@
+type t = {
+  num_vertices : int;
+  num_edges : int;
+  edge_offset : int array;   (* length num_edges + 1 *)
+  edge_pins : int array;     (* pins of edge e at [edge_offset.(e), edge_offset.(e+1)) *)
+  vertex_offset : int array; (* length num_vertices + 1 *)
+  vertex_edges : int array;
+  vertex_weight : int array;
+  edge_weight : int array;
+  total_vertex_weight : int;
+  max_vertex_weight : int;
+  max_vertex_degree : int;
+  max_edge_weight : int;
+}
+
+let num_vertices h = h.num_vertices
+let num_edges h = h.num_edges
+let num_pins h = Array.length h.edge_pins
+let edge_size h e = h.edge_offset.(e + 1) - h.edge_offset.(e)
+let vertex_degree h v = h.vertex_offset.(v + 1) - h.vertex_offset.(v)
+let vertex_weight h v = h.vertex_weight.(v)
+let edge_weight h e = h.edge_weight.(e)
+let total_vertex_weight h = h.total_vertex_weight
+let max_vertex_weight h = h.max_vertex_weight
+let max_vertex_degree h = h.max_vertex_degree
+let max_edge_weight h = h.max_edge_weight
+
+let iter_pins h e f =
+  for i = h.edge_offset.(e) to h.edge_offset.(e + 1) - 1 do
+    f h.edge_pins.(i)
+  done
+
+let iter_edges h v f =
+  for i = h.vertex_offset.(v) to h.vertex_offset.(v + 1) - 1 do
+    f h.vertex_edges.(i)
+  done
+
+let fold_pins h e ~init ~f =
+  let acc = ref init in
+  iter_pins h e (fun v -> acc := f !acc v);
+  !acc
+
+let fold_edges h v ~init ~f =
+  let acc = ref init in
+  iter_edges h v (fun e -> acc := f !acc e);
+  !acc
+
+let edge_pins h e =
+  Array.sub h.edge_pins h.edge_offset.(e) (edge_size h e)
+
+let vertex_edges h v =
+  Array.sub h.vertex_edges h.vertex_offset.(v) (vertex_degree h v)
+
+(* Build the vertex -> edges CSR from the edge -> pins CSR by counting
+   sort.  Shared by [create], [contract] and [induce]. *)
+let of_csr ~num_vertices ~edge_offset ~edge_pins ~vertex_weight ~edge_weight =
+  let num_edges = Array.length edge_offset - 1 in
+  let degree = Array.make num_vertices 0 in
+  Array.iter (fun v -> degree.(v) <- degree.(v) + 1) edge_pins;
+  let vertex_offset = Array.make (num_vertices + 1) 0 in
+  for v = 0 to num_vertices - 1 do
+    vertex_offset.(v + 1) <- vertex_offset.(v) + degree.(v)
+  done;
+  let vertex_edges = Array.make (Array.length edge_pins) 0 in
+  let cursor = Array.copy vertex_offset in
+  for e = 0 to num_edges - 1 do
+    for i = edge_offset.(e) to edge_offset.(e + 1) - 1 do
+      let v = edge_pins.(i) in
+      vertex_edges.(cursor.(v)) <- e;
+      cursor.(v) <- cursor.(v) + 1
+    done
+  done;
+  let total = Array.fold_left ( + ) 0 vertex_weight in
+  let max_w = Array.fold_left max 0 vertex_weight in
+  let max_d = Array.fold_left max 0 degree in
+  let max_ew = Array.fold_left max 0 edge_weight in
+  {
+    num_vertices;
+    num_edges;
+    edge_offset;
+    edge_pins;
+    vertex_offset;
+    vertex_edges;
+    vertex_weight;
+    edge_weight;
+    total_vertex_weight = total;
+    max_vertex_weight = max_w;
+    max_vertex_degree = max_d;
+    max_edge_weight = max_ew;
+  }
+
+let create ?vertex_weights ?edge_weights ~num_vertices ~edges () =
+  if num_vertices < 0 then invalid_arg "Hypergraph.create: negative vertex count";
+  let num_edges = Array.length edges in
+  let vertex_weight =
+    match vertex_weights with
+    | None -> Array.make num_vertices 1
+    | Some w ->
+      if Array.length w <> num_vertices then
+        invalid_arg "Hypergraph.create: vertex_weights length mismatch";
+      Array.iter (fun x -> if x <= 0 then invalid_arg "Hypergraph.create: non-positive vertex weight") w;
+      Array.copy w
+  in
+  let edge_weight =
+    match edge_weights with
+    | None -> Array.make num_edges 1
+    | Some w ->
+      if Array.length w <> num_edges then
+        invalid_arg "Hypergraph.create: edge_weights length mismatch";
+      Array.iter (fun x -> if x <= 0 then invalid_arg "Hypergraph.create: non-positive edge weight") w;
+      Array.copy w
+  in
+  (* Deduplicate pins within each edge, preserving first-occurrence
+     order, using a timestamped mark array to avoid per-edge clearing. *)
+  let mark = Array.make (max num_vertices 1) (-1) in
+  let deduped =
+    Array.mapi
+      (fun e pins ->
+        let out = ref [] in
+        let n = ref 0 in
+        Array.iter
+          (fun v ->
+            if v < 0 || v >= num_vertices then
+              invalid_arg "Hypergraph.create: pin out of range";
+            if mark.(v) <> e then begin
+              mark.(v) <- e;
+              out := v :: !out;
+              incr n
+            end)
+          pins;
+        let a = Array.make !n 0 in
+        List.iteri (fun i v -> a.(!n - 1 - i) <- v) !out;
+        a)
+      edges
+  in
+  let edge_offset = Array.make (num_edges + 1) 0 in
+  for e = 0 to num_edges - 1 do
+    edge_offset.(e + 1) <- edge_offset.(e) + Array.length deduped.(e)
+  done;
+  let edge_pins = Array.make edge_offset.(num_edges) 0 in
+  Array.iteri
+    (fun e pins -> Array.blit pins 0 edge_pins edge_offset.(e) (Array.length pins))
+    deduped;
+  of_csr ~num_vertices ~edge_offset ~edge_pins ~vertex_weight ~edge_weight
+
+let components h =
+  let comp = Array.make h.num_vertices (-1) in
+  let queue = Queue.create () in
+  let count = ref 0 in
+  for start = 0 to h.num_vertices - 1 do
+    if comp.(start) = -1 then begin
+      let id = !count in
+      incr count;
+      comp.(start) <- id;
+      Queue.push start queue;
+      while not (Queue.is_empty queue) do
+        let v = Queue.pop queue in
+        iter_edges h v (fun e ->
+            iter_pins h e (fun u ->
+                if comp.(u) = -1 then begin
+                  comp.(u) <- id;
+                  Queue.push u queue
+                end))
+      done
+    end
+  done;
+  (comp, !count)
+
+let stats h =
+  let nv = h.num_vertices and ne = h.num_edges in
+  let pins = num_pins h in
+  let max_size = ref 0 and big = ref 0 in
+  for e = 0 to ne - 1 do
+    let s = edge_size h e in
+    if s > !max_size then max_size := s;
+    if s > 50 then incr big
+  done;
+  let min_area = Array.fold_left min max_int h.vertex_weight in
+  {
+    Stats_summary.num_vertices = nv;
+    num_edges = ne;
+    num_pins = pins;
+    avg_vertex_degree = (if nv = 0 then 0. else float_of_int pins /. float_of_int nv);
+    avg_edge_size = (if ne = 0 then 0. else float_of_int pins /. float_of_int ne);
+    max_edge_size = !max_size;
+    max_vertex_degree = h.max_vertex_degree;
+    total_area = h.total_vertex_weight;
+    max_area = h.max_vertex_weight;
+    min_area = (if nv = 0 then 0 else min_area);
+    edges_over_50_pins = !big;
+  }
+
+(* Hash of a sorted pin array, for identical-net merging in [contract]. *)
+let hash_pins pins lo len =
+  let h = ref 0x345678 in
+  for i = lo to lo + len - 1 do
+    h := (!h * 1000003) lxor pins.(i)
+  done;
+  !h land max_int
+
+let contract h ~cluster_of ~num_clusters =
+  if Array.length cluster_of <> h.num_vertices then
+    invalid_arg "Hypergraph.contract: cluster_of length mismatch";
+  Array.iter
+    (fun c ->
+      if c < 0 || c >= num_clusters then
+        invalid_arg "Hypergraph.contract: cluster id out of range")
+    cluster_of;
+  let vertex_weight = Array.make num_clusters 0 in
+  for v = 0 to h.num_vertices - 1 do
+    let c = cluster_of.(v) in
+    vertex_weight.(c) <- vertex_weight.(c) + h.vertex_weight.(v)
+  done;
+  (* Pass 1: translate and deduplicate each net's pins; drop size-1 nets. *)
+  let mark = Array.make (max num_clusters 1) (-1) in
+  let tmp = Array.make num_clusters 0 in
+  let kept_pins = ref [] and kept_meta = ref [] in
+  (* kept_meta: (fine edge id, size, weight), pins pushed in reverse net order *)
+  let total_pins = ref 0 in
+  for e = 0 to h.num_edges - 1 do
+    let n = ref 0 in
+    iter_pins h e (fun v ->
+        let c = cluster_of.(v) in
+        if mark.(c) <> e then begin
+          mark.(c) <- e;
+          tmp.(!n) <- c;
+          incr n
+        end);
+    if !n >= 2 then begin
+      let pins = Array.sub tmp 0 !n in
+      Array.sort compare pins;
+      kept_pins := pins :: !kept_pins;
+      kept_meta := (e, !n, h.edge_weight.(e)) :: !kept_meta;
+      total_pins := !total_pins + !n
+    end
+  done;
+  let kept_pins = Array.of_list (List.rev !kept_pins) in
+  let kept_meta = Array.of_list (List.rev !kept_meta) in
+  let n_kept = Array.length kept_pins in
+  (* Pass 2: merge identical nets via hashing on sorted pins. *)
+  let table : (int, int list ref) Hashtbl.t = Hashtbl.create (2 * n_kept + 1) in
+  let rep = Array.make n_kept (-1) in      (* index of representative kept-net *)
+  let rep_weight = Array.make n_kept 0 in
+  let num_coarse = ref 0 in
+  for k = 0 to n_kept - 1 do
+    let pins = kept_pins.(k) in
+    let key = hash_pins pins 0 (Array.length pins) in
+    let bucket =
+      match Hashtbl.find_opt table key with
+      | Some b -> b
+      | None ->
+        let b = ref [] in
+        Hashtbl.add table key b;
+        b
+    in
+    let found =
+      List.find_opt (fun k' -> kept_pins.(k') = pins) !bucket
+    in
+    (match found with
+     | Some k' ->
+       rep.(k) <- rep.(k');
+       let _, _, w = kept_meta.(k) in
+       rep_weight.(rep.(k)) <- rep_weight.(rep.(k)) + w
+     | None ->
+       bucket := k :: !bucket;
+       rep.(k) <- k;
+       let _, _, w = kept_meta.(k) in
+       rep_weight.(k) <- w;
+       incr num_coarse)
+  done;
+  (* Assign coarse ids to representatives in kept order. *)
+  let coarse_id = Array.make n_kept (-1) in
+  let next = ref 0 in
+  for k = 0 to n_kept - 1 do
+    if rep.(k) = k then begin
+      coarse_id.(k) <- !next;
+      incr next
+    end
+  done;
+  let num_coarse = !num_coarse in
+  let edge_offset = Array.make (num_coarse + 1) 0 in
+  let edge_weight = Array.make num_coarse 0 in
+  for k = 0 to n_kept - 1 do
+    if rep.(k) = k then begin
+      let c = coarse_id.(k) in
+      edge_offset.(c + 1) <- Array.length kept_pins.(k);
+      edge_weight.(c) <- rep_weight.(k)
+    end
+  done;
+  for c = 0 to num_coarse - 1 do
+    edge_offset.(c + 1) <- edge_offset.(c + 1) + edge_offset.(c)
+  done;
+  let edge_pins = Array.make edge_offset.(num_coarse) 0 in
+  for k = 0 to n_kept - 1 do
+    if rep.(k) = k then begin
+      let c = coarse_id.(k) in
+      Array.blit kept_pins.(k) 0 edge_pins edge_offset.(c) (Array.length kept_pins.(k))
+    end
+  done;
+  let edge_map = Array.make h.num_edges (-1) in
+  for k = 0 to n_kept - 1 do
+    let e, _, _ = kept_meta.(k) in
+    edge_map.(e) <- coarse_id.(rep.(k))
+  done;
+  let coarse =
+    of_csr ~num_vertices:num_clusters ~edge_offset ~edge_pins ~vertex_weight
+      ~edge_weight
+  in
+  (coarse, edge_map)
+
+let reweight_edges h ~weights =
+  if Array.length weights <> h.num_edges then
+    invalid_arg "Hypergraph.reweight_edges: weights length mismatch";
+  Array.iter
+    (fun w -> if w <= 0 then invalid_arg "Hypergraph.reweight_edges: non-positive weight")
+    weights;
+  {
+    h with
+    edge_weight = Array.copy weights;
+    max_edge_weight = Array.fold_left max 0 weights;
+  }
+
+let induce h ~keep =
+  if Array.length keep <> h.num_vertices then
+    invalid_arg "Hypergraph.induce: keep length mismatch";
+  let vmap = Array.make h.num_vertices (-1) in
+  let n = ref 0 in
+  for v = 0 to h.num_vertices - 1 do
+    if keep.(v) then begin
+      vmap.(v) <- !n;
+      incr n
+    end
+  done;
+  let nv = !n in
+  let vertex_weight = Array.make nv 0 in
+  for v = 0 to h.num_vertices - 1 do
+    if vmap.(v) >= 0 then vertex_weight.(vmap.(v)) <- h.vertex_weight.(v)
+  done;
+  let pins_acc = ref [] and w_acc = ref [] and total = ref 0 in
+  for e = 0 to h.num_edges - 1 do
+    let pins =
+      fold_pins h e ~init:[] ~f:(fun acc v ->
+          if vmap.(v) >= 0 then vmap.(v) :: acc else acc)
+    in
+    match pins with
+    | [] | [ _ ] -> ()
+    | _ ->
+      let a = Array.of_list (List.rev pins) in
+      pins_acc := a :: !pins_acc;
+      w_acc := h.edge_weight.(e) :: !w_acc;
+      total := !total + Array.length a
+  done;
+  let kept = Array.of_list (List.rev !pins_acc) in
+  let weights = Array.of_list (List.rev !w_acc) in
+  let ne = Array.length kept in
+  let edge_offset = Array.make (ne + 1) 0 in
+  for e = 0 to ne - 1 do
+    edge_offset.(e + 1) <- edge_offset.(e) + Array.length kept.(e)
+  done;
+  let edge_pins = Array.make !total 0 in
+  Array.iteri (fun e p -> Array.blit p 0 edge_pins edge_offset.(e) (Array.length p)) kept;
+  let sub =
+    of_csr ~num_vertices:nv ~edge_offset ~edge_pins ~vertex_weight
+      ~edge_weight:weights
+  in
+  (sub, vmap)
+
+let pp ppf h =
+  Format.fprintf ppf "hypergraph: %d vertices, %d edges, %d pins"
+    h.num_vertices h.num_edges (num_pins h)

@@ -1,0 +1,104 @@
+(** Weighted hypergraphs in compressed sparse row (CSR) form.
+
+    A hypergraph [H = (V, E)] has integer-weighted vertices (cell areas)
+    and integer-weighted hyperedges (net weights).  Both incidence
+    directions are stored: edge -> pins and vertex -> incident edges, so
+    that gain updates in FM-style partitioners touch contiguous memory.
+
+    Values of type {!t} are immutable once built. *)
+
+type t
+
+(** {1 Construction} *)
+
+val create :
+  ?vertex_weights:int array ->
+  ?edge_weights:int array ->
+  num_vertices:int ->
+  edges:int array array ->
+  unit ->
+  t
+(** [create ~num_vertices ~edges ()] builds a hypergraph.  [edges.(e)]
+    lists the pins (vertex ids in [0..num_vertices-1]) of hyperedge [e].
+    Duplicate pins within an edge are merged.  Vertex weights default to
+    1 (unit areas); edge weights default to 1.
+
+    @raise Invalid_argument if a pin is out of range, a weight is
+    non-positive, or a weight array has the wrong length. *)
+
+(** {1 Sizes} *)
+
+val num_vertices : t -> int
+val num_edges : t -> int
+val num_pins : t -> int
+(** Total pin count: sum of edge sizes. *)
+
+(** {1 Incidence} *)
+
+val edge_size : t -> int -> int
+val vertex_degree : t -> int -> int
+
+val edge_pins : t -> int -> int array
+(** Fresh array of the pins of an edge (for convenience / tests). *)
+
+val vertex_edges : t -> int -> int array
+(** Fresh array of the edges incident to a vertex. *)
+
+val iter_pins : t -> int -> (int -> unit) -> unit
+(** [iter_pins h e f] applies [f] to each pin of edge [e] without
+    allocation. *)
+
+val iter_edges : t -> int -> (int -> unit) -> unit
+(** [iter_edges h v f] applies [f] to each edge incident to [v]. *)
+
+val fold_pins : t -> int -> init:'a -> f:('a -> int -> 'a) -> 'a
+val fold_edges : t -> int -> init:'a -> f:('a -> int -> 'a) -> 'a
+
+(** {1 Weights} *)
+
+val vertex_weight : t -> int -> int
+val edge_weight : t -> int -> int
+val total_vertex_weight : t -> int
+val max_vertex_weight : t -> int
+val max_vertex_degree : t -> int
+val max_edge_weight : t -> int
+
+(** {1 Whole-graph queries} *)
+
+val components : t -> int array * int
+(** [components h] labels every vertex with its connected-component id
+    (two vertices are connected when they share a hyperedge) and returns
+    the number of components. *)
+
+val stats : t -> Stats_summary.t
+(** Descriptive statistics of the instance (sizes, degree and net-size
+    distributions, area spread); see {!Stats_summary}. *)
+
+(** {1 Derived hypergraphs} *)
+
+val contract : t -> cluster_of:int array -> num_clusters:int -> t * int array
+(** [contract h ~cluster_of ~num_clusters] merges each cluster into a
+    single coarse vertex ([cluster_of.(v)] in [0..num_clusters-1]).
+    Pins are deduplicated per net; nets reduced to a single pin are
+    dropped; nets with identical pin sets are merged, summing weights.
+    Coarse vertex weights are sums of member weights.  Returns the
+    coarse hypergraph and [edge_map], where [edge_map.(e)] is the coarse
+    net that represents fine net [e], or [-1] when the net collapsed to
+    a single pin and was dropped. *)
+
+val reweight_edges : t -> weights:int array -> t
+(** [reweight_edges h ~weights] is [h] with new hyperedge weights —
+    the mechanism behind timing- or congestion-driven partitioning,
+    where critical nets get boosted weights so min-cut avoids cutting
+    them.  Structure is shared where possible.
+    @raise Invalid_argument on wrong length or non-positive weights. *)
+
+val induce : t -> keep:bool array -> t * int array
+(** [induce h ~keep] restricts to the vertices with [keep.(v) = true].
+    Nets are restricted to kept pins; nets left with fewer than two pins
+    are dropped.  Returns the sub-hypergraph and the mapping old vertex
+    id -> new id ([-1] when dropped). *)
+
+val pp : Format.formatter -> t -> unit
+(** Compact one-line description, e.g. ["hypergraph: 12752 vertices,
+    14111 edges, 50566 pins"]. *)

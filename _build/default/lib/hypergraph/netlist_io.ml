@@ -1,0 +1,266 @@
+exception Parse_error of string
+
+let parse_error path line fmt =
+  Printf.ksprintf
+    (fun msg -> raise (Parse_error (Printf.sprintf "%s:%d: %s" path line msg)))
+    fmt
+
+let with_out path f =
+  let oc = open_out path in
+  (try f oc with e -> close_out_noerr oc; raise e);
+  close_out oc
+
+(* Read all non-comment lines, keeping 1-based line numbers for
+   diagnostics. *)
+let read_lines path =
+  let ic = open_in path in
+  let lines = ref [] in
+  let lineno = ref 0 in
+  (try
+     while true do
+       let l = input_line ic in
+       incr lineno;
+       let l = String.trim l in
+       if l <> "" && l.[0] <> '%' then lines := (!lineno, l) :: !lines
+     done
+   with End_of_file -> ());
+  close_in ic;
+  List.rev !lines
+
+let ints_of_line path lineno l =
+  String.split_on_char ' ' l
+  |> List.filter (fun s -> s <> "")
+  |> List.map (fun s ->
+         match int_of_string_opt s with
+         | Some v -> v
+         | None -> parse_error path lineno "expected integer, got %S" s)
+
+let write_hgr ?(with_weights = true) path h =
+  with_out path (fun oc ->
+      let ne = Hypergraph.num_edges h and nv = Hypergraph.num_vertices h in
+      if with_weights then Printf.fprintf oc "%d %d 11\n" ne nv
+      else Printf.fprintf oc "%d %d\n" ne nv;
+      for e = 0 to ne - 1 do
+        if with_weights then Printf.fprintf oc "%d" (Hypergraph.edge_weight h e);
+        let first = ref (not with_weights) in
+        Hypergraph.iter_pins h e (fun v ->
+            if !first then begin
+              Printf.fprintf oc "%d" (v + 1);
+              first := false
+            end
+            else Printf.fprintf oc " %d" (v + 1));
+        output_char oc '\n'
+      done;
+      if with_weights then
+        for v = 0 to nv - 1 do
+          Printf.fprintf oc "%d\n" (Hypergraph.vertex_weight h v)
+        done)
+
+let read_hgr path =
+  match read_lines path with
+  | [] -> raise (Parse_error (path ^ ": empty file"))
+  | (lineno, header) :: rest ->
+    let ne, nv, fmt =
+      match ints_of_line path lineno header with
+      | [ ne; nv ] -> (ne, nv, 0)
+      | [ ne; nv; fmt ] -> (ne, nv, fmt)
+      | _ -> parse_error path lineno "bad header"
+    in
+    if fmt <> 0 && fmt <> 1 && fmt <> 10 && fmt <> 11 then
+      parse_error path lineno "unsupported fmt %d" fmt;
+    let has_ew = fmt = 1 || fmt = 11 in
+    let has_vw = fmt = 10 || fmt = 11 in
+    let rest = Array.of_list rest in
+    let expected = ne + if has_vw then nv else 0 in
+    if Array.length rest < expected then
+      raise
+        (Parse_error
+           (Printf.sprintf "%s: expected %d data lines, found %d" path expected
+              (Array.length rest)));
+    let edges = Array.make ne [||] in
+    let edge_weights = Array.make ne 1 in
+    for e = 0 to ne - 1 do
+      let lineno, l = rest.(e) in
+      let vals = ints_of_line path lineno l in
+      let w, pins =
+        if has_ew then
+          match vals with
+          | w :: pins -> (w, pins)
+          | [] -> parse_error path lineno "empty edge line"
+        else (1, vals)
+      in
+      if pins = [] then parse_error path lineno "edge with no pins";
+      edge_weights.(e) <- w;
+      edges.(e) <-
+        Array.of_list
+          (List.map
+             (fun p ->
+               if p < 1 || p > nv then parse_error path lineno "pin %d out of range" p;
+               p - 1)
+             pins)
+    done;
+    let vertex_weights =
+      if has_vw then
+        Some
+          (Array.init nv (fun v ->
+               let lineno, l = rest.(ne + v) in
+               match ints_of_line path lineno l with
+               | [ w ] -> w
+               | _ -> parse_error path lineno "expected one vertex weight"))
+      else None
+    in
+    Hypergraph.create ?vertex_weights ~edge_weights ~num_vertices:nv ~edges ()
+
+let write_are path h =
+  with_out path (fun oc ->
+      for v = 0 to Hypergraph.num_vertices h - 1 do
+        Printf.fprintf oc "a%d %d\n" v (Hypergraph.vertex_weight h v)
+      done)
+
+let read_are path ~num_vertices =
+  let areas = Array.make num_vertices 1 in
+  let seen = Array.make num_vertices false in
+  List.iter
+    (fun (lineno, l) ->
+      match String.split_on_char ' ' l |> List.filter (fun s -> s <> "") with
+      | [ name; area ] ->
+        let id =
+          if String.length name >= 2 && (name.[0] = 'a' || name.[0] = 'p') then
+            match int_of_string_opt (String.sub name 1 (String.length name - 1)) with
+            | Some v -> v
+            | None -> parse_error path lineno "bad cell name %S" name
+          else parse_error path lineno "bad cell name %S" name
+        in
+        if id < 0 || id >= num_vertices then
+          parse_error path lineno "cell id %d out of range" id;
+        (match int_of_string_opt area with
+         | Some a when a > 0 ->
+           areas.(id) <- a;
+           seen.(id) <- true
+         | Some _ -> parse_error path lineno "non-positive area"
+         | None -> parse_error path lineno "bad area %S" area)
+      | _ -> parse_error path lineno "expected \"<name> <area>\"")
+    (read_lines path);
+  ignore seen;
+  areas
+
+let read_hgr_with_are ~hgr ~are =
+  let h = read_hgr hgr in
+  let nv = Hypergraph.num_vertices h in
+  let areas = read_are are ~num_vertices:nv in
+  let edges = Array.init (Hypergraph.num_edges h) (fun e -> Hypergraph.edge_pins h e) in
+  let edge_weights = Array.init (Hypergraph.num_edges h) (fun e -> Hypergraph.edge_weight h e) in
+  Hypergraph.create ~vertex_weights:areas ~edge_weights ~num_vertices:nv ~edges ()
+
+(* ---------------- ISPD98 .netD ---------------- *)
+
+let vertex_name ~num_cells v =
+  if v < num_cells then Printf.sprintf "a%d" v
+  else Printf.sprintf "p%d" (v - num_cells)
+
+let write_netd ?(num_pads = 0) path h =
+  let nv = Hypergraph.num_vertices h in
+  if num_pads < 0 || num_pads > nv then
+    invalid_arg "Netlist_io.write_netd: bad pad count";
+  let num_cells = nv - num_pads in
+  with_out path (fun oc ->
+      Printf.fprintf oc "0\n%d\n%d\n%d\n%d\n" (Hypergraph.num_pins h)
+        (Hypergraph.num_edges h) nv num_cells;
+      for e = 0 to Hypergraph.num_edges h - 1 do
+        let first = ref true in
+        Hypergraph.iter_pins h e (fun v ->
+            Printf.fprintf oc "%s %c\n" (vertex_name ~num_cells v)
+              (if !first then 's' else 'l');
+            first := false)
+      done)
+
+let read_netd path =
+  match read_lines path with
+  | (_, "0") :: (l2, pins_s) :: (l3, nets_s) :: (l4, modules_s) :: (l5, offset_s)
+    :: pin_lines ->
+    let parse lineno s =
+      match int_of_string_opt (String.trim s) with
+      | Some v -> v
+      | None -> parse_error path lineno "expected integer header, got %S" s
+    in
+    let num_pins = parse l2 pins_s in
+    let num_nets = parse l3 nets_s in
+    let num_modules = parse l4 modules_s in
+    let pad_offset = parse l5 offset_s in
+    if pad_offset < 0 || pad_offset > num_modules then
+      parse_error path l5 "pad offset %d out of range" pad_offset;
+    let num_pads = num_modules - pad_offset in
+    if List.length pin_lines <> num_pins then
+      raise
+        (Parse_error
+           (Printf.sprintf "%s: expected %d pin lines, found %d" path num_pins
+              (List.length pin_lines)));
+    (* translate names: a<i> -> i, p<j> -> pad_offset + j *)
+    let vertex_of lineno name =
+      if String.length name < 2 then parse_error path lineno "bad name %S" name;
+      let id =
+        match int_of_string_opt (String.sub name 1 (String.length name - 1)) with
+        | Some v -> v
+        | None -> parse_error path lineno "bad name %S" name
+      in
+      match name.[0] with
+      | 'a' ->
+        if id < 0 || id >= pad_offset then
+          parse_error path lineno "cell id %d out of range" id;
+        id
+      | 'p' ->
+        if id < 0 || id >= num_pads then
+          parse_error path lineno "pad id %d out of range" id;
+        pad_offset + id
+      | _ -> parse_error path lineno "bad name %S" name
+    in
+    let nets = ref [] and current = ref [] in
+    List.iter
+      (fun (lineno, l) ->
+        match String.split_on_char ' ' l |> List.filter (fun s -> s <> "") with
+        | name :: flag :: _ ->
+          let v = vertex_of lineno name in
+          (match flag with
+           | "s" ->
+             if !current <> [] then nets := List.rev !current :: !nets;
+             current := [ v ]
+           | "l" ->
+             if !current = [] then
+               parse_error path lineno "continuation before any net start";
+             current := v :: !current
+           | other -> parse_error path lineno "bad pin flag %S" other)
+        | _ -> parse_error path lineno "expected \"<name> <s|l> [dir]\"")
+      pin_lines;
+    if !current <> [] then nets := List.rev !current :: !nets;
+    let nets = List.rev !nets in
+    if List.length nets <> num_nets then
+      raise
+        (Parse_error
+           (Printf.sprintf "%s: header promised %d nets, found %d" path num_nets
+              (List.length nets)));
+    let edges = Array.of_list (List.map Array.of_list nets) in
+    (Hypergraph.create ~num_vertices:num_modules ~edges (), num_pads)
+  | _ -> raise (Parse_error (path ^ ": truncated .netD header"))
+
+(* ---------------- partition files ---------------- *)
+
+let write_partition path side =
+  with_out path (fun oc ->
+      Array.iter (fun s -> Printf.fprintf oc "%d\n" s) side)
+
+let read_partition path ~num_vertices =
+  let lines = read_lines path in
+  if List.length lines <> num_vertices then
+    raise
+      (Parse_error
+         (Printf.sprintf "%s: expected %d lines, found %d" path num_vertices
+            (List.length lines)));
+  let side = Array.make num_vertices 0 in
+  List.iteri
+    (fun i (lineno, l) ->
+      match int_of_string_opt (String.trim l) with
+      | Some s when s >= 0 -> side.(i) <- s
+      | Some _ -> parse_error path lineno "side must be nonnegative"
+      | None -> parse_error path lineno "bad side %S" l)
+    lines;
+  side

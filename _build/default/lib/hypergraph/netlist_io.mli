@@ -1,0 +1,67 @@
+(** Reading and writing hypergraph netlists.
+
+    Two on-disk formats are supported:
+
+    - {b hMetis [.hgr]}: the standard format of the hMetis distribution.
+      First line: [num_edges num_vertices [fmt]] where [fmt] is omitted
+      (unweighted), [1] (edge weights), [10] (vertex weights) or [11]
+      (both).  Then one line per hyperedge listing 1-indexed pins
+      (prefixed by the edge weight when present), then one line per
+      vertex weight when present.  Comment lines start with ['%'].
+
+    - {b area file [.are]}: one ["<name> <area>"] line per cell, in the
+      style of the ISPD98 distribution; vertex [i] is named [a<i>].
+      Used together with an [.hgr] file to carry actual cell areas.
+
+    - {b ISPD98 netlist [.netD]}: the format the IBM benchmarks were
+      distributed in.  Five header lines (a zero, then the pin, net,
+      module counts and the pad offset), followed by one line per pin:
+      ["<name> <s|l> [direction]"], where ['s'] opens a new net and
+      ['l'] continues the current one.  Cells are named [a<i>] and pads
+      [p<j>]; pads map to the vertex ids after the cells.
+
+    - {b partition file [.part]}: one side (0 or 1) per line, one line
+      per vertex — the interchange format for solutions. *)
+
+exception Parse_error of string
+(** Raised with a descriptive message (file, line, cause) on malformed
+    input. *)
+
+val write_hgr : ?with_weights:bool -> string -> Hypergraph.t -> unit
+(** [write_hgr path h] writes [h] in [.hgr] format.  When
+    [with_weights] (default [true]) both edge and vertex weights are
+    written (fmt 11); otherwise the instance is written unweighted. *)
+
+val read_hgr : string -> Hypergraph.t
+(** Parse an [.hgr] file.  Accepts fmt 0 / 1 / 10 / 11. *)
+
+val write_are : string -> Hypergraph.t -> unit
+(** [write_are path h] writes cell areas, one ["a<i> <area>"] per line. *)
+
+val read_are : string -> num_vertices:int -> int array
+(** [read_are path ~num_vertices] parses an area file into an array
+    indexed by vertex id. *)
+
+val read_hgr_with_are : hgr:string -> are:string -> Hypergraph.t
+(** Combine an (unweighted or weighted) [.hgr] with actual areas from an
+    [.are] file; the [.are] areas win. *)
+
+val write_netd : ?num_pads:int -> string -> Hypergraph.t -> unit
+(** [write_netd path h] writes ISPD98 [.netD].  The last [num_pads]
+    vertices (default 0) are written as pads ([p<j>]); the rest as
+    cells ([a<i>]).  Edge weights are not representable in [.netD] and
+    are dropped. *)
+
+val read_netd : string -> Hypergraph.t * int
+(** Parse a [.netD] file; returns the hypergraph (cells first, then
+    pads) and the number of pads.  Vertex areas default to 1 (combine
+    with {!read_are}). *)
+
+val write_partition : string -> int array -> unit
+(** Write a solution's side array, one side per line. *)
+
+val read_partition : string -> num_vertices:int -> int array
+(** Parse a partition file (sides are nonnegative integers; a
+    bipartition uses 0 and 1, k-way files use 0..k-1).
+    @raise Parse_error on malformed input or a line count that
+    disagrees with [num_vertices]. *)

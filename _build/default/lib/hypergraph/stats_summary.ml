@@ -1,0 +1,22 @@
+type t = {
+  num_vertices : int;
+  num_edges : int;
+  num_pins : int;
+  avg_vertex_degree : float;
+  avg_edge_size : float;
+  max_edge_size : int;
+  max_vertex_degree : int;
+  total_area : int;
+  max_area : int;
+  min_area : int;
+  edges_over_50_pins : int;
+}
+
+let pp ppf s =
+  Format.fprintf ppf
+    "@[<v>vertices: %d@ edges: %d@ pins: %d@ avg degree: %.2f@ \
+     avg net size: %.2f@ max net size: %d@ max degree: %d@ \
+     total area: %d@ area range: [%d, %d]@ nets > 50 pins: %d@]"
+    s.num_vertices s.num_edges s.num_pins s.avg_vertex_degree
+    s.avg_edge_size s.max_edge_size s.max_vertex_degree s.total_area
+    s.min_area s.max_area s.edges_over_50_pins

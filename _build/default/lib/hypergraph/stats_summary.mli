@@ -1,0 +1,23 @@
+(** Descriptive statistics of a hypergraph instance.
+
+    These are the attributes the paper calls "salient attributes of
+    real-world inputs" (size, sparsity, net sizes, large nets, area
+    variation); the generator's tests assert that synthetic instances
+    land in the realistic ranges. *)
+
+type t = {
+  num_vertices : int;
+  num_edges : int;
+  num_pins : int;
+  avg_vertex_degree : float;
+  avg_edge_size : float;
+  max_edge_size : int;
+  max_vertex_degree : int;
+  total_area : int;
+  max_area : int;
+  min_area : int;
+  edges_over_50_pins : int;  (** count of clock/reset-like mega-nets *)
+}
+
+val pp : Format.formatter -> t -> unit
+(** Multi-line human-readable rendering. *)

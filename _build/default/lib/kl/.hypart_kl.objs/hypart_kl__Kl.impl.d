@@ -1,0 +1,1 @@
+lib/kl/kl.ml: Array Hypart_hypergraph Hypart_partition Hypart_rng List

@@ -1,0 +1,1 @@
+lib/kl/kl.mli: Hypart_hypergraph Hypart_partition Hypart_rng

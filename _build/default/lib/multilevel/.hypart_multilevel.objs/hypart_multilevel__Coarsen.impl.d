@@ -1,0 +1,1 @@
+lib/multilevel/coarsen.ml: Array Hypart_hypergraph Hypart_partition Hypart_rng List Matching Option

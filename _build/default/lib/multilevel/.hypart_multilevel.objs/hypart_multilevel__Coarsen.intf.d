@@ -1,0 +1,1 @@
+lib/multilevel/coarsen.mli: Hypart_hypergraph Hypart_partition Hypart_rng Matching

@@ -1,0 +1,1 @@
+lib/multilevel/matching.ml: Array Hypart_hypergraph Hypart_rng

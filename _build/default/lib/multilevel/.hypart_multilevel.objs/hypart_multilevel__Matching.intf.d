@@ -1,0 +1,1 @@
+lib/multilevel/matching.mli: Hypart_hypergraph Hypart_rng

@@ -1,0 +1,1 @@
+lib/multilevel/ml_kway.mli: Hypart_fm Hypart_hypergraph Hypart_rng Matching

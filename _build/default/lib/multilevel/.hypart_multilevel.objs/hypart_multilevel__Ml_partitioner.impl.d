@@ -1,0 +1,1 @@
+lib/multilevel/ml_partitioner.ml: Array Coarsen Hypart_fm Hypart_hypergraph Hypart_partition Hypart_rng List Logs Matching Option Sys

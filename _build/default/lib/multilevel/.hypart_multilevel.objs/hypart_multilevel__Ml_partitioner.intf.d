@@ -1,0 +1,1 @@
+lib/multilevel/ml_partitioner.mli: Hypart_fm Hypart_partition Hypart_rng Matching

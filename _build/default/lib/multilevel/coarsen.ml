@@ -1,0 +1,58 @@
+module H = Hypart_hypergraph.Hypergraph
+module Rng = Hypart_rng.Rng
+module Problem = Hypart_partition.Problem
+module Bipartition = Hypart_partition.Bipartition
+
+type level = {
+  coarse : H.t;
+  cluster_of : int array;
+  coarse_fixed : int array;
+}
+
+type hierarchy = { problem : Problem.t; levels : level list }
+
+let coarsest hier =
+  match List.rev hier.levels with
+  | [] -> (hier.problem.Problem.hypergraph, hier.problem.Problem.fixed)
+  | last :: _ -> (last.coarse, last.coarse_fixed)
+
+let build ~scheme ~rng ~coarsest_size ~max_cluster_weight ?restrict_to_parts
+    problem =
+  let rec go h fixed part levels =
+    if H.num_vertices h <= coarsest_size then List.rev levels
+    else begin
+      let cluster_of, num_clusters =
+        Matching.compute ~scheme ~rng ~max_cluster_weight ~fixed
+          ?restrict_to_parts:part h
+      in
+      (* stagnation: if matching merged almost nothing, stop *)
+      if num_clusters > H.num_vertices h * 9 / 10 then List.rev levels
+      else begin
+        let coarse, _edge_map = H.contract h ~cluster_of ~num_clusters in
+        let coarse_fixed = Array.make num_clusters (-1) in
+        Array.iteri
+          (fun v s -> if s >= 0 then coarse_fixed.(cluster_of.(v)) <- s)
+          fixed;
+        let coarse_part =
+          Option.map
+            (fun p ->
+              let cp = Array.make num_clusters 0 in
+              Array.iteri (fun v c -> cp.(c) <- p.(v)) cluster_of;
+              cp)
+            part
+        in
+        let level = { coarse; cluster_of; coarse_fixed } in
+        go coarse coarse_fixed coarse_part (level :: levels)
+      end
+    end
+  in
+  let levels =
+    go problem.Problem.hypergraph problem.Problem.fixed restrict_to_parts []
+  in
+  { problem; levels }
+
+let project level coarse_sol ~fine =
+  let side =
+    Array.map (fun c -> Bipartition.side coarse_sol c) level.cluster_of
+  in
+  Bipartition.make fine side

@@ -1,0 +1,212 @@
+module H = Hypart_hypergraph.Hypergraph
+module Rng = Hypart_rng.Rng
+
+type scheme =
+  | Edge_coarsening
+  | Heavy_edge
+  | First_choice
+  | Hyperedge_coarsening
+
+(* Pair matching (EC / heavy-edge): visit vertices in random order and
+   pair each unmatched vertex with its best unmatched neighbour. *)
+let pair_matching ~scheme ~rng ~max_cluster_weight ~fixed ~restrict_to_parts
+    ~skip_nets_above h =
+  let n = H.num_vertices h in
+  let cluster_of = Array.make n (-1) in
+  let next_cluster = ref 0 in
+  let score = Array.make n 0.0 in
+  let stamp = Array.make n (-1) in
+  let touched = Array.make n 0 in
+  let compatible v u =
+    cluster_of.(u) = -1
+    && u <> v
+    && H.vertex_weight h v + H.vertex_weight h u <= max_cluster_weight
+    && (fixed.(v) < 0 || fixed.(u) < 0 || fixed.(v) = fixed.(u))
+    && (match restrict_to_parts with
+        | None -> true
+        | Some part -> part.(v) = part.(u))
+  in
+  let order = Rng.permutation rng n in
+  Array.iter
+    (fun v ->
+      if cluster_of.(v) = -1 then begin
+        let n_touched = ref 0 in
+        H.iter_edges h v (fun e ->
+            let size = H.edge_size h e in
+            if size <= skip_nets_above then begin
+              let w =
+                match scheme with
+                | Heavy_edge -> float_of_int (H.edge_weight h e)
+                | Edge_coarsening | First_choice | Hyperedge_coarsening ->
+                  float_of_int (H.edge_weight h e) /. float_of_int (size - 1)
+              in
+              H.iter_pins h e (fun u ->
+                  if compatible v u then begin
+                    if stamp.(u) <> v then begin
+                      stamp.(u) <- v;
+                      score.(u) <- 0.0;
+                      touched.(!n_touched) <- u;
+                      incr n_touched
+                    end;
+                    score.(u) <- score.(u) +. w
+                  end)
+            end);
+        let best = ref (-1) and best_score = ref 0.0 in
+        for i = 0 to !n_touched - 1 do
+          let u = touched.(i) in
+          if score.(u) > !best_score
+             || (score.(u) = !best_score && !best >= 0 && u < !best)
+          then begin
+            best := u;
+            best_score := score.(u)
+          end
+        done;
+        let c = !next_cluster in
+        incr next_cluster;
+        cluster_of.(v) <- c;
+        if !best >= 0 then cluster_of.(!best) <- c
+      end)
+    order;
+  (cluster_of, !next_cluster)
+
+(* FirstChoice: the chosen neighbour may already be clustered, so
+   clusters grow beyond pairs (bounded by the weight cap). *)
+let first_choice ~rng ~max_cluster_weight ~fixed ~restrict_to_parts
+    ~skip_nets_above h =
+  let n = H.num_vertices h in
+  let cluster_of = Array.make n (-1) in
+  let cluster_weight = Array.make n 0 in
+  let cluster_fixed = Array.make n (-1) in
+  let next_cluster = ref 0 in
+  let score = Array.make n 0.0 in
+  let stamp = Array.make n (-1) in
+  let touched = Array.make n 0 in
+  let joinable v u =
+    u <> v
+    && (match restrict_to_parts with
+        | None -> true
+        | Some part -> part.(v) = part.(u))
+    &&
+    let target_weight, target_fixed =
+      match cluster_of.(u) with
+      | -1 -> (H.vertex_weight h u, fixed.(u))
+      | c -> (cluster_weight.(c), cluster_fixed.(c))
+    in
+    H.vertex_weight h v + target_weight <= max_cluster_weight
+    && (fixed.(v) < 0 || target_fixed < 0 || fixed.(v) = target_fixed)
+  in
+  let join v u =
+    let c =
+      match cluster_of.(u) with
+      | -1 ->
+        let c = !next_cluster in
+        incr next_cluster;
+        cluster_of.(u) <- c;
+        cluster_weight.(c) <- H.vertex_weight h u;
+        cluster_fixed.(c) <- fixed.(u);
+        c
+      | c -> c
+    in
+    cluster_of.(v) <- c;
+    cluster_weight.(c) <- cluster_weight.(c) + H.vertex_weight h v;
+    if fixed.(v) >= 0 then cluster_fixed.(c) <- fixed.(v)
+  in
+  let order = Rng.permutation rng n in
+  Array.iter
+    (fun v ->
+      if cluster_of.(v) = -1 then begin
+        let n_touched = ref 0 in
+        H.iter_edges h v (fun e ->
+            let size = H.edge_size h e in
+            if size <= skip_nets_above then begin
+              let w = float_of_int (H.edge_weight h e) /. float_of_int (size - 1) in
+              H.iter_pins h e (fun u ->
+                  if joinable v u then begin
+                    if stamp.(u) <> v then begin
+                      stamp.(u) <- v;
+                      score.(u) <- 0.0;
+                      touched.(!n_touched) <- u;
+                      incr n_touched
+                    end;
+                    score.(u) <- score.(u) +. w
+                  end)
+            end);
+        let best = ref (-1) and best_score = ref 0.0 in
+        for i = 0 to !n_touched - 1 do
+          let u = touched.(i) in
+          if score.(u) > !best_score
+             || (score.(u) = !best_score && !best >= 0 && u < !best)
+          then begin
+            best := u;
+            best_score := score.(u)
+          end
+        done;
+        if !best >= 0 then join v !best
+        else begin
+          let c = !next_cluster in
+          incr next_cluster;
+          cluster_of.(v) <- c;
+          cluster_weight.(c) <- H.vertex_weight h v;
+          cluster_fixed.(c) <- fixed.(v)
+        end
+      end)
+    order;
+  (cluster_of, !next_cluster)
+
+(* Hyperedge coarsening: contract whole small nets whose pins are all
+   still unclustered; leftovers become singletons. *)
+let hyperedge_coarsening ~rng ~max_cluster_weight ~fixed ~restrict_to_parts
+    ~skip_nets_above h =
+  let n = H.num_vertices h in
+  let ne = H.num_edges h in
+  let cluster_of = Array.make n (-1) in
+  let next_cluster = ref 0 in
+  (* increasing size, random tie-break (via a shuffled base order) *)
+  let order = Rng.permutation rng ne in
+  Array.sort (fun a b -> compare (H.edge_size h a) (H.edge_size h b)) order;
+  Array.iter
+    (fun e ->
+      let size = H.edge_size h e in
+      if size >= 2 && size <= skip_nets_above then begin
+        let all_free = ref true in
+        let weight = ref 0 in
+        let fixed_side = ref (-1) in
+        let part_id = ref min_int in
+        H.iter_pins h e (fun v ->
+            if cluster_of.(v) <> -1 then all_free := false;
+            weight := !weight + H.vertex_weight h v;
+            if fixed.(v) >= 0 then
+              if !fixed_side = -1 then fixed_side := fixed.(v)
+              else if !fixed_side <> fixed.(v) then all_free := false;
+            match restrict_to_parts with
+            | None -> ()
+            | Some part ->
+              if !part_id = min_int then part_id := part.(v)
+              else if !part_id <> part.(v) then all_free := false);
+        if !all_free && !weight <= max_cluster_weight then begin
+          let c = !next_cluster in
+          incr next_cluster;
+          H.iter_pins h e (fun v -> cluster_of.(v) <- c)
+        end
+      end)
+    order;
+  for v = 0 to n - 1 do
+    if cluster_of.(v) = -1 then begin
+      cluster_of.(v) <- !next_cluster;
+      incr next_cluster
+    end
+  done;
+  (cluster_of, !next_cluster)
+
+let compute ~scheme ~rng ~max_cluster_weight ~fixed ?restrict_to_parts
+    ?(skip_nets_above = 64) h =
+  match scheme with
+  | Edge_coarsening | Heavy_edge ->
+    pair_matching ~scheme ~rng ~max_cluster_weight ~fixed ~restrict_to_parts
+      ~skip_nets_above h
+  | First_choice ->
+    first_choice ~rng ~max_cluster_weight ~fixed ~restrict_to_parts
+      ~skip_nets_above h
+  | Hyperedge_coarsening ->
+    hyperedge_coarsening ~rng ~max_cluster_weight ~fixed ~restrict_to_parts
+      ~skip_nets_above h

@@ -1,0 +1,183 @@
+module H = Hypart_hypergraph.Hypergraph
+module Rng = Hypart_rng.Rng
+module Balance = Hypart_partition.Balance
+module Bipartition = Hypart_partition.Bipartition
+module Problem = Hypart_partition.Problem
+module Fm = Hypart_fm.Fm
+module Fm_config = Hypart_fm.Fm_config
+
+let log_src = Logs.Src.create "hypart.ml" ~doc:"multilevel partitioner tracing"
+
+module Log = (val Logs.src_log log_src)
+
+type config = {
+  fm : Fm_config.t;
+  scheme : Matching.scheme;
+  coarsest_size : int;
+  coarsest_starts : int;
+  refine_passes : int;
+  boundary_refinement : bool;
+  vcycles : int;
+}
+
+let default =
+  {
+    fm = Fm_config.strong_lifo;
+    scheme = Matching.Edge_coarsening;
+    coarsest_size = 120;
+    coarsest_starts = 10;
+    refine_passes = 4;
+    boundary_refinement = false;
+    vcycles = 0;
+  }
+
+let ml_lifo = default
+let ml_clip = { default with fm = Fm_config.strong_clip }
+let hmetis_like = { ml_clip with vcycles = 2 }
+
+(* Cluster-weight cap: clusters must stay comfortably inside the
+   balance slack (else coarse-level refinement cannot move anything),
+   but not so small that coarsening stalls on tight tolerances. *)
+let cluster_weight_cap problem coarsest_size =
+  let b = problem.Problem.balance in
+  let total = H.total_vertex_weight problem.Problem.hypergraph in
+  max (Balance.slack b * 45 / 100) (total / (4 * coarsest_size))
+
+(* Fine hypergraph/fixed preceding each level of the hierarchy, in
+   coarse-to-fine refinement order:
+   [(fine_h, fine_fixed, level); ...] with the coarsest level first. *)
+let refinement_steps (hier : Coarsen.hierarchy) =
+  let problem = hier.Coarsen.problem in
+  let rec go fine_h fine_fixed = function
+    | [] -> []
+    | (level : Coarsen.level) :: rest ->
+      (fine_h, fine_fixed, level)
+      :: go level.Coarsen.coarse level.Coarsen.coarse_fixed rest
+  in
+  List.rev
+    (go problem.Problem.hypergraph problem.Problem.fixed hier.Coarsen.levels)
+
+(* Refine a projected solution at one level. *)
+let refine config rng problem solution =
+  let fm =
+    {
+      config.fm with
+      Fm_config.max_passes = config.refine_passes;
+      Fm_config.boundary_only = config.boundary_refinement;
+    }
+  in
+  Fm.run ~config:fm rng problem solution
+
+(* Uncoarsen [coarsest_result] through [hier], refining at every level;
+   returns the finest-level result. *)
+let uncoarsen config rng hier coarsest_result =
+  let problem = hier.Coarsen.problem in
+  let balance = problem.Problem.balance in
+  List.fold_left
+    (fun (result : Fm.result) (fine_h, fine_fixed, level) ->
+      let fine_problem = Problem.with_balance ~fixed:fine_fixed balance fine_h in
+      let projected = Coarsen.project level result.Fm.solution ~fine:fine_h in
+      let refined = refine config rng fine_problem projected in
+      Log.debug (fun m ->
+          m "refine at %d vertices: cut %d -> %d" (H.num_vertices fine_h)
+            result.Fm.cut refined.Fm.cut);
+      refined)
+    coarsest_result (refinement_steps hier)
+
+let initial_at_coarsest config rng problem =
+  let fm = config.fm in
+  let best = ref None in
+  for _ = 1 to max 1 config.coarsest_starts do
+    let r = Fm.run_random_start ~config:fm rng problem in
+    let better =
+      match !best with
+      | None -> true
+      | Some (b : Fm.result) ->
+        (r.Fm.legal && not b.Fm.legal)
+        || (r.Fm.legal = b.Fm.legal && r.Fm.cut < b.Fm.cut)
+    in
+    if better then best := Some r
+  done;
+  Option.get !best
+
+let run_once ?restrict_to_parts config rng problem =
+  let hier =
+    Coarsen.build ~scheme:config.scheme ~rng ~coarsest_size:config.coarsest_size
+      ~max_cluster_weight:(cluster_weight_cap problem config.coarsest_size)
+      ?restrict_to_parts problem
+  in
+  let coarse_h, coarse_fixed = Coarsen.coarsest hier in
+  let coarse_problem =
+    Problem.with_balance ~fixed:coarse_fixed problem.Problem.balance coarse_h
+  in
+  let coarsest_result =
+    match restrict_to_parts with
+    | None -> initial_at_coarsest config rng coarse_problem
+    | Some part ->
+      (* V-cycle: the projected current partition is the start *)
+      let coarse_side = Array.make (H.num_vertices coarse_h) 0 in
+      let fine_to_coarse v =
+        List.fold_left
+          (fun v (level : Coarsen.level) -> level.Coarsen.cluster_of.(v))
+          v hier.Coarsen.levels
+      in
+      Array.iteri (fun v s -> coarse_side.(fine_to_coarse v) <- s) part;
+      let sol = Bipartition.make coarse_h coarse_side in
+      refine config rng coarse_problem sol
+  in
+  uncoarsen config rng hier coarsest_result
+
+let vcycle ?(config = default) rng problem solution =
+  let before_cut = Bipartition.cut problem.Problem.hypergraph solution in
+  let before_legal = Bipartition.is_legal solution problem.Problem.balance in
+  let part = Bipartition.assignment solution in
+  let r = run_once ~restrict_to_parts:part config rng problem in
+  let keep_new =
+    (r.Fm.legal && not before_legal)
+    || (r.Fm.legal = before_legal && r.Fm.cut <= before_cut)
+  in
+  if keep_new then r
+  else
+    {
+      r with
+      Fm.solution = Bipartition.copy solution;
+      cut = before_cut;
+      legal = before_legal;
+    }
+
+let run ?(config = default) rng problem =
+  let r = run_once config rng problem in
+  let rec cycle i (r : Fm.result) =
+    if i >= config.vcycles then r
+    else begin
+      let r' = vcycle ~config rng problem r.Fm.solution in
+      if r'.Fm.cut < r.Fm.cut then cycle (i + 1) r' else r'
+    end
+  in
+  cycle 0 r
+
+let multistart ?(config = default) ?(vcycle_best = 0) rng problem ~starts =
+  if starts < 1 then invalid_arg "Ml_partitioner.multistart: starts must be >= 1";
+  let best = ref None in
+  let records = ref [] in
+  for _ = 1 to starts do
+    let t0 = Sys.time () in
+    let r = run ~config rng problem in
+    let dt = Sys.time () -. t0 in
+    records :=
+      { Fm.start_cut = r.Fm.cut; Fm.start_seconds = dt } :: !records;
+    let better =
+      match !best with
+      | None -> true
+      | Some (b : Fm.result) ->
+        (r.Fm.legal && not b.Fm.legal)
+        || (r.Fm.legal = b.Fm.legal && r.Fm.cut < b.Fm.cut)
+    in
+    if better then best := Some r
+  done;
+  let best = Option.get !best in
+  let rec cycle i (r : Fm.result) =
+    if i >= vcycle_best then r
+    else cycle (i + 1) (vcycle ~config rng problem r.Fm.solution)
+  in
+  (cycle 0 best, List.rev !records)

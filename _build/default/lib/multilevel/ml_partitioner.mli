@@ -1,0 +1,62 @@
+(** The multilevel FM partitioner (the repository's hMetis-1.5 stand-in).
+
+    Coarsen with edge coarsening to ~[coarsest_size] vertices, compute
+    several random+FM initial partitions of the coarsest hypergraph,
+    keep the best, then uncoarsen level by level, refining with the
+    configured FM engine (ML LIFO FM or ML CLIP FM, per
+    [config.fm.engine]).  Optional V-cycles re-coarsen restricted to the
+    current partition and refine again (Karypis et al.; used by Tables
+    4-5's protocol, which V-cycles the best of N starts). *)
+
+type config = {
+  fm : Hypart_fm.Fm_config.t;  (** refinement engine and its knobs *)
+  scheme : Matching.scheme;
+  coarsest_size : int;
+  coarsest_starts : int;  (** initial-partition attempts at the coarsest level *)
+  refine_passes : int;  (** FM pass cap per level during refinement *)
+  boundary_refinement : bool;
+      (** restrict refinement to boundary vertices (hMetis-style
+          speed-up); the coarsest-level initial partitioning always
+          uses the full vertex set *)
+  vcycles : int;  (** V-cycles after the initial uncoarsening *)
+}
+
+val default : config
+(** Edge coarsening to 120 vertices, 10 coarsest starts, 4 refinement
+    passes per level, strong LIFO FM refinement, no V-cycles. *)
+
+val ml_lifo : config
+(** "ML LIFO FM" of Table 1. *)
+
+val ml_clip : config
+(** "ML CLIP FM" of Table 1. *)
+
+val hmetis_like : config
+(** The Tables 4-5 engine: ML CLIP with 2 V-cycles. *)
+
+val run :
+  ?config:config ->
+  Hypart_rng.Rng.t ->
+  Hypart_partition.Problem.t ->
+  Hypart_fm.Fm.result
+(** One multilevel start. *)
+
+val vcycle :
+  ?config:config ->
+  Hypart_rng.Rng.t ->
+  Hypart_partition.Problem.t ->
+  Hypart_partition.Bipartition.t ->
+  Hypart_fm.Fm.result
+(** One V-cycle: re-coarsen restricted to the given solution's parts
+    and refine it back up.  Never returns a worse legal cut. *)
+
+val multistart :
+  ?config:config ->
+  ?vcycle_best:int ->
+  Hypart_rng.Rng.t ->
+  Hypart_partition.Problem.t ->
+  starts:int ->
+  Hypart_fm.Fm.result * Hypart_fm.Fm.start_record list
+(** Tables 4-5 protocol: [starts] independent multilevel starts; the
+    best is then V-cycled [vcycle_best] times (default 0).  Per-start
+    records cover the independent starts only. *)

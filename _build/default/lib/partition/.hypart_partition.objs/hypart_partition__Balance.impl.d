@@ -1,0 +1,1 @@
+lib/partition/balance.ml: Float Format

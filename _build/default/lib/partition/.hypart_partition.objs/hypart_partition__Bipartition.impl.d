@@ -1,0 +1,1 @@
+lib/partition/bipartition.ml: Array Balance Hypart_hypergraph

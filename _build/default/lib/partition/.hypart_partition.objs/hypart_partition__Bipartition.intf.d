@@ -1,0 +1,1 @@
+lib/partition/bipartition.mli: Balance Hypart_hypergraph

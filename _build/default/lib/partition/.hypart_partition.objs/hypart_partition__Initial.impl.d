@@ -1,0 +1,1 @@
+lib/partition/initial.ml: Array Balance Bipartition Hypart_hypergraph Hypart_rng List Problem

@@ -1,0 +1,1 @@
+lib/partition/initial.mli: Bipartition Hypart_rng Problem

@@ -1,0 +1,1 @@
+lib/partition/kway_objective.ml: Array Hypart_hypergraph List

@@ -1,0 +1,1 @@
+lib/partition/kway_objective.mli: Hypart_hypergraph

@@ -1,0 +1,1 @@
+lib/partition/objective.ml: Bipartition Hypart_hypergraph

@@ -1,0 +1,1 @@
+lib/partition/objective.mli: Bipartition Hypart_hypergraph

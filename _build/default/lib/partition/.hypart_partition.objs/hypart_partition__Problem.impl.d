@@ -1,0 +1,1 @@
+lib/partition/problem.ml: Array Balance Hypart_hypergraph

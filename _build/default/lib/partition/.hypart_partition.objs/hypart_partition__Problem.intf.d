@@ -1,0 +1,1 @@
+lib/partition/problem.mli: Balance Hypart_hypergraph

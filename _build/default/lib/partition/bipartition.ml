@@ -1,0 +1,57 @@
+module H = Hypart_hypergraph.Hypergraph
+
+type t = { side : int array; weight : int array (* length 2 *) }
+
+let make h side =
+  if Array.length side <> H.num_vertices h then
+    invalid_arg "Bipartition.make: assignment length mismatch";
+  let weight = [| 0; 0 |] in
+  Array.iteri
+    (fun v s ->
+      if s <> 0 && s <> 1 then invalid_arg "Bipartition.make: side must be 0 or 1";
+      weight.(s) <- weight.(s) + H.vertex_weight h v)
+    side;
+  { side = Array.copy side; weight }
+
+let side s v = s.side.(v)
+let num_vertices s = Array.length s.side
+let part_weight s p = s.weight.(p)
+let assignment s = Array.copy s.side
+let copy s = { side = Array.copy s.side; weight = Array.copy s.weight }
+
+let move s h v =
+  let from = s.side.(v) in
+  let w = H.vertex_weight h v in
+  s.weight.(from) <- s.weight.(from) - w;
+  s.weight.(1 - from) <- s.weight.(1 - from) + w;
+  s.side.(v) <- 1 - from
+
+let pins_on_side h s e =
+  let c0 = ref 0 and c1 = ref 0 in
+  H.iter_pins h e (fun v -> if s.side.(v) = 0 then incr c0 else incr c1);
+  (!c0, !c1)
+
+let cut h s =
+  let total = ref 0 in
+  for e = 0 to H.num_edges h - 1 do
+    let c0, c1 = pins_on_side h s e in
+    if c0 > 0 && c1 > 0 then total := !total + H.edge_weight h e
+  done;
+  !total
+
+let is_legal s balance = Balance.is_legal balance ~part0_weight:s.weight.(0)
+
+let equal a b = a.side = b.side
+
+let similarity a b =
+  let n = Array.length a.side in
+  if Array.length b.side <> n then
+    invalid_arg "Bipartition.similarity: size mismatch";
+  if n = 0 then 1.0
+  else begin
+    let agree = ref 0 in
+    for v = 0 to n - 1 do
+      if a.side.(v) = b.side.(v) then incr agree
+    done;
+    float_of_int (max !agree (n - !agree)) /. float_of_int n
+  end

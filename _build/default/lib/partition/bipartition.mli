@@ -1,0 +1,42 @@
+(** Two-way partitioning solutions.
+
+    A solution assigns every vertex a side, 0 or 1, and maintains the
+    two part weights incrementally.  The cut and all other objectives
+    are computed from scratch here; incremental cut maintenance lives in
+    the FM engine, which cross-checks against {!cut} in tests. *)
+
+type t
+
+val make : Hypart_hypergraph.Hypergraph.t -> int array -> t
+(** [make h side] wraps an assignment array ([side.(v)] is 0 or 1,
+    copied).  @raise Invalid_argument on wrong length or bad values. *)
+
+val side : t -> int -> int
+val num_vertices : t -> int
+val part_weight : t -> int -> int
+val assignment : t -> int array
+(** Fresh copy of the side array. *)
+
+val copy : t -> t
+
+val move : t -> Hypart_hypergraph.Hypergraph.t -> int -> unit
+(** [move s h v] flips vertex [v] to the other side, updating part
+    weights. *)
+
+val cut : Hypart_hypergraph.Hypergraph.t -> t -> int
+(** Weighted cut size: total weight of nets with pins on both sides. *)
+
+val pins_on_side : Hypart_hypergraph.Hypergraph.t -> t -> int -> int * int
+(** [pins_on_side h s e] counts the pins of net [e] on side 0 and 1. *)
+
+val is_legal : t -> Balance.t -> bool
+
+val equal : t -> t -> bool
+(** Same assignment (used by tests). *)
+
+val similarity : t -> t -> float
+(** Fraction of vertices on which two solutions agree, maximized over
+    the global side flip (partition labels are symmetric), in
+    [0.5, 1.0].  Used to study solution-space structure — e.g. how
+    close independent multilevel starts land, the intuition behind
+    V-cycling.  @raise Invalid_argument on size mismatch. *)

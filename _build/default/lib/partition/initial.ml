@@ -1,0 +1,177 @@
+module H = Hypart_hypergraph.Hypergraph
+module Rng = Hypart_rng.Rng
+
+(* Shared assignment loop: visit free vertices in [order]; heavy cells
+   (area above the balance slack) are placed first so that random
+   placement of small cells cannot strand a macro with no legal side. *)
+let assign rng problem ~order ~pick =
+  let h = problem.Problem.hypergraph in
+  let balance = problem.Problem.balance in
+  let n = H.num_vertices h in
+  let side = Array.make n 0 in
+  let weight = [| 0; 0 |] in
+  let place v s =
+    side.(v) <- s;
+    weight.(s) <- weight.(s) + H.vertex_weight h v
+  in
+  Array.iteri (fun v s -> if s >= 0 then place v s) problem.Problem.fixed;
+  let slack = Balance.slack balance in
+  let heavy, light =
+    Array.to_list order
+    |> List.filter (fun v -> Problem.is_free problem v)
+    |> List.partition (fun v -> H.vertex_weight h v > slack)
+  in
+  let heavy = List.sort (fun a b -> compare (H.vertex_weight h b) (H.vertex_weight h a)) heavy in
+  (* aim at the centre of the balance window, which may be asymmetric
+     (recursive bisection into uneven part counts) *)
+  let target0 = (balance.Balance.lower + balance.Balance.upper) / 2 in
+  let target1 = balance.Balance.total - target0 in
+  let lighter () =
+    let deficit0 = target0 - weight.(0) and deficit1 = target1 - weight.(1) in
+    if deficit0 >= deficit1 then 0 else 1
+  in
+  List.iter (fun v -> place v (lighter ())) heavy;
+  List.iter
+    (fun v ->
+      let w = H.vertex_weight h v in
+      let s = pick rng weight w in
+      place v s)
+    light;
+  Bipartition.make h side
+
+let random rng problem =
+  let n = H.num_vertices problem.Problem.hypergraph in
+  let order = Rng.permutation rng n in
+  let balance = problem.Problem.balance in
+  (* per-side caps; part 1's cap is the complement of part 0's floor *)
+  let cap = [| balance.Balance.upper; balance.Balance.total - balance.Balance.lower |] in
+  let target0 = (balance.Balance.lower + balance.Balance.upper) / 2 in
+  let target = [| target0; balance.Balance.total - target0 |] in
+  let pick rng weight w =
+    let s = if Rng.bool rng then 0 else 1 in
+    if weight.(s) + w <= cap.(s) then s
+    else if weight.(1 - s) + w <= cap.(1 - s) then 1 - s
+    else if target.(0) - weight.(0) >= target.(1) - weight.(1) then 0
+    else 1
+  in
+  assign rng problem ~order ~pick
+
+(* Intrusive bucket priority over vertices keyed by region
+   connectivity; keys are bounded by vertex degree, so an array of
+   bucket heads with a decaying max pointer gives O(1) operations. *)
+module Conn_buckets = struct
+  type t = {
+    prev : int array;
+    next : int array;
+    key : int array;
+    head : int array;
+    mutable max : int;
+  }
+
+  let absent = -2
+  let nil = -1
+
+  let create n max_key =
+    {
+      prev = Array.make n absent;
+      next = Array.make n absent;
+      key = Array.make n 0;
+      head = Array.make (max_key + 1) nil;
+      max = 0;
+    }
+
+  let mem t v = t.prev.(v) <> absent
+
+  let insert t v k =
+    t.key.(v) <- k;
+    t.prev.(v) <- nil;
+    t.next.(v) <- t.head.(k);
+    if t.head.(k) <> nil then t.prev.(t.head.(k)) <- v;
+    t.head.(k) <- v;
+    if k > t.max then t.max <- k
+
+  let remove t v =
+    if mem t v then begin
+      let p = t.prev.(v) and n = t.next.(v) in
+      if p <> nil then t.next.(p) <- n else t.head.(t.key.(v)) <- n;
+      if n <> nil then t.prev.(n) <- p;
+      t.prev.(v) <- absent;
+      t.next.(v) <- absent
+    end
+
+  let increment t v =
+    if mem t v then begin
+      let k = t.key.(v) + 1 in
+      remove t v;
+      insert t v k
+    end
+
+  (* pop the best vertex accepted by [keep]; rejected ones are removed *)
+  let rec pop_best t ~keep =
+    while t.max > 0 && t.head.(t.max) = nil do
+      t.max <- t.max - 1
+    done;
+    let v = t.head.(t.max) in
+    if v = nil then None
+    else begin
+      remove t v;
+      if keep v then Some v else pop_best t ~keep
+    end
+end
+
+let cluster_grown rng problem =
+  let h = problem.Problem.hypergraph in
+  let balance = problem.Problem.balance in
+  let n = H.num_vertices h in
+  let side = Array.make n 1 in
+  let weight0 = ref 0 in
+  let target0 = (balance.Balance.lower + balance.Balance.upper) / 2 in
+  let buckets = Conn_buckets.create n (max 1 (H.max_vertex_degree h)) in
+  let net_counted = Array.make (max 1 (H.num_edges h)) false in
+  let placed = Array.make n false in
+  let place0 v =
+    side.(v) <- 0;
+    placed.(v) <- true;
+    weight0 := !weight0 + H.vertex_weight h v;
+    Conn_buckets.remove buckets v;
+    (* first placement on a (small) net raises the connectivity of its
+       other pins; huge clock-like nets carry no locality signal *)
+    H.iter_edges h v (fun e ->
+        if (not net_counted.(e)) && H.edge_size h e <= 32 then begin
+          net_counted.(e) <- true;
+          H.iter_pins h e (fun u ->
+              if (not placed.(u)) && Conn_buckets.mem buckets u then
+                Conn_buckets.increment buckets u)
+        end)
+  in
+  (* candidates: free vertices (fixed ones keep their side) *)
+  for v = 0 to n - 1 do
+    if Problem.is_free problem v then Conn_buckets.insert buckets v 0
+  done;
+  Array.iteri
+    (fun v s ->
+      if s = 0 then place0 v else if s = 1 then placed.(v) <- true)
+    problem.Problem.fixed;
+  (* random seed: bias the argmax by seeding one random vertex at key 1 *)
+  let seed = Rng.int rng n in
+  if Conn_buckets.mem buckets seed then Conn_buckets.increment buckets seed;
+  let continue = ref true in
+  while !continue && !weight0 < target0 do
+    let keep v = !weight0 + H.vertex_weight h v <= balance.Balance.upper in
+    match Conn_buckets.pop_best buckets ~keep with
+    | Some v -> place0 v
+    | None -> continue := false
+  done;
+  Bipartition.make h side
+
+let area_levelled rng problem =
+  let h = problem.Problem.hypergraph in
+  let n = H.num_vertices h in
+  let order = Rng.permutation rng n in
+  (* stable sort on the random permutation: decreasing area with random
+     tie-break *)
+  Array.sort
+    (fun a b -> compare (H.vertex_weight h b) (H.vertex_weight h a))
+    order;
+  let pick _rng weight _w = if weight.(0) <= weight.(1) then 0 else 1 in
+  assign rng problem ~order ~pick

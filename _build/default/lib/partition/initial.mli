@@ -1,0 +1,27 @@
+(** Initial solution generation.
+
+    Hauck & Borriello (cited in §2.2) showed that initial solution
+    generation is one of the hidden implementation decisions that move
+    results; both generators here are exposed so experiments can vary
+    them. *)
+
+val random : Hypart_rng.Rng.t -> Problem.t -> Bipartition.t
+(** Vertices are visited in random order and assigned a uniformly
+    random side unless that would overflow the balance upper bound, in
+    which case the lighter side is used.  Fixed vertices go to their
+    prescribed side.  The result is legal whenever a legal assignment
+    exists for the visit order (large macros are placed first to avoid
+    dead ends). *)
+
+val area_levelled : Hypart_rng.Rng.t -> Problem.t -> Bipartition.t
+(** Longest-processing-time style: vertices in decreasing area order,
+    each to the currently lighter side (random tie-break).  Produces
+    very tight balance; used at the coarsest multilevel level. *)
+
+val cluster_grown : Hypart_rng.Rng.t -> Problem.t -> Bipartition.t
+(** Greedy region growth from a random seed: side 0 repeatedly absorbs
+    the unplaced vertex sharing the most (small) nets with the region,
+    until the balance target is reached; the rest goes to side 1.
+    Produces far lower initial cuts than {!random} — the kind of
+    "smart" initial generator whose effect Hauck & Borriello
+    quantified.  Fixed vertices keep their side. *)

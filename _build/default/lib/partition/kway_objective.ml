@@ -1,0 +1,32 @@
+module H = Hypart_hypergraph.Hypergraph
+
+(* distinct parts touched, via a small sorted accumulation (net sizes
+   are small; no allocation-heavy sets needed) *)
+let lambda h part_of e =
+  let seen = ref [] in
+  H.iter_pins h e (fun v ->
+      let p = part_of.(v) in
+      if not (List.mem p !seen) then seen := p :: !seen);
+  List.length !seen
+
+let fold_nets h part_of ~f =
+  let total = ref 0 in
+  for e = 0 to H.num_edges h - 1 do
+    let l = lambda h part_of e in
+    total := !total + f (H.edge_weight h e) l
+  done;
+  !total
+
+let cut h part_of = fold_nets h part_of ~f:(fun w l -> if l >= 2 then w else 0)
+let k_minus_1 h part_of = fold_nets h part_of ~f:(fun w l -> w * (l - 1))
+let soed h part_of = fold_nets h part_of ~f:(fun w l -> if l >= 2 then w * l else 0)
+
+let part_weights h part_of ~k =
+  let weights = Array.make k 0 in
+  Array.iteri
+    (fun v p ->
+      if p < 0 || p >= k then
+        invalid_arg "Kway_objective.part_weights: part out of range";
+      weights.(p) <- weights.(p) + H.vertex_weight h v)
+    part_of;
+  weights

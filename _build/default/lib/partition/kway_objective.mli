@@ -1,0 +1,24 @@
+(** Objectives for k-way partitionings (assignment arrays).
+
+    The 2-way objectives live in {!Objective}; k-way evaluation adds the
+    two standard multi-way generalizations of net cut used throughout
+    the hMetis line of work:
+
+    - {b hyperedge cut}: weight of nets spanning at least two parts
+      (each counted once, however many parts it touches);
+    - {b (k-1) metric}: each net contributes [w(e) (lambda(e) - 1)]
+      where [lambda(e)] is the number of parts it touches — the cost
+      model of multi-terminal routing;
+    - {b SOED} (sum of external degrees): cut nets contribute
+      [w(e) lambda(e)]. *)
+
+val lambda : Hypart_hypergraph.Hypergraph.t -> int array -> int -> int
+(** Number of distinct parts net [e] touches. *)
+
+val cut : Hypart_hypergraph.Hypergraph.t -> int array -> int
+val k_minus_1 : Hypart_hypergraph.Hypergraph.t -> int array -> int
+val soed : Hypart_hypergraph.Hypergraph.t -> int array -> int
+
+val part_weights : Hypart_hypergraph.Hypergraph.t -> int array -> k:int -> int array
+(** Total vertex weight per part.  @raise Invalid_argument when an
+    assignment entry falls outside [0, k). *)

@@ -1,0 +1,53 @@
+module H = Hypart_hypergraph.Hypergraph
+
+type t = Cut | Ratio_cut | Scaled_cost | Absorption
+
+let name = function
+  | Cut -> "cut"
+  | Ratio_cut -> "ratio-cut"
+  | Scaled_cost -> "scaled-cost"
+  | Absorption -> "absorption"
+
+let direction = function
+  | Cut | Ratio_cut | Scaled_cost -> `Minimize
+  | Absorption -> `Maximize
+
+let cut = Bipartition.cut
+
+let ratio_cut h s =
+  let c = float_of_int (cut h s) in
+  let w0 = float_of_int (Bipartition.part_weight s 0) in
+  let w1 = float_of_int (Bipartition.part_weight s 1) in
+  if w0 = 0. || w1 = 0. then infinity
+  else
+    let half = float_of_int (H.total_vertex_weight h) /. 2. in
+    c *. half *. half /. (w0 *. w1)
+
+let scaled_cost h s =
+  let c = float_of_int (cut h s) in
+  let n = float_of_int (H.num_vertices h) in
+  let w0 = float_of_int (Bipartition.part_weight s 0) in
+  let w1 = float_of_int (Bipartition.part_weight s 1) in
+  if w0 = 0. || w1 = 0. then infinity
+  else c /. n *. ((1. /. w0) +. (1. /. w1))
+
+let absorption h s =
+  let total = ref 0.0 in
+  for e = 0 to H.num_edges h - 1 do
+    let size = H.edge_size h e in
+    if size >= 2 then begin
+      let c0, c1 = Bipartition.pins_on_side h s e in
+      let denom = float_of_int (size - 1) in
+      let add c = if c > 0 then total := !total +. (float_of_int (c - 1) /. denom) in
+      add c0;
+      add c1
+    end
+  done;
+  !total
+
+let evaluate obj h s =
+  match obj with
+  | Cut -> float_of_int (cut h s)
+  | Ratio_cut -> ratio_cut h s
+  | Scaled_cost -> scaled_cost h s
+  | Absorption -> absorption h s

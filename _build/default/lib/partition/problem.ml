@@ -1,0 +1,42 @@
+module H = Hypart_hypergraph.Hypergraph
+
+type t = { hypergraph : H.t; balance : Balance.t; fixed : int array }
+
+let checked_fixed fixed n =
+  match fixed with
+  | None -> Array.make n (-1)
+  | Some f ->
+    if Array.length f <> n then invalid_arg "Problem: fixed length mismatch";
+    Array.iter
+      (fun s ->
+        if s < -1 || s > 1 then
+          invalid_arg "Problem: fixed side must be -1, 0 or 1")
+      f;
+    Array.copy f
+
+let with_balance ?fixed balance h =
+  if H.total_vertex_weight h <> balance.Balance.total then
+    invalid_arg "Problem.with_balance: total weight mismatch";
+  { hypergraph = h; balance; fixed = checked_fixed fixed (H.num_vertices h) }
+
+let make ?fixed ?fraction ~tolerance h =
+  let fixed = checked_fixed fixed (H.num_vertices h) in
+  let total = H.total_vertex_weight h in
+  let balance =
+    match fraction with
+    | None -> Balance.of_tolerance ~total ~tolerance
+    | Some fraction -> Balance.of_fraction ~total ~fraction ~tolerance
+  in
+  { hypergraph = h; balance; fixed }
+
+let num_fixed p =
+  Array.fold_left (fun acc s -> if s >= 0 then acc + 1 else acc) 0 p.fixed
+
+let is_free p v = p.fixed.(v) < 0
+
+let fixed_weight p side =
+  let total = ref 0 in
+  Array.iteri
+    (fun v s -> if s = side then total := !total + H.vertex_weight p.hypergraph v)
+    p.fixed;
+  !total

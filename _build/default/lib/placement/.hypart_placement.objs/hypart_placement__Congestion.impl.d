@@ -1,0 +1,1 @@
+lib/placement/congestion.ml: Array Float Hypart_hypergraph Topdown

@@ -1,0 +1,1 @@
+lib/placement/congestion.mli: Hypart_hypergraph Topdown

@@ -1,0 +1,1 @@
+lib/placement/detailed.ml: Array Float Hypart_hypergraph Hypart_rng List Topdown

@@ -1,0 +1,1 @@
+lib/placement/detailed.mli: Hypart_hypergraph Hypart_rng Topdown

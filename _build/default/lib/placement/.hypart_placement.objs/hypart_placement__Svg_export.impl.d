@@ -1,0 +1,1 @@
+lib/placement/svg_export.ml: Array Float Hypart_hypergraph Printf Topdown

@@ -1,0 +1,1 @@
+lib/placement/svg_export.mli: Hypart_hypergraph Topdown

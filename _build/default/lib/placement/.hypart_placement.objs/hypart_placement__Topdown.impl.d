@@ -1,0 +1,1 @@
+lib/placement/topdown.ml: Array Float Hypart_fm Hypart_hypergraph Hypart_multilevel Hypart_partition Hypart_rng List Queue

@@ -1,0 +1,1 @@
+lib/placement/topdown.mli: Hypart_fm Hypart_hypergraph Hypart_rng

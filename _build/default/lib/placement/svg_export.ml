@@ -1,0 +1,64 @@
+module H = Hypart_hypergraph.Hypergraph
+
+let palette =
+  [| "#4472c4"; "#ed7d31"; "#70ad47"; "#ffc000"; "#5b9bd5"; "#a5a5a5";
+     "#c00000"; "#7030a0" |]
+
+let write ?side ?draw_nets ?(canvas = 800.0) path h pl =
+  let n = H.num_vertices h in
+  (match side with
+   | Some s when Array.length s <> n ->
+     invalid_arg "Svg_export.write: side length mismatch"
+   | _ -> ());
+  let draw_nets =
+    match draw_nets with Some d -> d | None -> H.num_pins h <= 2000
+  in
+  let sx = canvas /. Float.max 1e-9 pl.Topdown.width in
+  let sy = canvas /. Float.max 1e-9 pl.Topdown.height in
+  let oc = open_out path in
+  (try
+     Printf.fprintf oc
+       "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"%.0f\" height=\"%.0f\" \
+        viewBox=\"0 0 %.0f %.0f\">\n"
+       canvas canvas canvas canvas;
+     Printf.fprintf oc
+       "<rect width=\"%.0f\" height=\"%.0f\" fill=\"#fafafa\" stroke=\"#333\"/>\n"
+       canvas canvas;
+     if draw_nets then
+       for e = 0 to H.num_edges h - 1 do
+         if H.edge_size h e >= 2 then begin
+           let cx = ref 0.0 and cy = ref 0.0 and k = ref 0 in
+           H.iter_pins h e (fun v ->
+               cx := !cx +. pl.Topdown.x.(v);
+               cy := !cy +. pl.Topdown.y.(v);
+               incr k);
+           let cx = !cx /. float_of_int !k *. sx in
+           let cy = !cy /. float_of_int !k *. sy in
+           H.iter_pins h e (fun v ->
+               Printf.fprintf oc
+                 "<line x1=\"%.1f\" y1=\"%.1f\" x2=\"%.1f\" y2=\"%.1f\" \
+                  stroke=\"#99b\" stroke-width=\"0.4\" opacity=\"0.5\"/>\n"
+                 cx cy
+                 (pl.Topdown.x.(v) *. sx)
+                 (pl.Topdown.y.(v) *. sy))
+         end
+       done;
+     for v = 0 to n - 1 do
+       let r = 1.5 +. sqrt (float_of_int (H.vertex_weight h v)) in
+       let colour =
+         match side with
+         | Some s -> palette.(s.(v) mod Array.length palette)
+         | None -> "#4472c4"
+       in
+       Printf.fprintf oc
+         "<rect x=\"%.1f\" y=\"%.1f\" width=\"%.1f\" height=\"%.1f\" \
+          fill=\"%s\" stroke=\"#222\" stroke-width=\"0.3\"/>\n"
+         ((pl.Topdown.x.(v) *. sx) -. (r /. 2.0))
+         ((pl.Topdown.y.(v) *. sy) -. (r /. 2.0))
+         r r colour
+     done;
+     output_string oc "</svg>\n"
+   with e ->
+     close_out_noerr oc;
+     raise e);
+  close_out oc

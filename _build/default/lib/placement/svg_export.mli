@@ -1,0 +1,22 @@
+(** SVG rendering of placements and partitions.
+
+    Produces a self-contained [.svg]: one square per cell at its placed
+    position (side length proportional to the square root of its area),
+    optionally coloured by partition side, with net fly-lines for small
+    designs.  Intended for eyeballing placer and partitioner behaviour
+    — the kind of inspection that catches "silently wrong" results the
+    paper warns about before they reach a results table. *)
+
+val write :
+  ?side:int array ->
+  ?draw_nets:bool ->
+  ?canvas:float ->
+  string ->
+  Hypart_hypergraph.Hypergraph.t ->
+  Topdown.placement ->
+  unit
+(** [write path h pl] renders the placement.  [side] colours cells by
+    part id (up to 8 distinct colours, cycling).  [draw_nets] (default
+    only when the design has at most 2000 pins) draws each net's star
+    from its centroid.  [canvas] is the image size in pixels (default
+    800).  @raise Invalid_argument when [side] has the wrong length. *)

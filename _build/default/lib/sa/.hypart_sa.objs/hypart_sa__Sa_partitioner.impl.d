@@ -1,0 +1,1 @@
+lib/sa/sa_partitioner.ml: Array Float Hypart_hypergraph Hypart_partition Hypart_rng

@@ -1,0 +1,1 @@
+lib/sa/sa_partitioner.mli: Hypart_partition Hypart_rng

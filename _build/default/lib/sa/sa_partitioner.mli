@@ -1,0 +1,34 @@
+(** Simulated-annealing bipartitioning — the classical "slow but
+    general" baseline against which the move-based FM family was
+    historically compared (Johnson et al.'s landmark SA bisection
+    study; the paper's BSF-curve methodology §3.2 exists precisely to
+    compare such heuristics with very different quality/runtime
+    profiles fairly).
+
+    Moves are single-vertex flips; the cost is the weighted cut plus a
+    quadratic penalty on balance violation, so the walk can traverse
+    mildly unbalanced states and still land legal.  Geometric cooling,
+    Metropolis acceptance, best-legal-seen tracking. *)
+
+type result = {
+  solution : Hypart_partition.Bipartition.t;
+  cut : int;
+  legal : bool;
+  accepted : int;
+  attempted : int;
+}
+
+val run :
+  ?moves_per_vertex:int ->
+  ?initial_acceptance:float ->
+  ?cooling:float ->
+  ?balance_weight:float ->
+  Hypart_rng.Rng.t ->
+  Hypart_partition.Problem.t ->
+  result
+(** [run rng problem] anneals from a random legal start.
+    [moves_per_vertex] (default 100) scales the move budget;
+    [balance_weight] (default 1.0) multiplies the violation penalty
+    (relative to the average net weight).  Returns the best legal
+    solution encountered (falling back to the best overall when no
+    legal state was seen). *)

@@ -1,0 +1,1 @@
+lib/spectral/spectral.ml: Array Float Hypart_hypergraph Hypart_partition Hypart_rng List

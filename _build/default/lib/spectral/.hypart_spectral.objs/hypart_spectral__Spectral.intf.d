@@ -1,0 +1,1 @@
+lib/spectral/spectral.mli: Hypart_hypergraph Hypart_partition Hypart_rng

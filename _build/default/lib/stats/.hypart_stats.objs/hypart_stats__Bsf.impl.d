@@ -1,0 +1,1 @@
+lib/stats/bsf.ml: Array Descriptive Float Hypart_rng List

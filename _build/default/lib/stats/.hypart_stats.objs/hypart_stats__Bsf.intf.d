@@ -1,0 +1,1 @@
+lib/stats/bsf.mli: Hypart_rng

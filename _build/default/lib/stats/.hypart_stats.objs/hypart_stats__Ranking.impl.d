@@ -1,0 +1,1 @@
+lib/stats/ranking.ml: Array List

@@ -1,0 +1,84 @@
+module Rng = Hypart_rng.Rng
+
+type point = { budget : float; cost : float }
+
+let curve records =
+  let _, _, rev_points =
+    List.fold_left
+      (fun (elapsed, best, acc) (seconds, cost) ->
+        let elapsed = elapsed +. seconds in
+        if cost < best then (elapsed, cost, { budget = elapsed; cost } :: acc)
+        else (elapsed, best, acc))
+      (0.0, infinity, []) records
+  in
+  List.rev rev_points
+
+let value_at points tau =
+  List.fold_left
+    (fun acc p -> if p.budget <= tau then p.cost else acc)
+    infinity points
+
+type band = { p10 : float array; median : float array; p90 : float array }
+
+(* one resampled run sequence long enough to cover the largest budget *)
+let resample_curve rng records max_budget =
+  let n = Array.length records in
+  let seq = ref [] and elapsed = ref 0.0 in
+  while !elapsed < max_budget do
+    let seconds, cost = records.(Rng.int rng n) in
+    let seconds = Float.max seconds 1e-9 in
+    elapsed := !elapsed +. seconds;
+    seq := (seconds, cost) :: !seq
+  done;
+  curve (List.rev !seq)
+
+let quantile_band rng ~records ~budgets ~resamples =
+  if Array.length records = 0 then invalid_arg "Bsf.quantile_band: no records";
+  if resamples < 1 then invalid_arg "Bsf.quantile_band: resamples must be >= 1";
+  let max_budget = Array.fold_left max 0.0 budgets in
+  let nb = Array.length budgets in
+  let samples = Array.init nb (fun _ -> Array.make resamples infinity) in
+  for r = 0 to resamples - 1 do
+    let points = resample_curve rng records max_budget in
+    Array.iteri (fun i tau -> samples.(i).(r) <- value_at points tau) budgets
+  done;
+  let quantile q i =
+    let xs = samples.(i) in
+    if Array.exists (fun x -> x = infinity) xs then
+      (* quantiles over a sample containing infinities are only finite
+         when the quantile position avoids them; sorting handles it *)
+      (let sorted = Array.copy xs in
+       Array.sort compare sorted;
+       let pos = int_of_float (q *. float_of_int (resamples - 1)) in
+       sorted.(pos))
+    else Descriptive.quantile xs q
+  in
+  {
+    p10 = Array.init nb (quantile 0.10);
+    median = Array.init nb (quantile 0.50);
+    p90 = Array.init nb (quantile 0.90);
+  }
+
+let expected_curve rng ~records ~budgets ~resamples =
+  if Array.length records = 0 then invalid_arg "Bsf.expected_curve: no records";
+  if resamples < 1 then invalid_arg "Bsf.expected_curve: resamples must be >= 1";
+  let n = Array.length records in
+  let totals = Array.make (Array.length budgets) 0.0 in
+  for _ = 1 to resamples do
+    (* one random sequence: sample starts with replacement until the
+       largest budget is exhausted *)
+    let max_budget = Array.fold_left max 0.0 budgets in
+    let seq = ref [] and elapsed = ref 0.0 in
+    while !elapsed < max_budget do
+      let seconds, cost = records.(Rng.int rng n) in
+      (* guard against zero-time records looping forever *)
+      let seconds = Float.max seconds 1e-9 in
+      elapsed := !elapsed +. seconds;
+      seq := (seconds, cost) :: !seq
+    done;
+    let points = curve (List.rev !seq) in
+    Array.iteri
+      (fun i tau -> totals.(i) <- totals.(i) +. value_at points tau)
+      budgets
+  done;
+  Array.map (fun t -> t /. float_of_int resamples) totals

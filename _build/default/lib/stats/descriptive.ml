@@ -1,0 +1,60 @@
+type summary = {
+  n : int;
+  mean : float;
+  stddev : float;
+  min : float;
+  max : float;
+  median : float;
+}
+
+let mean xs =
+  let n = Array.length xs in
+  if n = 0 then 0.0 else Array.fold_left ( +. ) 0.0 xs /. float_of_int n
+
+let variance xs =
+  let n = Array.length xs in
+  if n < 2 then 0.0
+  else begin
+    let m = mean xs in
+    let ss = Array.fold_left (fun acc x -> acc +. ((x -. m) ** 2.0)) 0.0 xs in
+    ss /. float_of_int (n - 1)
+  end
+
+let stddev xs = sqrt (variance xs)
+
+let quantile xs q =
+  let n = Array.length xs in
+  if n = 0 then invalid_arg "Descriptive.quantile: empty sample";
+  if q < 0.0 || q > 1.0 then invalid_arg "Descriptive.quantile: q outside [0,1]";
+  let sorted = Array.copy xs in
+  Array.sort compare sorted;
+  let pos = q *. float_of_int (n - 1) in
+  let lo = int_of_float (Float.floor pos) in
+  let hi = int_of_float (Float.ceil pos) in
+  if lo = hi then sorted.(lo)
+  else begin
+    let frac = pos -. float_of_int lo in
+    (sorted.(lo) *. (1.0 -. frac)) +. (sorted.(hi) *. frac)
+  end
+
+let median xs = quantile xs 0.5
+
+let summarize xs =
+  let n = Array.length xs in
+  if n = 0 then invalid_arg "Descriptive.summarize: empty sample";
+  {
+    n;
+    mean = mean xs;
+    stddev = stddev xs;
+    min = Array.fold_left min xs.(0) xs;
+    max = Array.fold_left max xs.(0) xs;
+    median = median xs;
+  }
+
+let of_ints = Array.map float_of_int
+
+let min_avg cuts =
+  if Array.length cuts = 0 then invalid_arg "Descriptive.min_avg: empty sample";
+  let mn = Array.fold_left min cuts.(0) cuts in
+  let avg = mean (of_ints cuts) in
+  Printf.sprintf "%d/%d" mn (int_of_float (Float.round avg))

@@ -1,0 +1,47 @@
+type t = { lo : float; hi : float; counts : int array; n : int }
+
+let build ~bins xs =
+  if bins < 1 then invalid_arg "Histogram.build: bins must be >= 1";
+  let n = Array.length xs in
+  if n = 0 then invalid_arg "Histogram.build: empty sample";
+  let lo = Array.fold_left min xs.(0) xs in
+  let hi = Array.fold_left max xs.(0) xs in
+  let counts = Array.make bins 0 in
+  if lo = hi then counts.(bins / 2) <- n
+  else begin
+    let width = (hi -. lo) /. float_of_int bins in
+    Array.iter
+      (fun x ->
+        let b = int_of_float ((x -. lo) /. width) in
+        let b = if b >= bins then bins - 1 else b in
+        counts.(b) <- counts.(b) + 1)
+      xs
+  end;
+  { lo; hi; counts; n }
+
+let bin_of t x =
+  if x < t.lo || x > t.hi then None
+  else if t.lo = t.hi then Some (Array.length t.counts / 2)
+  else begin
+    let bins = Array.length t.counts in
+    let width = (t.hi -. t.lo) /. float_of_int bins in
+    let b = int_of_float ((x -. t.lo) /. width) in
+    Some (if b >= bins then bins - 1 else b)
+  end
+
+let render ?(width = 40) t =
+  let bins = Array.length t.counts in
+  let max_count = Array.fold_left max 1 t.counts in
+  let buf = Buffer.create 256 in
+  let bin_width =
+    if t.lo = t.hi then 0.0 else (t.hi -. t.lo) /. float_of_int bins
+  in
+  Array.iteri
+    (fun i c ->
+      let lo = t.lo +. (float_of_int i *. bin_width) in
+      let hi = lo +. bin_width in
+      let bar = c * width / max_count in
+      Buffer.add_string buf
+        (Printf.sprintf "[%10.1f, %10.1f) %6d %s\n" lo hi c (String.make bar '#')))
+    t.counts;
+  Buffer.contents buf

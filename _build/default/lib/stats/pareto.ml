@@ -1,0 +1,16 @@
+type 'a point = { label : 'a; cost : float; runtime : float }
+
+let dominates b a = b.cost < a.cost && b.runtime < a.runtime
+
+let frontier points =
+  let non_dominated =
+    List.filter
+      (fun a -> not (List.exists (fun b -> dominates b a) points))
+      points
+  in
+  List.sort
+    (fun a b ->
+      match compare a.runtime b.runtime with
+      | 0 -> compare a.cost b.cost
+      | c -> c)
+    non_dominated

@@ -1,0 +1,32 @@
+type 'name row = {
+  budget : float;
+  winner : 'name;
+  values : ('name * float) list;
+}
+
+let rank_at_budgets ~budgets ~curves =
+  if curves = [] then invalid_arg "Ranking.rank_at_budgets: no curves";
+  List.iter
+    (fun (_, values) ->
+      if Array.length values <> Array.length budgets then
+        invalid_arg "Ranking.rank_at_budgets: curve length mismatch")
+    curves;
+  Array.to_list
+    (Array.mapi
+       (fun i budget ->
+         let values = List.map (fun (name, vs) -> (name, vs.(i))) curves in
+         let winner, _ =
+           List.fold_left
+             (fun (bn, bv) (name, v) -> if v < bv then (name, v) else (bn, bv))
+             (List.hd values |> fun (n, v) -> (n, v))
+             (List.tl values)
+         in
+         { budget; winner; values })
+       budgets)
+
+let dominance_table ~budgets ~per_instance =
+  List.map
+    (fun (instance, curves) ->
+      let rows = rank_at_budgets ~budgets ~curves in
+      (instance, Array.of_list (List.map (fun r -> r.winner) rows)))
+    per_instance

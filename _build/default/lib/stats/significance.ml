@@ -1,0 +1,162 @@
+type test_result = { statistic : float; p_value : float }
+
+(* log Gamma by the Lanczos approximation (g = 7, 9 coefficients);
+   |relative error| < 1e-13 for positive arguments. *)
+let lanczos_c =
+  [|
+    0.99999999999980993; 676.5203681218851; -1259.1392167224028;
+    771.32342877765313; -176.61502916214059; 12.507343278686905;
+    -0.13857109526572012; 9.9843695780195716e-6; 1.5056327351493116e-7;
+  |]
+
+let rec lgamma z =
+  if z < 0.5 then
+    (* reflection formula *)
+    Float.log (Float.pi /. Float.sin (Float.pi *. z)) -. lgamma (1.0 -. z)
+  else begin
+    let z = z -. 1.0 in
+    let x = ref lanczos_c.(0) in
+    for i = 1 to 8 do
+      x := !x +. (lanczos_c.(i) /. (z +. float_of_int i))
+    done;
+    let t = z +. 7.5 in
+    (0.5 *. Float.log (2.0 *. Float.pi))
+    +. ((z +. 0.5) *. Float.log t)
+    -. t
+    +. Float.log !x
+  end
+
+(* Regularized incomplete beta function I_x(a, b) by the Lentz continued
+   fraction (Numerical Recipes ch. 6.4); accurate to ~1e-12 for the
+   parameter ranges t-tests need. *)
+let rec incomplete_beta a b x =
+  if x < 0.0 || x > 1.0 then invalid_arg "incomplete_beta: x outside [0,1]";
+  if x = 0.0 then 0.0
+  else if x = 1.0 then 1.0
+  else begin
+    let ln_beta = lgamma a +. lgamma b -. lgamma (a +. b) in
+    let front =
+      Float.exp
+        ((a *. Float.log x) +. (b *. Float.log (1.0 -. x)) -. ln_beta)
+    in
+    (* continued fraction converges fastest when x < (a+1)/(a+b+2) *)
+    if x > (a +. 1.0) /. (a +. b +. 2.0) then
+      1.0 -. incomplete_beta b a (1.0 -. x)
+    else begin
+      let tiny = 1e-30 in
+      let qab = a +. b and qap = a +. 1.0 and qam = a -. 1.0 in
+      let c = ref 1.0 in
+      let d = ref (1.0 -. (qab *. x /. qap)) in
+      if Float.abs !d < tiny then d := tiny;
+      d := 1.0 /. !d;
+      let h = ref !d in
+      (try
+         for m = 1 to 200 do
+           let fm = float_of_int m in
+           let m2 = 2.0 *. fm in
+           let aa = fm *. (b -. fm) *. x /. ((qam +. m2) *. (a +. m2)) in
+           d := 1.0 +. (aa *. !d);
+           if Float.abs !d < tiny then d := tiny;
+           c := 1.0 +. (aa /. !c);
+           if Float.abs !c < tiny then c := tiny;
+           d := 1.0 /. !d;
+           h := !h *. !d *. !c;
+           let aa =
+             -.(a +. fm) *. (qab +. fm) *. x /. ((a +. m2) *. (qap +. m2))
+           in
+           d := 1.0 +. (aa *. !d);
+           if Float.abs !d < tiny then d := tiny;
+           c := 1.0 +. (aa /. !c);
+           if Float.abs !c < tiny then c := tiny;
+           d := 1.0 /. !d;
+           let del = !d *. !c in
+           h := !h *. del;
+           if Float.abs (del -. 1.0) < 1e-13 then raise Exit
+         done
+       with Exit -> ());
+      front *. !h /. a
+    end
+  end
+
+let student_t_cdf ~df t =
+  (* P(T <= t) = 1 - I_{df/(df+t^2)}(df/2, 1/2) / 2 for t >= 0 *)
+  let x = df /. (df +. (t *. t)) in
+  let tail = incomplete_beta (df /. 2.0) 0.5 x /. 2.0 in
+  if t >= 0.0 then 1.0 -. tail else tail
+
+let welch_t_test xs ys =
+  let nx = Array.length xs and ny = Array.length ys in
+  if nx < 2 || ny < 2 then
+    invalid_arg "Significance.welch_t_test: need >= 2 observations per sample";
+  let mx = Descriptive.mean xs and my = Descriptive.mean ys in
+  let vx = Descriptive.variance xs and vy = Descriptive.variance ys in
+  let sx = vx /. float_of_int nx and sy = vy /. float_of_int ny in
+  if sx +. sy = 0.0 then
+    (* identical constant samples: no evidence of difference *)
+    { statistic = 0.0; p_value = (if mx = my then 1.0 else 0.0) }
+  else begin
+    let t = (mx -. my) /. sqrt (sx +. sy) in
+    let df =
+      ((sx +. sy) ** 2.0)
+      /. ((sx ** 2.0 /. float_of_int (nx - 1)) +. (sy ** 2.0 /. float_of_int (ny - 1)))
+    in
+    let p = 2.0 *. (1.0 -. student_t_cdf ~df (Float.abs t)) in
+    { statistic = t; p_value = Float.min 1.0 p }
+  end
+
+(* standard normal CDF via erfc-like rational approximation
+   (Abramowitz & Stegun 26.2.17, |error| < 7.5e-8) *)
+let normal_cdf z =
+  let b = [| 0.319381530; -0.356563782; 1.781477937; -1.821255978; 1.330274429 |] in
+  let az = Float.abs z in
+  let t = 1.0 /. (1.0 +. (0.2316419 *. az)) in
+  let poly =
+    t *. (b.(0) +. (t *. (b.(1) +. (t *. (b.(2) +. (t *. (b.(3) +. (t *. b.(4)))))))))
+  in
+  let pdf = Float.exp (-.(az *. az) /. 2.0) /. sqrt (2.0 *. Float.pi) in
+  let upper = pdf *. poly in
+  if z >= 0.0 then 1.0 -. upper else upper
+
+let mann_whitney_u xs ys =
+  let nx = Array.length xs and ny = Array.length ys in
+  if nx < 2 || ny < 2 then
+    invalid_arg "Significance.mann_whitney_u: need >= 2 observations per sample";
+  (* rank the pooled sample, averaging ranks within ties *)
+  let pooled =
+    Array.append (Array.map (fun x -> (x, 0)) xs) (Array.map (fun y -> (y, 1)) ys)
+  in
+  Array.sort (fun (a, _) (b, _) -> compare a b) pooled;
+  let n = nx + ny in
+  let ranks = Array.make n 0.0 in
+  let tie_correction = ref 0.0 in
+  let i = ref 0 in
+  while !i < n do
+    let j = ref !i in
+    let v = fst pooled.(!i) in
+    while !j < n - 1 && fst pooled.(!j + 1) = v do
+      incr j
+    done;
+    let avg_rank = float_of_int (!i + !j + 2) /. 2.0 in
+    for k = !i to !j do
+      ranks.(k) <- avg_rank
+    done;
+    let t = float_of_int (!j - !i + 1) in
+    tie_correction := !tie_correction +. ((t ** 3.0) -. t);
+    i := !j + 1
+  done;
+  let rank_sum_x = ref 0.0 in
+  Array.iteri (fun k (_, src) -> if src = 0 then rank_sum_x := !rank_sum_x +. ranks.(k)) pooled;
+  let fnx = float_of_int nx and fny = float_of_int ny and fn = float_of_int n in
+  let u = !rank_sum_x -. (fnx *. (fnx +. 1.0) /. 2.0) in
+  let mu = fnx *. fny /. 2.0 in
+  let sigma2 =
+    fnx *. fny /. 12.0
+    *. (fn +. 1.0 -. (!tie_correction /. (fn *. (fn -. 1.0))))
+  in
+  if sigma2 <= 0.0 then { statistic = u; p_value = 1.0 }
+  else begin
+    (* continuity correction *)
+    let z = (u -. mu -. (if u > mu then 0.5 else -0.5)) /. sqrt sigma2 in
+    let p = 2.0 *. (1.0 -. normal_cdf (Float.abs z)) in
+    { statistic = u; p_value = Float.min 1.0 p }
+  end

@@ -1,0 +1,1 @@
+test/test_bookshelf.ml: Alcotest Array Filename Hypart_generator Hypart_hypergraph Hypart_placement Hypart_rng String

@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Bipartition Descriptive Experiments Fm Fm_config Hypart Hypergraph Ibm_suite Kway_fm Ml_partitioner Problem Recursive_bisection Rng Stats_summary String Table Topdown

@@ -1,0 +1,1 @@
+test/test_fm.ml: Alcotest Array Hashtbl Hypart_fm Hypart_hypergraph Hypart_partition Hypart_rng List Option QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_generator.ml: Alcotest Hypart_generator Hypart_hypergraph Hypart_rng List Printf QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_golden.ml: Alcotest Array Hypart_fm Hypart_generator Hypart_hypergraph Hypart_multilevel Hypart_partition Hypart_rng List Sys

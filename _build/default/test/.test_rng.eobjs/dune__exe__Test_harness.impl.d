@@ -1,0 +1,1 @@
+test/test_harness.ml: Alcotest Hypart_fm Hypart_generator Hypart_harness Hypart_partition Hypart_rng List String

@@ -1,0 +1,1 @@
+test/test_hypergraph.ml: Alcotest Array Format Hypart_hypergraph Hypart_rng List QCheck QCheck_alcotest String

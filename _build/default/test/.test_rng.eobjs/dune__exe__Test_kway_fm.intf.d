@@ -1,0 +1,1 @@
+test/test_kway_fm.mli:

@@ -1,0 +1,1 @@
+test/test_lookahead.ml: Alcotest Array Hypart_fm Hypart_generator Hypart_hypergraph Hypart_partition Hypart_rng List Printf QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_netlist_io.ml: Alcotest Array Filename Hypart_hypergraph Hypart_rng Printf QCheck QCheck_alcotest

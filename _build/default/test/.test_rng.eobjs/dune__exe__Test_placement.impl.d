@@ -1,0 +1,1 @@
+test/test_placement.ml: Alcotest Array Filename Float Hashtbl Hypart_generator Hypart_hypergraph Hypart_placement Hypart_rng List Printf QCheck QCheck_alcotest String

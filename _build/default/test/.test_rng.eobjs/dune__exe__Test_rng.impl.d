@@ -1,0 +1,1 @@
+test/test_rng.ml: Alcotest Array Hypart_rng Printf QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_sa.ml: Alcotest Array Hypart_fm Hypart_generator Hypart_hypergraph Hypart_partition Hypart_rng Hypart_sa Printf

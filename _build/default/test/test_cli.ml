@@ -1,0 +1,98 @@
+(* Integration tests: drive the hypart executable end-to-end through a
+   temp directory — generate, partition, evaluate, kway, tables. *)
+
+let exe =
+  (* test binaries run in _build/default/test; the CLI is a sibling *)
+  Filename.concat (Filename.dirname Sys.executable_name) "../bin/hypart.exe"
+
+let tmpdir = Filename.get_temp_dir_name ()
+
+let run_cmd args =
+  let out = Filename.concat tmpdir "hypart_cli_out.txt" in
+  let cmd =
+    Printf.sprintf "%s %s > %s 2>&1" (Filename.quote exe) args (Filename.quote out)
+  in
+  let code = Sys.command cmd in
+  let ic = open_in out in
+  let n = in_channel_length ic in
+  let contents = really_input_string ic n in
+  close_in ic;
+  (code, contents)
+
+let contains s needle =
+  let nl = String.length needle and sl = String.length s in
+  let rec scan i = i + nl <= sl && (String.sub s i nl = needle || scan (i + 1)) in
+  scan 0
+
+let check_ok name (code, out) needles =
+  Alcotest.(check int) (name ^ " exit code") 0 code;
+  List.iter
+    (fun needle ->
+      if not (contains out needle) then
+        Alcotest.failf "%s: expected %S in output:\n%s" name needle out)
+    needles
+
+let base = Filename.concat tmpdir "hypart_cli_ibm01"
+
+let test_generate () =
+  check_ok "generate"
+    (run_cmd (Printf.sprintf "generate ibm01 --scale 64 -o %s" (Filename.quote base)))
+    [ "hypergraph:"; "wrote" ];
+  Alcotest.(check bool) "hgr exists" true (Sys.file_exists (base ^ ".hgr"));
+  Alcotest.(check bool) "are exists" true (Sys.file_exists (base ^ ".are"))
+
+let test_partition_name () =
+  check_ok "partition by name"
+    (run_cmd "partition ibm01 --scale 64 --engine flat --starts 2")
+    [ "best cut:"; "legal"; "per-start cuts:" ]
+
+let test_partition_file () =
+  check_ok "partition .hgr file"
+    (run_cmd (Printf.sprintf "partition %s.hgr --engine mlclip" base))
+    [ "best cut:" ]
+
+let test_kway_and_evaluate () =
+  let part = Filename.concat tmpdir "hypart_cli.part" in
+  check_ok "kway"
+    (run_cmd
+       (Printf.sprintf "kway %s.hgr -k 3 -o %s" base (Filename.quote part)))
+    [ "3-way cut"; "part weights:" ];
+  check_ok "evaluate k-way"
+    (run_cmd (Printf.sprintf "evaluate %s.hgr %s" base (Filename.quote part)))
+    [ "3-way cut:" ]
+
+let test_table_csv () =
+  let code, out =
+    run_cmd "table2 --scale 64 --runs 2 --instances ibm01 --csv"
+  in
+  Alcotest.(check int) "exit" 0 code;
+  Alcotest.(check bool) "csv header" true
+    (contains out "Tolerance,Algorithm,ibm01")
+
+let test_fixed_subcommand () =
+  check_ok "fixed"
+    (run_cmd "fixed --scale 64 --runs 2")
+    [ "fixed %"; "stddev" ]
+
+let test_unknown_engine_fails () =
+  let code, _ = run_cmd "partition ibm01 --scale 64 --engine bogus" in
+  Alcotest.(check bool) "nonzero exit" true (code <> 0)
+
+let test_help () =
+  check_ok "help" (run_cmd "--help=plain") [ "table1"; "partition"; "pareto" ]
+
+let () =
+  Alcotest.run "cli"
+    [
+      ( "subcommands",
+        [
+          Alcotest.test_case "generate" `Quick test_generate;
+          Alcotest.test_case "partition by name" `Quick test_partition_name;
+          Alcotest.test_case "partition file" `Quick test_partition_file;
+          Alcotest.test_case "kway + evaluate" `Quick test_kway_and_evaluate;
+          Alcotest.test_case "table csv" `Quick test_table_csv;
+          Alcotest.test_case "fixed" `Quick test_fixed_subcommand;
+          Alcotest.test_case "unknown engine" `Quick test_unknown_engine_fails;
+          Alcotest.test_case "help" `Quick test_help;
+        ] );
+    ]

@@ -1,0 +1,44 @@
+(* Facade smoke test: the whole public API is reachable through the
+   single Hypart module, and a small end-to-end pipeline works. *)
+
+let test_end_to_end () =
+  let open Hypart in
+  let h = Ibm_suite.instance ~scale:64.0 "ibm01" in
+  let problem = Problem.make ~tolerance:0.10 h in
+  let rng = Rng.create 1 in
+  (* flat, clip, ml, kl, kway, placement through the facade *)
+  let flat = Fm.run_random_start ~config:Fm_config.strong_lifo rng problem in
+  Alcotest.(check bool) "flat legal" true flat.Fm.legal;
+  let ml = Ml_partitioner.run rng problem in
+  Alcotest.(check int) "ml cut consistent" (Bipartition.cut h ml.Fm.solution)
+    ml.Fm.cut;
+  let kway = Recursive_bisection.run ~k:3 rng h in
+  Alcotest.(check int) "kway consistent"
+    (Recursive_bisection.kway_cut h kway.Recursive_bisection.part_of)
+    kway.Recursive_bisection.cut;
+  let direct = Kway_fm.run_random_start ~k:3 rng h in
+  Alcotest.(check bool) "direct kway sane" true (direct.Kway_fm.cut >= 0);
+  let pl = Topdown.place rng h in
+  Alcotest.(check bool) "placement hpwl positive" true (Topdown.hpwl h pl > 0.0);
+  let stats = Hypergraph.stats h in
+  Alcotest.(check bool) "stats reachable" true
+    (stats.Stats_summary.num_vertices > 0);
+  let summary = Descriptive.summarize [| 1.0; 2.0 |] in
+  Alcotest.(check int) "stats lib reachable" 2 summary.Descriptive.n
+
+let test_table_pipeline () =
+  let open Hypart in
+  let table =
+    Experiments.table1 ~scale:64.0 ~runs:2 ~instances:[ "ibm01" ] ~seed:1 ()
+  in
+  Alcotest.(check bool) "table renders" true (String.length (Table.render table) > 0)
+
+let () =
+  Alcotest.run "core facade"
+    [
+      ( "facade",
+        [
+          Alcotest.test_case "end to end" `Quick test_end_to_end;
+          Alcotest.test_case "table pipeline" `Quick test_table_pipeline;
+        ] );
+    ]

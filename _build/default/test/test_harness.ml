@@ -1,0 +1,248 @@
+module Machine = Hypart_harness.Machine
+module Table = Hypart_harness.Table
+module Experiments = Hypart_harness.Experiments
+
+(* -- Machine -- *)
+
+let test_cpu_time () =
+  let r, dt = Machine.cpu_time (fun () -> 42) in
+  Alcotest.(check int) "result passed through" 42 r;
+  Alcotest.(check bool) "time nonnegative" true (dt >= 0.0)
+
+let test_normalization () =
+  Machine.set_normalization_factor 2.0;
+  Alcotest.(check (float 1e-9)) "factor applied" 3.0 (Machine.normalize 1.5);
+  Machine.set_normalization_factor 1.0;
+  Alcotest.(check (float 1e-9)) "reset" 1.5 (Machine.normalize 1.5);
+  Alcotest.check_raises "bad factor" (Invalid_argument "x") (fun () ->
+      try Machine.set_normalization_factor 0.0
+      with Invalid_argument _ -> raise (Invalid_argument "x"))
+
+(* -- Table -- *)
+
+let test_table_render () =
+  let t = Table.make ~headers:[ "Algorithm"; "ibm01" ] in
+  Table.add_row t [ "Our LIFO"; "333/639" ];
+  Table.add_row t [ "Reported"; "450/2701" ];
+  let s = Table.render t in
+  Alcotest.(check bool) "has header" true
+    (String.length s > 0 && String.sub s 0 9 = "Algorithm");
+  (* all data present *)
+  List.iter
+    (fun needle ->
+      let found =
+        let nl = String.length needle and sl = String.length s in
+        let rec scan i = i + nl <= sl && (String.sub s i nl = needle || scan (i + 1)) in
+        scan 0
+      in
+      Alcotest.(check bool) (needle ^ " present") true found)
+    [ "333/639"; "450/2701"; "Our LIFO" ]
+
+let test_table_width_mismatch () =
+  let t = Table.make ~headers:[ "a"; "b" ] in
+  Alcotest.check_raises "width" (Invalid_argument "x") (fun () ->
+      try Table.add_row t [ "only one" ]
+      with Invalid_argument _ -> raise (Invalid_argument "x"))
+
+let test_table_csv () =
+  let t = Table.make ~headers:[ "x"; "y" ] in
+  Table.add_row t [ "1"; "has,comma" ];
+  Table.add_span t "section";
+  Table.add_separator t;
+  Table.add_row t [ "2"; "plain" ];
+  let csv = Table.to_csv t in
+  Alcotest.(check string) "csv escaping and structure"
+    "x,y\n1,\"has,comma\"\nsection\n2,plain\n" csv
+
+(* -- Parallel -- *)
+
+module Parallel = Hypart_harness.Parallel
+
+let test_parallel_matches_sequential () =
+  let seeds = [ 1; 5; 9; 13; 2; 7 ] in
+  let f seed = seed * seed in
+  Alcotest.(check (list int)) "same results in order" (List.map f seeds)
+    (Parallel.map_seeds ~domains:3 ~seeds f)
+
+let test_parallel_engine_runs () =
+  (* real engine fan-out agrees with sequential execution *)
+  let h = Hypart_generator.Ibm_suite.instance ~scale:64.0 "ibm01" in
+  let p = Hypart_partition.Problem.make ~tolerance:0.10 h in
+  let run seed =
+    (Hypart_fm.Fm.run_random_start (Hypart_rng.Rng.create seed) p).Hypart_fm.Fm.cut
+  in
+  let seeds = [ 1; 2; 3; 4 ] in
+  Alcotest.(check (list int)) "parallel = sequential" (List.map run seeds)
+    (Parallel.map_seeds ~domains:2 ~seeds run)
+
+let test_parallel_best_of () =
+  let result = Parallel.best_of ~domains:2 ~seeds:[ 3; 1; 2 ] (fun s -> (s, -s)) in
+  Alcotest.(check bool) "lowest cost wins" true (result = Some (1, -1));
+  Alcotest.(check bool) "empty -> None" true
+    (Parallel.best_of ~seeds:[] (fun s -> (s, s)) = None)
+
+let test_parallel_more_domains_than_seeds () =
+  Alcotest.(check (list int)) "caps domains" [ 10 ]
+    (Parallel.map_seeds ~domains:8 ~seeds:[ 5 ] (fun s -> 2 * s))
+
+let test_parallel_invalid () =
+  Alcotest.check_raises "bad domains" (Invalid_argument "x") (fun () ->
+      try ignore (Parallel.map_seeds ~domains:0 ~seeds:[ 1 ] (fun s -> s))
+      with Invalid_argument _ -> raise (Invalid_argument "x"))
+
+(* -- Experiments (smoke tests at tiny scale) -- *)
+
+let contains s needle =
+  let nl = String.length needle and sl = String.length s in
+  let rec scan i = i + nl <= sl && (String.sub s i nl = needle || scan (i + 1)) in
+  scan 0
+
+let test_table1_smoke () =
+  let t =
+    Experiments.table1 ~scale:64.0 ~runs:2 ~instances:[ "ibm01" ] ~seed:1 ()
+  in
+  let s = Table.render t in
+  List.iter
+    (fun needle -> Alcotest.(check bool) (needle ^ " present") true (contains s needle))
+    [ "Flat LIFO FM"; "Flat CLIP FM"; "ML LIFO FM"; "ML CLIP FM";
+      "Away"; "Part0"; "Toward"; "All-dg"; "Nonzero"; "ibm01" ]
+
+let test_table23_smoke () =
+  let t =
+    Experiments.table_reported_vs_ours ~engine:`Clip ~scale:64.0 ~runs:2
+      ~instances:[ "ibm01" ] ~seed:1 ()
+  in
+  let s = Table.render t in
+  List.iter
+    (fun needle -> Alcotest.(check bool) (needle ^ " present") true (contains s needle))
+    [ "Reported CLIP"; "Our CLIP"; "02%"; "10%" ]
+
+let test_table45_smoke () =
+  let t =
+    Experiments.table_multistart_eval ~scale:64.0 ~repeats:1 ~configs:[ 1; 2 ]
+      ~instances:[ "ibm01" ] ~tolerance:0.10 ~seed:1 ()
+  in
+  let s = Table.render t in
+  Alcotest.(check bool) "has starts columns" true (contains s "2 starts");
+  Alcotest.(check bool) "has instance" true (contains s "ibm01")
+
+let test_bsf_smoke () =
+  let t =
+    Experiments.bsf_figure ~scale:64.0 ~starts:3 ~budgets:[| 0.01; 1.0 |]
+      ~instance:"ibm01" ~seed:1 ()
+  in
+  let s = Table.render t in
+  Alcotest.(check bool) "has heuristics" true (contains s "Flat LIFO FM")
+
+let test_pareto_smoke () =
+  let t, frontier =
+    Experiments.pareto_figure ~scale:64.0 ~repeats:1 ~instance:"ibm01" ~seed:1 ()
+  in
+  let s = Table.render t in
+  Alcotest.(check bool) "frontier nonempty" true (List.length frontier >= 1);
+  Alcotest.(check bool) "table marks frontier" true (contains s "*")
+
+let test_corking_smoke () =
+  let t = Experiments.corking_report ~scale:16.0 ~runs:3 ~instance:"ibm01" ~seed:1 () in
+  let s = Table.render t in
+  Alcotest.(check bool) "both variants shown" true
+    (contains s "Reported CLIP (no fix)" && contains s "Our CLIP (corking fix)")
+
+let test_compare_engines () =
+  (* reported vs strong: clearly significant at modest run counts *)
+  let table, verdict =
+    Experiments.compare_engines ~scale:16.0 ~runs:12 ~engine_a:"reported"
+      ~engine_b:"flat" ~instance:"ibm01" ~seed:1 ()
+  in
+  let s = Table.render table in
+  Alcotest.(check bool) "both rows present" true
+    (contains s "reported" && contains s "flat");
+  Alcotest.(check bool) "flat wins significantly" true
+    (contains verdict "flat is significantly better");
+  (* engine vs itself: never significant *)
+  let _, same =
+    Experiments.compare_engines ~scale:32.0 ~runs:10 ~engine_a:"flat"
+      ~engine_b:"flat" ~instance:"ibm01" ~seed:1 ()
+  in
+  Alcotest.(check bool) "identical samples not significant" true
+    (contains same "no significant difference")
+
+let test_compare_unknown_engine () =
+  Alcotest.check_raises "unknown engine" (Invalid_argument "x") (fun () ->
+      try
+        ignore
+          (Experiments.compare_engines ~scale:64.0 ~runs:2 ~engine_a:"bogus"
+             ~engine_b:"flat" ~instance:"ibm01" ~seed:1 ())
+      with Invalid_argument _ -> raise (Invalid_argument "x"))
+
+let test_placement_table_smoke () =
+  let t =
+    Experiments.placement_table ~scale:64.0 ~runs:1 ~instance:"ibm01" ~seed:1 ()
+  in
+  let s = Table.render t in
+  List.iter
+    (fun needle -> Alcotest.(check bool) (needle ^ " present") true (contains s needle))
+    [ "random placement"; "Reported LIFO FM"; "multilevel"; "avg HPWL" ]
+
+let test_ablation_smoke () =
+  let t =
+    Experiments.ablation_table ~scale:64.0 ~runs:2 ~instance:"ibm01" ~seed:1 ()
+  in
+  let s = Table.render t in
+  List.iter
+    (fun needle -> Alcotest.(check bool) (needle ^ " present") true (contains s needle))
+    [ "insertion"; "illegal head"; "oversized cells"; "pass best";
+      "initial solution"; "coarsening"; "refinement"; "cluster-grown";
+      "first-choice" ]
+
+let test_experiments_deterministic () =
+  let a =
+    Table.render
+      (Experiments.table1 ~scale:64.0 ~runs:2 ~instances:[ "ibm01" ] ~seed:7 ())
+  in
+  let b =
+    Table.render
+      (Experiments.table1 ~scale:64.0 ~runs:2 ~instances:[ "ibm01" ] ~seed:7 ())
+  in
+  Alcotest.(check string) "same seed, same table" a b
+
+let () =
+  Alcotest.run "harness"
+    [
+      ( "machine",
+        [
+          Alcotest.test_case "cpu_time" `Quick test_cpu_time;
+          Alcotest.test_case "normalization" `Quick test_normalization;
+        ] );
+      ( "table",
+        [
+          Alcotest.test_case "render" `Quick test_table_render;
+          Alcotest.test_case "width mismatch" `Quick test_table_width_mismatch;
+          Alcotest.test_case "csv" `Quick test_table_csv;
+        ] );
+      ( "parallel",
+        [
+          Alcotest.test_case "matches sequential" `Quick
+            test_parallel_matches_sequential;
+          Alcotest.test_case "engine fan-out" `Quick test_parallel_engine_runs;
+          Alcotest.test_case "best_of" `Quick test_parallel_best_of;
+          Alcotest.test_case "domain cap" `Quick
+            test_parallel_more_domains_than_seeds;
+          Alcotest.test_case "invalid" `Quick test_parallel_invalid;
+        ] );
+      ( "experiments",
+        [
+          Alcotest.test_case "table1" `Quick test_table1_smoke;
+          Alcotest.test_case "tables 2/3" `Quick test_table23_smoke;
+          Alcotest.test_case "tables 4/5" `Quick test_table45_smoke;
+          Alcotest.test_case "bsf" `Quick test_bsf_smoke;
+          Alcotest.test_case "pareto" `Quick test_pareto_smoke;
+          Alcotest.test_case "corking" `Quick test_corking_smoke;
+          Alcotest.test_case "ablation" `Quick test_ablation_smoke;
+          Alcotest.test_case "placement quality" `Quick test_placement_table_smoke;
+          Alcotest.test_case "compare engines" `Quick test_compare_engines;
+          Alcotest.test_case "compare unknown engine" `Quick
+            test_compare_unknown_engine;
+          Alcotest.test_case "deterministic" `Quick test_experiments_deterministic;
+        ] );
+    ]

@@ -1,0 +1,93 @@
+module H = Hypart_hypergraph.Hypergraph
+module K = Hypart_partition.Kway_objective
+
+(* net 0 {0 1 2}, net 1 {1 3}, net 2 {2 3 4}, net 3 {0 4}; weight of
+   net 3 is 2 *)
+let sample () =
+  H.create ~num_vertices:5
+    ~edge_weights:[| 1; 1; 1; 2 |]
+    ~edges:[| [| 0; 1; 2 |]; [| 1; 3 |]; [| 2; 3; 4 |]; [| 0; 4 |] |]
+    ()
+
+let test_lambda () =
+  let h = sample () in
+  let part_of = [| 0; 1; 2; 1; 0 |] in
+  Alcotest.(check int) "net 0 touches 3 parts" 3 (K.lambda h part_of 0);
+  Alcotest.(check int) "net 1 internal to part 1" 1 (K.lambda h part_of 1);
+  Alcotest.(check int) "net 2 touches 3" 3 (K.lambda h part_of 2);
+  Alcotest.(check int) "net 3 internal to part 0" 1 (K.lambda h part_of 3)
+
+let test_metrics () =
+  let h = sample () in
+  let part_of = [| 0; 1; 2; 1; 0 |] in
+  (* cut: nets 0 and 2 span -> 1 + 1 = 2 *)
+  Alcotest.(check int) "cut" 2 (K.cut h part_of);
+  (* k-1: net0 (3-1) + net1 0 + net2 (3-1) + net3 0 = 4 *)
+  Alcotest.(check int) "k-1" 4 (K.k_minus_1 h part_of);
+  (* soed: net0 3 + net2 3 = 6 *)
+  Alcotest.(check int) "soed" 6 (K.soed h part_of)
+
+let test_metrics_agree_for_bipartitions () =
+  let h = sample () in
+  let part_of = [| 0; 0; 1; 1; 0 |] in
+  (* for k = 2, cut = k-1 metric, and soed = 2 cut *)
+  Alcotest.(check int) "cut = k-1" (K.cut h part_of) (K.k_minus_1 h part_of);
+  Alcotest.(check int) "soed = 2 cut" (2 * K.cut h part_of) (K.soed h part_of)
+
+let test_weighted () =
+  let h = sample () in
+  (* cut net 3 (weight 2) only: split {0} vs rest... net3 {0,4}: parts 0/1;
+     net0 {0,1,2}: 0 with 1 -> spans. Choose parts to cut only net 3:
+     impossible (0 shares net0). Use all-same except 4. *)
+  let part_of = [| 0; 0; 0; 0; 1 |] in
+  (* nets spanning: net2 {2,3,4} and net3 {0,4} -> cut = 1 + 2 = 3 *)
+  Alcotest.(check int) "weighted cut" 3 (K.cut h part_of);
+  Alcotest.(check int) "weighted soed" 6 (K.soed h part_of)
+
+let test_part_weights () =
+  let h = sample () in
+  let w = K.part_weights h [| 0; 1; 2; 1; 0 |] ~k:3 in
+  Alcotest.(check (array int)) "weights" [| 2; 2; 1 |] w;
+  Alcotest.check_raises "out of range" (Invalid_argument "x") (fun () ->
+      try ignore (K.part_weights h [| 0; 1; 5; 1; 0 |] ~k:3)
+      with Invalid_argument _ -> raise (Invalid_argument "x"))
+
+let test_consistency_with_engines () =
+  let h = Hypart_generator.Ibm_suite.instance ~scale:32.0 "ibm01" in
+  let r = Hypart_multilevel.Recursive_bisection.run ~k:4 (Hypart_rng.Rng.create 1) h in
+  Alcotest.(check int) "rb cut = objective cut"
+    r.Hypart_multilevel.Recursive_bisection.cut
+    (K.cut h r.Hypart_multilevel.Recursive_bisection.part_of);
+  Alcotest.(check bool) "k-1 >= cut" true
+    (K.k_minus_1 h r.Hypart_multilevel.Recursive_bisection.part_of
+    >= K.cut h r.Hypart_multilevel.Recursive_bisection.part_of)
+
+let test_ml_kway_multistart () =
+  let h = Hypart_generator.Ibm_suite.instance ~scale:32.0 "ibm01" in
+  let best, cuts =
+    Hypart_multilevel.Ml_kway.multistart ~k:3 (Hypart_rng.Rng.create 2) h
+      ~starts:3
+  in
+  Alcotest.(check int) "3 cuts" 3 (List.length cuts);
+  List.iter
+    (fun c ->
+      Alcotest.(check bool) "best <= each" true
+        (best.Hypart_fm.Kway_fm.cut <= c))
+    cuts
+
+let () =
+  Alcotest.run "kway_objective"
+    [
+      ( "metrics",
+        [
+          Alcotest.test_case "lambda" `Quick test_lambda;
+          Alcotest.test_case "cut / k-1 / soed" `Quick test_metrics;
+          Alcotest.test_case "bipartition identities" `Quick
+            test_metrics_agree_for_bipartitions;
+          Alcotest.test_case "weighted" `Quick test_weighted;
+          Alcotest.test_case "part weights" `Quick test_part_weights;
+          Alcotest.test_case "engine consistency" `Quick
+            test_consistency_with_engines;
+          Alcotest.test_case "ml kway multistart" `Quick test_ml_kway_multistart;
+        ] );
+    ]

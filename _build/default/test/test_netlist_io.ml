@@ -1,0 +1,252 @@
+module H = Hypart_hypergraph.Hypergraph
+module Io = Hypart_hypergraph.Netlist_io
+
+let tmp name = Filename.concat (Filename.get_temp_dir_name ()) name
+
+let sample () =
+  H.create ~num_vertices:5
+    ~vertex_weights:[| 3; 1; 4; 1; 5 |]
+    ~edge_weights:[| 1; 2; 1; 7 |]
+    ~edges:[| [| 0; 1; 2 |]; [| 1; 3 |]; [| 2; 3; 4 |]; [| 0; 4 |] |]
+    ()
+
+let equal_hypergraphs a b =
+  H.num_vertices a = H.num_vertices b
+  && H.num_edges a = H.num_edges b
+  && (let ok = ref true in
+      for e = 0 to H.num_edges a - 1 do
+        if H.edge_pins a e <> H.edge_pins b e then ok := false;
+        if H.edge_weight a e <> H.edge_weight b e then ok := false
+      done;
+      for v = 0 to H.num_vertices a - 1 do
+        if H.vertex_weight a v <> H.vertex_weight b v then ok := false
+      done;
+      !ok)
+
+let test_hgr_roundtrip_weighted () =
+  let h = sample () in
+  let path = tmp "hypart_test_w.hgr" in
+  Io.write_hgr path h;
+  let h' = Io.read_hgr path in
+  Alcotest.(check bool) "roundtrip equal" true (equal_hypergraphs h h')
+
+let test_hgr_roundtrip_unweighted () =
+  let h = sample () in
+  let path = tmp "hypart_test_u.hgr" in
+  Io.write_hgr ~with_weights:false path h;
+  let h' = Io.read_hgr path in
+  Alcotest.(check int) "edges preserved" (H.num_edges h) (H.num_edges h');
+  Alcotest.(check (array int)) "pins preserved" (H.edge_pins h 2) (H.edge_pins h' 2);
+  Alcotest.(check int) "weights dropped" 1 (H.vertex_weight h' 0)
+
+let test_hgr_comments_and_fmt1 () =
+  let path = tmp "hypart_test_fmt1.hgr" in
+  let oc = open_out path in
+  output_string oc "% a comment\n3 4 1\n% another\n5 1 2\n1 3 4\n2 2 3\n";
+  close_out oc;
+  let h = Io.read_hgr path in
+  Alcotest.(check int) "3 edges" 3 (H.num_edges h);
+  Alcotest.(check int) "edge weight parsed" 5 (H.edge_weight h 0);
+  Alcotest.(check (array int)) "0-indexed pins" [| 0; 1 |] (H.edge_pins h 0)
+
+let test_hgr_errors () =
+  let write_and_read content =
+    let path = tmp "hypart_test_bad.hgr" in
+    let oc = open_out path in
+    output_string oc content;
+    close_out oc;
+    Io.read_hgr path
+  in
+  let check_fails name content =
+    Alcotest.check_raises name (Failure "parse") (fun () ->
+        try ignore (write_and_read content)
+        with Io.Parse_error _ -> raise (Failure "parse"))
+  in
+  check_fails "empty" "";
+  check_fails "bad header" "x y\n";
+  check_fails "unsupported fmt" "1 2 7\n1 2\n";
+  check_fails "missing lines" "2 2\n1 2\n";
+  check_fails "pin out of range" "1 2\n1 3\n";
+  check_fails "garbage pin" "1 2\n1 z\n"
+
+let test_are_roundtrip () =
+  let h = sample () in
+  let path = tmp "hypart_test.are" in
+  Io.write_are path h;
+  let areas = Io.read_are path ~num_vertices:5 in
+  Alcotest.(check (array int)) "areas" [| 3; 1; 4; 1; 5 |] areas
+
+let test_hgr_with_are () =
+  let h = sample () in
+  let hgr = tmp "hypart_test_c.hgr" and are = tmp "hypart_test_c.are" in
+  Io.write_hgr ~with_weights:false hgr h;
+  Io.write_are are h;
+  let h' = Io.read_hgr_with_are ~hgr ~are in
+  Alcotest.(check bool) "areas restored" true
+    (Array.init 5 (fun v -> H.vertex_weight h' v) = [| 3; 1; 4; 1; 5 |]);
+  Alcotest.(check int) "edge weights default" 1 (H.edge_weight h' 3)
+
+let test_are_errors () =
+  let path = tmp "hypart_test_bad.are" in
+  let oc = open_out path in
+  output_string oc "a0 10\nbogus\n";
+  close_out oc;
+  Alcotest.check_raises "bad line" (Failure "parse") (fun () ->
+      try ignore (Io.read_are path ~num_vertices:3)
+      with Io.Parse_error _ -> raise (Failure "parse"))
+
+let test_netd_roundtrip () =
+  let h = sample () in
+  let path = tmp "hypart_test.netD" in
+  Io.write_netd ~num_pads:2 path h;
+  let h', num_pads = Io.read_netd path in
+  Alcotest.(check int) "pads" 2 num_pads;
+  Alcotest.(check int) "vertices" 5 (H.num_vertices h');
+  Alcotest.(check int) "nets" 4 (H.num_edges h');
+  for e = 0 to 3 do
+    Alcotest.(check (array int))
+      (Printf.sprintf "net %d pins" e)
+      (H.edge_pins h e) (H.edge_pins h' e)
+  done;
+  (* .netD carries no weights *)
+  Alcotest.(check int) "unit area" 1 (H.vertex_weight h' 0)
+
+let test_netd_header_checks () =
+  let write content =
+    let path = tmp "hypart_test_bad.netD" in
+    let oc = open_out path in
+    output_string oc content;
+    close_out oc;
+    path
+  in
+  let check_fails name content =
+    Alcotest.check_raises name (Failure "parse") (fun () ->
+        try ignore (Io.read_netd (write content))
+        with Io.Parse_error _ -> raise (Failure "parse"))
+  in
+  check_fails "truncated" "0\n3\n";
+  check_fails "pin count mismatch" "0\n3\n1\n2\n2\na0 s\na1 l\na0 l\na1 l\n";
+  check_fails "net count mismatch" "0\n2\n2\n2\n2\na0 s\na1 l\n";
+  check_fails "continuation first" "0\n2\n1\n2\n2\na0 l\na1 l\n";
+  check_fails "bad name" "0\n2\n1\n2\n2\nx0 s\na1 l\n";
+  check_fails "pad id out of range" "0\n2\n1\n2\n2\na0 s\np5 l\n"
+
+let test_netd_pads_mapped () =
+  (* 2 cells + 1 pad: pad p0 is vertex 2 *)
+  let path = tmp "hypart_test_pads.netD" in
+  let oc = open_out path in
+  output_string oc "0\n3\n1\n3\n2\na0 s\na1 l\np0 l\n";
+  close_out oc;
+  let h, num_pads = Io.read_netd path in
+  Alcotest.(check int) "one pad" 1 num_pads;
+  Alcotest.(check (array int)) "pad mapped after cells" [| 0; 1; 2 |]
+    (H.edge_pins h 0)
+
+let test_partition_roundtrip () =
+  let path = tmp "hypart_test.part" in
+  Io.write_partition path [| 0; 1; 1; 0; 1 |];
+  let side = Io.read_partition path ~num_vertices:5 in
+  Alcotest.(check (array int)) "roundtrip" [| 0; 1; 1; 0; 1 |] side
+
+let test_partition_errors () =
+  let path = tmp "hypart_test_bad.part" in
+  let oc = open_out path in
+  output_string oc "0\n2\n-1\n";
+  close_out oc;
+  Alcotest.check_raises "bad side" (Failure "parse") (fun () ->
+      try ignore (Io.read_partition path ~num_vertices:3)
+      with Io.Parse_error _ -> raise (Failure "parse"));
+  Alcotest.check_raises "wrong count" (Failure "parse") (fun () ->
+      try ignore (Io.read_partition path ~num_vertices:5)
+      with Io.Parse_error _ -> raise (Failure "parse"))
+
+(* property: every format round-trips arbitrary valid hypergraphs *)
+
+let random_hypergraph seed =
+  let module Rng = Hypart_rng.Rng in
+  let rng = Rng.create seed in
+  let nv = 2 + Rng.int rng 40 in
+  let ne = 1 + Rng.int rng 80 in
+  let edges =
+    Array.init ne (fun _ ->
+        Rng.sample_distinct rng ~n:(min nv (2 + Rng.int rng 4)) ~universe:nv)
+  in
+  let vertex_weights = Array.init nv (fun _ -> 1 + Rng.int rng 9) in
+  let edge_weights = Array.init ne (fun _ -> 1 + Rng.int rng 5) in
+  H.create ~vertex_weights ~edge_weights ~num_vertices:nv ~edges ()
+
+let same_structure a b =
+  H.num_vertices a = H.num_vertices b
+  && H.num_edges a = H.num_edges b
+  && (let ok = ref true in
+      for e = 0 to H.num_edges a - 1 do
+        if H.edge_pins a e <> H.edge_pins b e then ok := false
+      done;
+      !ok)
+
+let prop_hgr_roundtrip =
+  QCheck.Test.make ~name:"hgr roundtrips arbitrary hypergraphs" ~count:50
+    QCheck.small_int
+    (fun seed ->
+      let h = random_hypergraph seed in
+      let path = tmp "hypart_prop.hgr" in
+      Io.write_hgr path h;
+      let h' = Io.read_hgr path in
+      same_structure h h'
+      && Array.init (H.num_vertices h) (H.vertex_weight h)
+         = Array.init (H.num_vertices h') (H.vertex_weight h'))
+
+let prop_netd_roundtrip =
+  QCheck.Test.make ~name:"netD roundtrips arbitrary hypergraphs" ~count:50
+    QCheck.small_int
+    (fun seed ->
+      let h = random_hypergraph seed in
+      let path = tmp "hypart_prop.netD" in
+      Io.write_netd path h;
+      let h', _ = Io.read_netd path in
+      same_structure h h')
+
+let prop_bookshelf_roundtrip =
+  QCheck.Test.make ~name:"bookshelf roundtrips arbitrary hypergraphs" ~count:50
+    QCheck.small_int
+    (fun seed ->
+      let h = random_hypergraph seed in
+      let basename = tmp "hypart_prop_bs" in
+      Hypart_hypergraph.Bookshelf.write ~basename h;
+      let h', _ = Hypart_hypergraph.Bookshelf.read ~basename in
+      same_structure h h')
+
+let () =
+  Alcotest.run "netlist_io"
+    [
+      ( "hgr",
+        [
+          Alcotest.test_case "roundtrip weighted" `Quick test_hgr_roundtrip_weighted;
+          Alcotest.test_case "roundtrip unweighted" `Quick test_hgr_roundtrip_unweighted;
+          Alcotest.test_case "comments and fmt 1" `Quick test_hgr_comments_and_fmt1;
+          Alcotest.test_case "malformed inputs" `Quick test_hgr_errors;
+        ] );
+      ( "are",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_are_roundtrip;
+          Alcotest.test_case "hgr + are" `Quick test_hgr_with_are;
+          Alcotest.test_case "malformed" `Quick test_are_errors;
+        ] );
+      ( "netd",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_netd_roundtrip;
+          Alcotest.test_case "header checks" `Quick test_netd_header_checks;
+          Alcotest.test_case "pad mapping" `Quick test_netd_pads_mapped;
+        ] );
+      ( "partition files",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_partition_roundtrip;
+          Alcotest.test_case "errors" `Quick test_partition_errors;
+        ] );
+      ( "properties",
+        [
+          QCheck_alcotest.to_alcotest prop_hgr_roundtrip;
+          QCheck_alcotest.to_alcotest prop_netd_roundtrip;
+          QCheck_alcotest.to_alcotest prop_bookshelf_roundtrip;
+        ] );
+    ]

@@ -1,0 +1,96 @@
+module H = Hypart_hypergraph.Hypergraph
+module Rng = Hypart_rng.Rng
+module Bipartition = Hypart_partition.Bipartition
+module Problem = Hypart_partition.Problem
+module Initial = Hypart_partition.Initial
+module Sa = Hypart_sa.Sa_partitioner
+module Suite = Hypart_generator.Ibm_suite
+
+let instance () = Suite.instance ~scale:32.0 "ibm01"
+
+let test_sa_legal_and_consistent () =
+  let p = Problem.make ~tolerance:0.10 (instance ()) in
+  let r = Sa.run ~moves_per_vertex:40 (Rng.create 1) p in
+  Alcotest.(check bool) "legal" true r.Sa.legal;
+  Alcotest.(check int) "cut consistent"
+    (Bipartition.cut p.Problem.hypergraph r.Sa.solution)
+    r.Sa.cut
+
+let test_sa_improves_over_random () =
+  let h = instance () in
+  let p = Problem.make ~tolerance:0.10 h in
+  let random_cut = Bipartition.cut h (Initial.random (Rng.create 2) p) in
+  let r = Sa.run ~moves_per_vertex:40 (Rng.create 2) p in
+  Alcotest.(check bool)
+    (Printf.sprintf "sa %d < half of random %d" r.Sa.cut random_cut)
+    true
+    (r.Sa.cut * 2 < random_cut)
+
+let test_sa_two_cliques () =
+  let clique lo =
+    let acc = ref [] in
+    for i = 0 to 7 do
+      for j = i + 1 to 7 do
+        acc := [| lo + i; lo + j |] :: !acc
+      done
+    done;
+    !acc
+  in
+  let h =
+    H.create ~num_vertices:16
+      ~edges:(Array.of_list (clique 0 @ clique 8 @ [ [| 0; 8 |] ]))
+      ()
+  in
+  let p = Problem.make ~tolerance:0.10 h in
+  let r = Sa.run ~moves_per_vertex:200 (Rng.create 3) p in
+  Alcotest.(check int) "finds the optimum" 1 r.Sa.cut
+
+let test_sa_deterministic () =
+  let p = Problem.make ~tolerance:0.10 (instance ()) in
+  let a = Sa.run ~moves_per_vertex:10 (Rng.create 4) p in
+  let b = Sa.run ~moves_per_vertex:10 (Rng.create 4) p in
+  Alcotest.(check int) "same seed same cut" a.Sa.cut b.Sa.cut
+
+let test_sa_respects_fixed () =
+  let h = instance () in
+  let n = H.num_vertices h in
+  let fixed = Array.make n (-1) in
+  fixed.(0) <- 0;
+  fixed.(1) <- 1;
+  let p = Problem.make ~fixed ~tolerance:0.10 h in
+  let r = Sa.run ~moves_per_vertex:20 (Rng.create 5) p in
+  Alcotest.(check int) "v0 stays" 0 (Bipartition.side r.Sa.solution 0);
+  Alcotest.(check int) "v1 stays" 1 (Bipartition.side r.Sa.solution 1)
+
+let test_sa_invalid_params () =
+  let p = Problem.make ~tolerance:0.10 (instance ()) in
+  Alcotest.check_raises "bad cooling" (Invalid_argument "x") (fun () ->
+      try ignore (Sa.run ~cooling:1.0 (Rng.create 1) p)
+      with Invalid_argument _ -> raise (Invalid_argument "x"))
+
+let test_sa_worse_than_fm_but_sane () =
+  (* historically SA needs far more time to approach FM quality; with a
+     modest budget it should land within a few x of flat FM, not at
+     random-cut levels *)
+  let p = Problem.make ~tolerance:0.10 (instance ()) in
+  let sa = Sa.run ~moves_per_vertex:60 (Rng.create 6) p in
+  let fm = Hypart_fm.Fm.run_random_start (Rng.create 6) p in
+  Alcotest.(check bool)
+    (Printf.sprintf "sa %d within 5x of fm %d" sa.Sa.cut fm.Hypart_fm.Fm.cut)
+    true
+    (sa.Sa.cut <= 5 * max 1 fm.Hypart_fm.Fm.cut)
+
+let () =
+  Alcotest.run "sa"
+    [
+      ( "sa partitioner",
+        [
+          Alcotest.test_case "legal and consistent" `Quick test_sa_legal_and_consistent;
+          Alcotest.test_case "improves over random" `Quick test_sa_improves_over_random;
+          Alcotest.test_case "two cliques" `Quick test_sa_two_cliques;
+          Alcotest.test_case "deterministic" `Quick test_sa_deterministic;
+          Alcotest.test_case "respects fixed" `Quick test_sa_respects_fixed;
+          Alcotest.test_case "invalid params" `Quick test_sa_invalid_params;
+          Alcotest.test_case "sane vs fm" `Quick test_sa_worse_than_fm_but_sane;
+        ] );
+    ]
