@@ -261,7 +261,7 @@ let benchmark tests =
   let raw = Benchmark.all cfg instances tests in
   Analyze.all ols Instance.monotonic_clock raw
 
-let print_results results =
+let collect_results results =
   let rows = ref [] in
   Hashtbl.iter
     (fun name ols ->
@@ -272,7 +272,9 @@ let print_results results =
       in
       rows := (name, ns) :: !rows)
     results;
-  let rows = List.sort (fun (a, _) (b, _) -> compare a b) !rows in
+  List.sort (fun (a, _) (b, _) -> compare a b) !rows
+
+let print_results rows =
   Printf.printf "%-50s %15s\n" "benchmark" "time/run";
   Printf.printf "%s\n" (String.make 66 '-');
   List.iter
@@ -287,13 +289,32 @@ let print_results results =
       Printf.printf "%-50s %15s\n" name pretty)
     rows
 
+(* Machine-readable snapshot so the perf trajectory is tracked across
+   PRs: every benchmark becomes a [bench.<name>] gauge (nanoseconds per
+   run) in a telemetry metrics JSON file. *)
+let snapshot_path =
+  match Sys.getenv_opt "HYPART_BENCH_OUT" with
+  | Some p -> p
+  | None -> "BENCH_RESULTS.json"
+
 let () =
+  let module Telemetry = Hypart_telemetry.Telemetry in
+  let module Metrics = Hypart_telemetry.Metrics in
+  Telemetry.enable ();
   let groups =
     [ table_benches; engine_benches; ablation_benches; substrate_benches ]
   in
   List.iter
     (fun tests ->
-      let results = benchmark tests in
-      print_results results;
+      let rows = collect_results (benchmark tests) in
+      List.iter
+        (fun (name, ns) ->
+          if Float.is_finite ns then Metrics.set_gauge ("bench." ^ name) ns)
+        rows;
+      print_results rows;
       print_newline ())
-    groups
+    groups;
+  Metrics.set_gauge "bench.normalization_factor"
+    (Hypart_harness.Machine.normalization_factor ());
+  Metrics.write snapshot_path;
+  Printf.printf "wrote %s\n" snapshot_path

@@ -16,6 +16,10 @@ module Kl = Hypart_kl.Kl
 module Table = Hypart_harness.Table
 module Experiments = Hypart_harness.Experiments
 module Machine = Hypart_harness.Machine
+module Telemetry = Hypart_telemetry.Telemetry
+module Metrics = Hypart_telemetry.Metrics
+module Trace = Hypart_telemetry.Trace
+module Reporter = Hypart_telemetry.Reporter
 
 (* ---------------- shared flags ---------------- *)
 
@@ -51,21 +55,73 @@ let instances_t default =
 let emit csv table =
   if csv then print_string (Table.to_csv table) else Table.print table
 
-let verbose_t =
-  let setup verbose =
-    if verbose then begin
-      Logs.set_reporter (Logs.format_reporter ());
-      Logs.set_level (Some Logs.Debug)
+(* Common setup for every command: the domain-safe Logs reporter
+   (replacing the non-thread-safe [Logs.format_reporter]) and the
+   telemetry sinks.  Output files are written at exit so a command only
+   pays for collection when one of the flags is given. *)
+let common_t =
+  let setup verbose trace metrics profile =
+    Reporter.setup
+      ~level:(if verbose then Some Logs.Debug else Some Logs.Warning)
+      ();
+    if trace <> None || metrics <> None || profile then begin
+      Telemetry.enable ();
+      let write_or_warn what f path =
+        try f path
+        with Sys_error msg ->
+          Printf.eprintf "hypart: cannot write %s file: %s\n%!" what msg
+      in
+      at_exit (fun () ->
+          Option.iter
+            (write_or_warn "trace" (fun path ->
+                 Trace.write path;
+                 Printf.eprintf "wrote trace to %s (%d spans)\n%!" path
+                   (Trace.event_count ())))
+            trace;
+          Option.iter
+            (write_or_warn "metrics" (fun path ->
+                 Metrics.write path;
+                 Printf.eprintf "wrote metrics to %s\n%!" path))
+            metrics;
+          if profile then begin
+            print_newline ();
+            Format.printf "%a@?" Telemetry.pp_phase_summary ()
+          end)
     end
   in
-  Term.(
-    const setup
-    $ Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Trace engine passes."))
+  let verbose_t =
+    Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Trace engine passes.")
+  in
+  let trace_t =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace" ] ~docv:"FILE"
+          ~doc:
+            "Record engine spans and write a Chrome trace_event JSON file \
+             (open in Perfetto or chrome://tracing).")
+  in
+  let metrics_t =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "metrics" ] ~docv:"FILE"
+          ~doc:
+            "Write a metrics snapshot (counters, gauges, histograms) as JSON, \
+             or CSV when FILE ends in .csv.")
+  in
+  let profile_t =
+    Arg.(
+      value & flag
+      & info [ "profile" ]
+          ~doc:"Print a phase-time summary table after the command completes.")
+  in
+  Term.(const setup $ verbose_t $ trace_t $ metrics_t $ profile_t)
 
 (* ---------------- generate ---------------- *)
 
 let generate_cmd =
-  let run name scale seed out =
+  let run () name scale seed out =
     let h = Suite.instance ~scale ~seed name in
     let base = match out with Some o -> o | None -> name in
     Io.write_hgr (base ^ ".hgr") h;
@@ -81,7 +137,7 @@ let generate_cmd =
   in
   Cmd.v
     (Cmd.info "generate" ~doc:"Generate a synthetic ISPD98 twin as .hgr/.are files.")
-    Term.(const run $ name_t $ scale_t $ seed_t $ out_t)
+    Term.(const run $ common_t $ name_t $ scale_t $ seed_t $ out_t)
 
 (* ---------------- partition ---------------- *)
 
@@ -182,7 +238,7 @@ let partition_cmd =
   Cmd.v
     (Cmd.info "partition" ~doc:"Bipartition an instance and report the cut.")
     Term.(
-      const run $ verbose_t $ input_t $ scale_t $ seed_t $ tol_t $ engine_t
+      const run $ common_t $ input_t $ scale_t $ seed_t $ tol_t $ engine_t
       $ starts_t $ domains_t)
 
 (* ---------------- evaluate ---------------- *)
@@ -198,7 +254,7 @@ let load_instance input scale =
   else Suite.instance ~scale input
 
 let evaluate_cmd =
-  let run input part_file scale tolerance =
+  let run () input part_file scale tolerance =
     let h = load_instance input scale in
     let side = Io.read_partition part_file ~num_vertices:(H.num_vertices h) in
     let k = 1 + Array.fold_left max 0 side in
@@ -235,12 +291,12 @@ let evaluate_cmd =
   Cmd.v
     (Cmd.info "evaluate"
        ~doc:"Evaluate a partition file against an instance: cut, balance, objectives.")
-    Term.(const run $ input_t $ part_t $ scale_t $ tol_t)
+    Term.(const run $ common_t $ input_t $ part_t $ scale_t $ tol_t)
 
 (* ---------------- kway ---------------- *)
 
 let kway_cmd =
-  let run input k scale seed tolerance engine out =
+  let run () input k scale seed tolerance engine out =
     let h = load_instance input scale in
     let rng = Rng.create seed in
     let (part_of, cut, weights), dt =
@@ -289,12 +345,14 @@ let kway_cmd =
   Cmd.v
     (Cmd.info "kway"
        ~doc:"k-way partitioning (recursive bisection or direct k-way FM).")
-    Term.(const run $ input_t $ k_t $ scale_t $ seed_t $ tol_t $ engine_t $ out_t)
+    Term.(
+      const run $ common_t $ input_t $ k_t $ scale_t $ seed_t $ tol_t
+      $ engine_t $ out_t)
 
 (* ---------------- place ---------------- *)
 
 let place_cmd =
-  let run input scale seed detailed svg_out pl_out =
+  let run () input scale seed detailed svg_out pl_out =
     let h = load_instance input scale in
     let module Topdown = Hypart_placement.Topdown in
     let module Detailed = Hypart_placement.Detailed in
@@ -350,12 +408,14 @@ let place_cmd =
   Cmd.v
     (Cmd.info "place"
        ~doc:"Top-down min-cut coarse placement; reports HPWL vs a random placement.")
-    Term.(const run $ input_t $ scale_t $ seed_t $ detailed_t $ svg_t $ pl_t)
+    Term.(
+      const run $ common_t $ input_t $ scale_t $ seed_t $ detailed_t $ svg_t
+      $ pl_t)
 
 (* ---------------- tables ---------------- *)
 
 let table1_cmd =
-  let run scale runs seed csv instances =
+  let run () scale runs seed csv instances =
     emit csv (Experiments.table1 ~scale ~runs ~instances ~seed ())
   in
   Cmd.v
@@ -364,10 +424,10 @@ let table1_cmd =
          "Regenerate Table 1: min/avg cuts for the implicit-decision matrix \
           (updates x bias x engine), 2% tolerance, actual areas.")
     Term.(
-      const run $ scale_t $ runs_t 20 $ seed_t $ csv_t $ instances_t Suite.names_small)
+      const run $ common_t $ scale_t $ runs_t 20 $ seed_t $ csv_t $ instances_t Suite.names_small)
 
 let table2_cmd =
-  let run scale runs seed csv instances =
+  let run () scale runs seed csv instances =
     emit csv
       (Experiments.table_reported_vs_ours ~engine:`Lifo ~scale ~runs ~instances
          ~seed ())
@@ -376,10 +436,10 @@ let table2_cmd =
     (Cmd.info "table2"
        ~doc:"Regenerate Table 2: our LIFO FM vs the weak 'Reported LIFO' baseline.")
     Term.(
-      const run $ scale_t $ runs_t 20 $ seed_t $ csv_t $ instances_t Suite.names_small)
+      const run $ common_t $ scale_t $ runs_t 20 $ seed_t $ csv_t $ instances_t Suite.names_small)
 
 let table3_cmd =
-  let run scale runs seed csv instances =
+  let run () scale runs seed csv instances =
     emit csv
       (Experiments.table_reported_vs_ours ~engine:`Clip ~scale ~runs ~instances
          ~seed ())
@@ -390,10 +450,10 @@ let table3_cmd =
          "Regenerate Table 3: our CLIP FM (with the corking fix) vs the weak \
           'Reported CLIP' baseline.")
     Term.(
-      const run $ scale_t $ runs_t 20 $ seed_t $ csv_t $ instances_t Suite.names_small)
+      const run $ common_t $ scale_t $ runs_t 20 $ seed_t $ csv_t $ instances_t Suite.names_small)
 
 let tables45_cmd =
-  let run scale repeats seed csv instances tolerance configs =
+  let run () scale repeats seed csv instances tolerance configs =
     emit csv
       (Experiments.table_multistart_eval ~scale ~repeats ~configs ~instances
          ~tolerance ~seed ())
@@ -424,11 +484,11 @@ let tables45_cmd =
          "Regenerate Tables 4/5: multistart evaluation of the multilevel engine \
           (avg cut / avg CPU s per configuration).")
     Term.(
-      const run $ scale_t $ repeats_t $ seed_t $ csv_t
+      const run $ common_t $ scale_t $ repeats_t $ seed_t $ csv_t
       $ instances_t Suite.names_eval $ tol_t $ configs_t)
 
 let bsf_cmd =
-  let run scale starts seed csv instance =
+  let run () scale starts seed csv instance =
     emit csv (Experiments.bsf_figure ~scale ~starts ~instance ~seed ())
   in
   let starts_t =
@@ -442,10 +502,10 @@ let bsf_cmd =
        ~doc:
          "Best-so-far curves (expected best cut vs CPU budget) for flat LIFO, \
           flat CLIP and ML CLIP.")
-    Term.(const run $ scale_t $ starts_t $ seed_t $ csv_t $ instance_t)
+    Term.(const run $ common_t $ scale_t $ starts_t $ seed_t $ csv_t $ instance_t)
 
 let pareto_cmd =
-  let run scale repeats seed csv instance =
+  let run () scale repeats seed csv instance =
     let table, frontier =
       Experiments.pareto_figure ~scale ~repeats ~instance ~seed ()
     in
@@ -464,10 +524,10 @@ let pareto_cmd =
   Cmd.v
     (Cmd.info "pareto"
        ~doc:"(cost, runtime) performance points and their non-dominated frontier.")
-    Term.(const run $ scale_t $ repeats_t $ seed_t $ csv_t $ instance_t)
+    Term.(const run $ common_t $ scale_t $ repeats_t $ seed_t $ csv_t $ instance_t)
 
 let ranking_cmd =
-  let run scale starts seed csv instances =
+  let run () scale starts seed csv instances =
     emit csv (Experiments.ranking_figure ~scale ~starts ~instances ~seed ())
   in
   let starts_t = Arg.(value & opt int 15 & info [ "starts" ] ~docv:"N") in
@@ -475,10 +535,10 @@ let ranking_cmd =
     (Cmd.info "ranking"
        ~doc:"Speed-dependent ranking diagram: dominant heuristic per (instance, budget).")
     Term.(
-      const run $ scale_t $ starts_t $ seed_t $ csv_t $ instances_t Suite.names_small)
+      const run $ common_t $ scale_t $ starts_t $ seed_t $ csv_t $ instances_t Suite.names_small)
 
 let corking_cmd =
-  let run scale runs seed csv instance =
+  let run () scale runs seed csv instance =
     emit csv (Experiments.corking_report ~scale ~runs ~instance ~seed ())
   in
   let instance_t =
@@ -487,10 +547,10 @@ let corking_cmd =
   Cmd.v
     (Cmd.info "corking"
        ~doc:"CLIP corking diagnostic: corking events with and without the fix.")
-    Term.(const run $ scale_t $ runs_t 10 $ seed_t $ csv_t $ instance_t)
+    Term.(const run $ common_t $ scale_t $ runs_t 10 $ seed_t $ csv_t $ instance_t)
 
 let compare_cmd =
-  let run scale runs seed engine_a engine_b instance =
+  let run () scale runs seed engine_a engine_b instance =
     let table, verdict =
       Experiments.compare_engines ~scale ~runs ~engine_a ~engine_b ~instance
         ~seed ()
@@ -511,10 +571,10 @@ let compare_cmd =
           Mann-Whitney U) and bootstrap confidence intervals — the 3.2/Brglez \
           protocol.  Engines: flat | clip | ml | mlclip | lookahead | sa | \
           reported | reported-clip.")
-    Term.(const run $ scale_t $ runs_t 20 $ seed_t $ a_t $ b_t $ instance_t)
+    Term.(const run $ common_t $ scale_t $ runs_t 20 $ seed_t $ a_t $ b_t $ instance_t)
 
 let placement_cmd =
-  let run scale runs seed csv instance =
+  let run () scale runs seed csv instance =
     emit csv (Experiments.placement_table ~scale ~runs ~instance ~seed ())
   in
   let instance_t =
@@ -525,10 +585,10 @@ let placement_cmd =
        ~doc:
          "Use-model consequence of partitioner quality: placement HPWL per \
           partitioning engine.")
-    Term.(const run $ scale_t $ runs_t 3 $ seed_t $ csv_t $ instance_t)
+    Term.(const run $ common_t $ scale_t $ runs_t 3 $ seed_t $ csv_t $ instance_t)
 
 let regime_cmd =
-  let run seed csv big =
+  let run () seed csv big =
     emit csv (Experiments.runtime_regime_table ~include_750k:big ~seed ())
   in
   let big_t =
@@ -542,10 +602,10 @@ let regime_cmd =
        ~doc:
          "Runtime-regime check (2.1): one multilevel start per full-size \
           instance against the top-down placement CPU budget.")
-    Term.(const run $ seed_t $ csv_t $ big_t)
+    Term.(const run $ common_t $ seed_t $ csv_t $ big_t)
 
 let fixed_cmd =
-  let run scale runs seed csv instance =
+  let run () scale runs seed csv instance =
     emit csv (Experiments.fixed_terminals_table ~scale ~runs ~instance ~seed ())
   in
   let instance_t =
@@ -556,10 +616,10 @@ let fixed_cmd =
        ~doc:
          "Fixed-terminals study (§2.1): cut, variance and runtime as a growing \
           fraction of vertices is fixed.")
-    Term.(const run $ scale_t $ runs_t 12 $ seed_t $ csv_t $ instance_t)
+    Term.(const run $ common_t $ scale_t $ runs_t 12 $ seed_t $ csv_t $ instance_t)
 
 let ablation_cmd =
-  let run scale runs seed csv instance =
+  let run () scale runs seed csv instance =
     emit csv (Experiments.ablation_table ~scale ~runs ~instance ~seed ())
   in
   let instance_t =
@@ -571,10 +631,10 @@ let ablation_cmd =
          "Quality ablation of every design dimension: insertion order, \
           illegal-head policy, oversized-cell handling, pass-best rule, \
           initial generator, coarsening scheme, boundary refinement.")
-    Term.(const run $ scale_t $ runs_t 10 $ seed_t $ csv_t $ instance_t)
+    Term.(const run $ common_t $ scale_t $ runs_t 10 $ seed_t $ csv_t $ instance_t)
 
 let all_cmd =
-  let run scale runs seed out =
+  let run () scale runs seed out =
     Option.iter
       (fun dir -> if not (Sys.file_exists dir) then Sys.mkdir dir 0o755)
       out;
@@ -632,7 +692,7 @@ let all_cmd =
   in
   Cmd.v
     (Cmd.info "all" ~doc:"Regenerate every table and figure at the given scale.")
-    Term.(const run $ scale_t $ runs_t 20 $ seed_t $ out_t)
+    Term.(const run $ common_t $ scale_t $ runs_t 20 $ seed_t $ out_t)
 
 let main_cmd =
   Cmd.group

@@ -24,7 +24,14 @@
 
     - {!Topdown} — top-down min-cut placement (the paper's use model)
     - {!Descriptive}, {!Significance}, {!Bsf}, {!Pareto}, {!Ranking}
-    - {!Machine}, {!Table}, {!Experiments} — the paper's tables/figures *)
+    - {!Machine}, {!Table}, {!Experiments} — the paper's tables/figures
+
+    {1 Observability}
+
+    - {!Telemetry} — enable/disable switch and phase summaries
+    - {!Metrics} — counters, gauges, histograms with JSON/CSV export
+    - {!Trace} — nestable spans exported as Chrome trace-event JSON
+    - {!Reporter} — domain-safe [Logs] reporter *)
 
 module Rng = Hypart_rng.Rng
 module Hypergraph = Hypart_hypergraph.Hypergraph
@@ -68,3 +75,7 @@ module Machine = Hypart_harness.Machine
 module Table = Hypart_harness.Table
 module Parallel = Hypart_harness.Parallel
 module Experiments = Hypart_harness.Experiments
+module Telemetry = Hypart_telemetry.Telemetry
+module Metrics = Hypart_telemetry.Metrics
+module Trace = Hypart_telemetry.Trace
+module Reporter = Hypart_telemetry.Reporter

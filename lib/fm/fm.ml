@@ -8,6 +8,9 @@ module Initial = Hypart_partition.Initial
 let log_src = Logs.Src.create "hypart.fm" ~doc:"FM engine pass tracing"
 
 module Log = (val Logs.src_log log_src)
+module Tel = Hypart_telemetry.Control
+module Metrics = Hypart_telemetry.Metrics
+module Trace = Hypart_telemetry.Trace
 
 type stats = {
   passes : int;
@@ -208,7 +211,8 @@ let select_side st side =
 
 (* One FM pass: move until no legal move remains, then roll back to the
    best legal prefix.  Returns the best legal cut seen (max_int when no
-   prefix, including the empty one, was legal) and the move count. *)
+   prefix, including the empty one, was legal), the move count, and the
+   rollback depth (moves undone). *)
 let pass st =
   populate st;
   Array.fill st.locked 0 (Array.length st.locked) false;
@@ -282,7 +286,7 @@ let pass st =
   undo_moves undo !moves;
   if !best_cut <> max_int then st.cur_cut <- !best_cut
   else st.cur_cut <- Bipartition.cut st.h st.sol;
-  (!best_cut, !n_applied)
+  (!best_cut, !n_applied, undo)
 
 let run ?(config = Fm_config.default) rng problem initial =
   let h = problem.Problem.hypergraph in
@@ -311,12 +315,26 @@ let run ?(config = Fm_config.default) rng problem initial =
   let initial_legal = Bipartition.is_legal st.sol problem.Problem.balance in
   let best = ref (if initial_legal then st.cur_cut else max_int) in
   let n_passes = ref 0 and n_empty = ref 0 in
+  Trace.begin_span "fm.run";
   let improving = ref true in
   while !improving && !n_passes < config.Fm_config.max_passes do
     recompute_counts st;
-    let pass_best, pass_moves = pass st in
+    Trace.begin_span "fm.pass";
+    let pass_best, pass_moves, rollback = pass st in
     incr n_passes;
     if pass_moves = 0 then incr n_empty;
+    Trace.end_span "fm.pass"
+      ~args:
+        [
+          ("pass", float_of_int !n_passes);
+          ("cut", float_of_int st.cur_cut);
+          ("moves", float_of_int pass_moves);
+          ("rollback", float_of_int rollback);
+        ];
+    if Tel.is_enabled () then begin
+      Metrics.observe "fm.pass_cut" (float_of_int st.cur_cut);
+      Metrics.observe "fm.rollback_depth" (float_of_int rollback)
+    end;
     Log.debug (fun m ->
         m "pass %d (%s): best cut %d, %d moves" !n_passes
           (Fm_config.describe config)
@@ -324,6 +342,25 @@ let run ?(config = Fm_config.default) rng problem initial =
           pass_moves);
     if pass_best < !best then best := pass_best else improving := false
   done;
+  Trace.end_span "fm.run"
+    ~args:
+      [
+        ("passes", float_of_int !n_passes);
+        ("moves", float_of_int st.n_moves);
+        ("cut", float_of_int st.cur_cut);
+      ];
+  if Tel.is_enabled () then begin
+    Metrics.incr "fm.runs";
+    Metrics.incr "fm.passes" ~by:!n_passes;
+    Metrics.incr "fm.moves" ~by:st.n_moves;
+    Metrics.incr "fm.empty_passes" ~by:!n_empty;
+    Metrics.incr "fm.corking_events" ~by:st.n_corking;
+    Metrics.incr "fm.zero_delta_updates" ~by:st.n_zero_delta;
+    let ops = Gain_container.ops st.container in
+    Metrics.incr "gain.inserts" ~by:ops.Gain_container.inserts;
+    Metrics.incr "gain.removes" ~by:ops.Gain_container.removes;
+    Metrics.incr "gain.repositions" ~by:ops.Gain_container.repositions
+  end;
   let legal = Bipartition.is_legal st.sol problem.Problem.balance in
   {
     solution = st.sol;
@@ -352,6 +389,11 @@ let multistart ?(config = Fm_config.default) rng problem ~starts =
     let r = run_random_start ~config rng problem in
     let dt = Sys.time () -. t0 in
     records := { start_cut = r.cut; start_seconds = dt } :: !records;
+    if Tel.is_enabled () then begin
+      Metrics.incr "fm.starts";
+      Metrics.observe "fm.start_cut" (float_of_int r.cut);
+      Metrics.observe "fm.start_seconds" dt
+    end;
     let better =
       match !best with
       | None -> true
@@ -392,6 +434,11 @@ let multistart_pruned ?(config = Fm_config.default) ?(prune_factor = 1.5) rng
     in
     let dt = Sys.time () -. t0 in
     records := { start_cut = r.cut; start_seconds = dt } :: !records;
+    if Tel.is_enabled () then begin
+      Metrics.incr "fm.starts";
+      Metrics.observe "fm.start_cut" (float_of_int r.cut);
+      Metrics.observe "fm.start_seconds" dt
+    end;
     let better =
       match !best with
       | None -> true
@@ -399,4 +446,5 @@ let multistart_pruned ?(config = Fm_config.default) ?(prune_factor = 1.5) rng
     in
     if better then best := Some r
   done;
+  if Tel.is_enabled () then Metrics.incr "fm.starts_pruned" ~by:!pruned;
   (Option.get !best, List.rev !records, !pruned)

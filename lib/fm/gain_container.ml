@@ -20,7 +20,17 @@ type t = {
   maxptr : int array;       (* upper bound on the max nonempty bucket index *)
   count : int array;
   mutable corked : bool;
+  (* lifetime op counters (plain increments — cheap enough to stay on);
+     flushed into the telemetry registry by the engine per run *)
+  mutable n_inserts : int;
+  mutable n_removes : int;
+  mutable n_repositions : int;
 }
+
+type ops = { inserts : int; removes : int; repositions : int }
+
+let ops c =
+  { inserts = c.n_inserts; removes = c.n_removes; repositions = c.n_repositions }
 
 let create ~num_vertices ~max_key ~insertion ~rng =
   let nbuckets = (2 * max_key) + 1 in
@@ -37,6 +47,9 @@ let create ~num_vertices ~max_key ~insertion ~rng =
     maxptr = [| 0; 0 |];
     count = [| 0; 0 |];
     corked = false;
+    n_inserts = 0;
+    n_removes = 0;
+    n_repositions = 0;
   }
 
 let mem c v = c.prev.(v) <> absent
@@ -89,7 +102,8 @@ let insert c ~side ~key v =
    | Fm_config.Random ->
      if Rng.bool c.rng then push_front c side b v else push_back c side b v);
   if b > c.maxptr.(side) then c.maxptr.(side) <- b;
-  c.count.(side) <- c.count.(side) + 1
+  c.count.(side) <- c.count.(side) + 1;
+  c.n_inserts <- c.n_inserts + 1
 
 let remove c v =
   if mem c v then begin
@@ -100,7 +114,8 @@ let remove c v =
     if n <> nil then c.prev.(n) <- p else c.tails.(side).(b) <- p;
     c.prev.(v) <- absent;
     c.next.(v) <- absent;
-    c.count.(side) <- c.count.(side) - 1
+    c.count.(side) <- c.count.(side) - 1;
+    c.n_removes <- c.n_removes + 1
   end
 
 let update_key c v ~delta =
@@ -108,13 +123,15 @@ let update_key c v ~delta =
   let side = c.vside.(v) in
   let key = c.vkey.(v) + delta in
   remove c v;
-  insert c ~side ~key v
+  insert c ~side ~key v;
+  c.n_repositions <- c.n_repositions + 1
 
 let refresh c v =
   assert (mem c v);
   let side = c.vside.(v) and key = c.vkey.(v) in
   remove c v;
-  insert c ~side ~key v
+  insert c ~side ~key v;
+  c.n_repositions <- c.n_repositions + 1
 
 (* Decay the max pointer past empty buckets; returns the index of the
    highest nonempty bucket or [nil]. *)

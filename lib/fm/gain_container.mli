@@ -71,3 +71,11 @@ val last_select_corked : t -> bool
 val head_of_max_bucket : t -> side:int -> int option
 (** Peek at the head of the highest nonempty bucket, ignoring legality
     (test hook). *)
+
+type ops = { inserts : int; removes : int; repositions : int }
+
+val ops : t -> ops
+(** Lifetime operation counts for this container: raw link insertions
+    and removals (repositioning performs one of each) plus the number
+    of {!update_key}/{!refresh} repositionings.  The FM engine flushes
+    these into the telemetry metrics registry ([gain.*]) per run. *)

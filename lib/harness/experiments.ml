@@ -8,6 +8,9 @@ module Descriptive = Hypart_stats.Descriptive
 module Bsf = Hypart_stats.Bsf
 module Pareto = Hypart_stats.Pareto
 module Ranking = Hypart_stats.Ranking
+module Tel = Hypart_telemetry.Control
+module Metrics = Hypart_telemetry.Metrics
+module Trace = Hypart_telemetry.Trace
 
 type fm_variant = Flat_lifo | Flat_clip | Ml_lifo | Ml_clip
 
@@ -20,14 +23,31 @@ let variant_name = function
 let instance_problem ?(scale = 4.0) ~tolerance name =
   Problem.make ~tolerance (Suite.instance ~scale name)
 
+(* Per-start telemetry, mirroring the paper's avg-cut/avg-CPU reporting
+   unit: every independent start contributes one cut and one CPU-seconds
+   sample. *)
+let record_start cut dt =
+  if Tel.is_enabled () then begin
+    Metrics.incr "exp.starts";
+    Metrics.observe "exp.start_cut" (float_of_int cut);
+    Metrics.observe "exp.start_seconds" dt
+  end
+
+let timed_start f =
+  let t0 = Sys.time () in
+  let cut = f () in
+  record_start cut (Sys.time () -. t0);
+  cut
+
 (* One single-start trial of a variant; returns the final cut. *)
 let run_variant variant fm_config rng problem =
-  match variant with
-  | Flat_lifo | Flat_clip ->
-    (Fm.run_random_start ~config:fm_config rng problem).Fm.cut
-  | Ml_lifo | Ml_clip ->
-    let config = { Ml.default with Ml.fm = fm_config } in
-    (Ml.run ~config rng problem).Fm.cut
+  timed_start (fun () ->
+      match variant with
+      | Flat_lifo | Flat_clip ->
+        (Fm.run_random_start ~config:fm_config rng problem).Fm.cut
+      | Ml_lifo | Ml_clip ->
+        let config = { Ml.default with Ml.fm = fm_config } in
+        (Ml.run ~config rng problem).Fm.cut)
 
 let fm_config_of_variant variant ~bias ~update =
   let base =
@@ -49,6 +69,7 @@ let biases = [ (Fm_config.Away, "Away"); (Fm_config.Part0, "Part0"); (Fm_config.
 
 let table1 ?(scale = 4.0) ?(runs = 20) ?(tolerance = 0.02)
     ?(instances = Suite.names_small) ~seed () =
+  Trace.span "exp.table1" @@ fun () ->
   let problems =
     List.map (fun name -> instance_problem ~scale ~tolerance name) instances
   in
@@ -87,6 +108,7 @@ let table1 ?(scale = 4.0) ?(runs = 20) ?(tolerance = 0.02)
 
 let table_reported_vs_ours ~engine ?(scale = 4.0) ?(runs = 20)
     ?(instances = Suite.names_small) ~seed () =
+  Trace.span "exp.table_reported_vs_ours" @@ fun () ->
   let reported, ours, label =
     match engine with
     | `Lifo -> (Fm_config.reported_lifo, Fm_config.strong_lifo, "LIFO")
@@ -106,7 +128,8 @@ let table_reported_vs_ours ~engine ?(scale = 4.0) ?(runs = 20)
                 let rng = Rng.create seed in
                 let cuts =
                   cuts_of_runs ~runs (fun _ ->
-                      (Fm.run_random_start ~config rng problem).Fm.cut)
+                      timed_start (fun () ->
+                          (Fm.run_random_start ~config rng problem).Fm.cut))
                 in
                 Descriptive.min_avg cuts)
               problems
@@ -124,6 +147,7 @@ let table_reported_vs_ours ~engine ?(scale = 4.0) ?(runs = 20)
 let table_multistart_eval ?(scale = 8.0) ?(repeats = 5)
     ?(configs = [ 1; 2; 4; 8; 16; 100 ]) ?(instances = Suite.names_eval)
     ~tolerance ~seed () =
+  Trace.span "exp.table_multistart_eval" @@ fun () ->
   let headers =
     "Circuit" :: List.map (fun n -> Printf.sprintf "%d start%s" n (if n = 1 then "" else "s")) configs
   in
@@ -138,11 +162,20 @@ let table_multistart_eval ?(scale = 8.0) ?(repeats = 5)
             let cuts = Array.make repeats 0.0 in
             let times = Array.make repeats 0.0 in
             for r = 0 to repeats - 1 do
+              Trace.begin_span "exp.multistart";
               let (best, _), dt =
                 Machine.cpu_time (fun () ->
                     Ml.multistart ~config:Ml.ml_clip ~vcycle_best:1 rng problem
                       ~starts)
               in
+              Trace.end_span "exp.multistart"
+                ~args:
+                  [
+                    ("starts", float_of_int starts);
+                    ("cut", float_of_int best.Fm.cut);
+                    ("seconds", dt);
+                  ];
+              record_start best.Fm.cut dt;
               cuts.(r) <- float_of_int best.Fm.cut;
               times.(r) <- Machine.normalize dt
             done;

@@ -25,5 +25,7 @@ val best_of :
   (int -> int * 'a) ->
   (int * 'a) option
 (** [best_of ~seeds run] evaluates [run seed] (returning a cost and a
-    payload) across domains and keeps the lowest cost; ties go to the
-    earliest seed.  [None] when [seeds] is empty. *)
+    payload) across domains and keeps the lowest cost; cut ties break
+    deterministically toward the {e numerically lowest} seed, so the
+    winner does not depend on seed-list order or domain scheduling.
+    [None] when [seeds] is empty. *)

@@ -2,6 +2,9 @@ module H = Hypart_hypergraph.Hypergraph
 module Rng = Hypart_rng.Rng
 module Problem = Hypart_partition.Problem
 module Bipartition = Hypart_partition.Bipartition
+module Tel = Hypart_telemetry.Control
+module Metrics = Hypart_telemetry.Metrics
+module Trace = Hypart_telemetry.Trace
 
 type level = {
   coarse : H.t;
@@ -18,15 +21,26 @@ let coarsest hier =
 
 let build ~scheme ~rng ~coarsest_size ~max_cluster_weight ?restrict_to_parts
     problem =
+  Trace.begin_span "ml.coarsen";
   let rec go h fixed part levels =
     if H.num_vertices h <= coarsest_size then List.rev levels
     else begin
+      Trace.begin_span "ml.coarsen.level";
       let cluster_of, num_clusters =
         Matching.compute ~scheme ~rng ~max_cluster_weight ~fixed
           ?restrict_to_parts:part h
       in
       (* stagnation: if matching merged almost nothing, stop *)
-      if num_clusters > H.num_vertices h * 9 / 10 then List.rev levels
+      if num_clusters > H.num_vertices h * 9 / 10 then begin
+        Trace.end_span "ml.coarsen.level"
+          ~args:
+            [
+              ("vertices", float_of_int (H.num_vertices h));
+              ("clusters", float_of_int num_clusters);
+              ("stagnated", 1.0);
+            ];
+        List.rev levels
+      end
       else begin
         let coarse, _edge_map = H.contract h ~cluster_of ~num_clusters in
         let coarse_fixed = Array.make num_clusters (-1) in
@@ -41,6 +55,18 @@ let build ~scheme ~rng ~coarsest_size ~max_cluster_weight ?restrict_to_parts
               cp)
             part
         in
+        Trace.end_span "ml.coarsen.level"
+          ~args:
+            [
+              ("vertices", float_of_int (H.num_vertices h));
+              ("clusters", float_of_int num_clusters);
+              ("coarse_edges", float_of_int (H.num_edges coarse));
+            ];
+        if Tel.is_enabled () then begin
+          Metrics.incr "ml.coarsen_levels";
+          Metrics.observe "ml.level_vertices" (float_of_int num_clusters);
+          Metrics.observe "ml.level_edges" (float_of_int (H.num_edges coarse))
+        end;
         let level = { coarse; cluster_of; coarse_fixed } in
         go coarse coarse_fixed coarse_part (level :: levels)
       end
@@ -49,6 +75,13 @@ let build ~scheme ~rng ~coarsest_size ~max_cluster_weight ?restrict_to_parts
   let levels =
     go problem.Problem.hypergraph problem.Problem.fixed restrict_to_parts []
   in
+  Trace.end_span "ml.coarsen"
+    ~args:
+      [
+        ( "finest_vertices",
+          float_of_int (H.num_vertices problem.Problem.hypergraph) );
+        ("levels", float_of_int (List.length levels));
+      ];
   { problem; levels }
 
 let project level coarse_sol ~fine =

@@ -9,6 +9,9 @@ module Fm_config = Hypart_fm.Fm_config
 let log_src = Logs.Src.create "hypart.ml" ~doc:"multilevel partitioner tracing"
 
 module Log = (val Logs.src_log log_src)
+module Tel = Hypart_telemetry.Control
+module Metrics = Hypart_telemetry.Metrics
+module Trace = Hypart_telemetry.Trace
 
 type config = {
   fm : Fm_config.t;
@@ -75,9 +78,17 @@ let uncoarsen config rng hier coarsest_result =
   let balance = problem.Problem.balance in
   List.fold_left
     (fun (result : Fm.result) (fine_h, fine_fixed, level) ->
+      Trace.begin_span "ml.refine";
       let fine_problem = Problem.with_balance ~fixed:fine_fixed balance fine_h in
       let projected = Coarsen.project level result.Fm.solution ~fine:fine_h in
       let refined = refine config rng fine_problem projected in
+      Trace.end_span "ml.refine"
+        ~args:
+          [
+            ("vertices", float_of_int (H.num_vertices fine_h));
+            ("cut_before", float_of_int result.Fm.cut);
+            ("cut_after", float_of_int refined.Fm.cut);
+          ];
       Log.debug (fun m ->
           m "refine at %d vertices: cut %d -> %d" (H.num_vertices fine_h)
             result.Fm.cut refined.Fm.cut);
@@ -85,6 +96,7 @@ let uncoarsen config rng hier coarsest_result =
     coarsest_result (refinement_steps hier)
 
 let initial_at_coarsest config rng problem =
+  Trace.begin_span "ml.initial";
   let fm = config.fm in
   let best = ref None in
   for _ = 1 to max 1 config.coarsest_starts do
@@ -98,7 +110,14 @@ let initial_at_coarsest config rng problem =
     in
     if better then best := Some r
   done;
-  Option.get !best
+  let best = Option.get !best in
+  Trace.end_span "ml.initial"
+    ~args:
+      [
+        ("starts", float_of_int (max 1 config.coarsest_starts));
+        ("cut", float_of_int best.Fm.cut);
+      ];
+  best
 
 let run_once ?restrict_to_parts config rng problem =
   let hier =
@@ -128,6 +147,7 @@ let run_once ?restrict_to_parts config rng problem =
   uncoarsen config rng hier coarsest_result
 
 let vcycle ?(config = default) rng problem solution =
+  Trace.begin_span "ml.vcycle";
   let before_cut = Bipartition.cut problem.Problem.hypergraph solution in
   let before_legal = Bipartition.is_legal solution problem.Problem.balance in
   let part = Bipartition.assignment solution in
@@ -136,6 +156,16 @@ let vcycle ?(config = default) rng problem solution =
     (r.Fm.legal && not before_legal)
     || (r.Fm.legal = before_legal && r.Fm.cut <= before_cut)
   in
+  if Tel.is_enabled () then begin
+    Metrics.incr "ml.vcycles";
+    if keep_new && r.Fm.cut < before_cut then Metrics.incr "ml.vcycle_improvements"
+  end;
+  Trace.end_span "ml.vcycle"
+    ~args:
+      [
+        ("cut_before", float_of_int before_cut);
+        ("cut_after", float_of_int (if keep_new then r.Fm.cut else before_cut));
+      ];
   if keep_new then r
   else
     {
@@ -146,15 +176,16 @@ let vcycle ?(config = default) rng problem solution =
     }
 
 let run ?(config = default) rng problem =
-  let r = run_once config rng problem in
-  let rec cycle i (r : Fm.result) =
-    if i >= config.vcycles then r
-    else begin
-      let r' = vcycle ~config rng problem r.Fm.solution in
-      if r'.Fm.cut < r.Fm.cut then cycle (i + 1) r' else r'
-    end
-  in
-  cycle 0 r
+  Trace.span "ml.run" (fun () ->
+      let r = run_once config rng problem in
+      let rec cycle i (r : Fm.result) =
+        if i >= config.vcycles then r
+        else begin
+          let r' = vcycle ~config rng problem r.Fm.solution in
+          if r'.Fm.cut < r.Fm.cut then cycle (i + 1) r' else r'
+        end
+      in
+      cycle 0 r)
 
 let multistart ?(config = default) ?(vcycle_best = 0) rng problem ~starts =
   if starts < 1 then invalid_arg "Ml_partitioner.multistart: starts must be >= 1";
@@ -166,6 +197,11 @@ let multistart ?(config = default) ?(vcycle_best = 0) rng problem ~starts =
     let dt = Sys.time () -. t0 in
     records :=
       { Fm.start_cut = r.Fm.cut; Fm.start_seconds = dt } :: !records;
+    if Tel.is_enabled () then begin
+      Metrics.incr "ml.starts";
+      Metrics.observe "ml.start_cut" (float_of_int r.Fm.cut);
+      Metrics.observe "ml.start_seconds" dt
+    end;
     let better =
       match !best with
       | None -> true

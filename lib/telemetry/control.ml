@@ -1,0 +1,9 @@
+let enabled = Atomic.make false
+let enable () = Atomic.set enabled true
+let disable () = Atomic.set enabled false
+let is_enabled () = Atomic.get enabled
+
+let with_enabled f =
+  let was = Atomic.get enabled in
+  Atomic.set enabled true;
+  Fun.protect ~finally:(fun () -> Atomic.set enabled was) f

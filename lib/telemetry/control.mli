@@ -1,0 +1,13 @@
+(** Global on/off switch for telemetry collection.
+
+    Collection defaults to off so instrumented hot paths cost one
+    atomic load per recording site.  Reading and exporting snapshots
+    always works regardless of the switch. *)
+
+val enable : unit -> unit
+val disable : unit -> unit
+val is_enabled : unit -> bool
+
+val with_enabled : (unit -> 'a) -> 'a
+(** Run [f] with collection enabled, restoring the previous state
+    afterwards (exception-safe).  Intended for tests. *)

@@ -1,0 +1,222 @@
+(* Global metrics registry: named counters, gauges and value
+   histograms.  Counters use [Atomic] increments and the registry
+   itself is mutex-guarded, so concurrent updates from several domains
+   (e.g. under [Parallel.map_seeds]) are safe.  Recording is a no-op
+   while {!Control} is disabled; reads and exports always work. *)
+
+type histo = {
+  lock : Mutex.t;
+  mutable values : float array;
+  mutable len : int;
+}
+
+type value =
+  | Counter of int Atomic.t
+  | Gauge of float Atomic.t
+  | Histogram of histo
+
+type stats = {
+  count : int;
+  min : float;
+  max : float;
+  mean : float;
+  p50 : float;
+  p90 : float;
+  p99 : float;
+}
+
+type entry =
+  | E_counter of string * int
+  | E_gauge of string * float
+  | E_histogram of string * stats
+
+let registry : (string, value) Hashtbl.t = Hashtbl.create 64
+let reg_lock = Mutex.create ()
+
+let kind_name = function
+  | Counter _ -> "counter"
+  | Gauge _ -> "gauge"
+  | Histogram _ -> "histogram"
+
+let find_or_create name make =
+  Mutex.lock reg_lock;
+  let v =
+    match Hashtbl.find_opt registry name with
+    | Some v -> v
+    | None ->
+      let v = make () in
+      Hashtbl.add registry name v;
+      v
+  in
+  Mutex.unlock reg_lock;
+  v
+
+let find name =
+  Mutex.lock reg_lock;
+  let v = Hashtbl.find_opt registry name in
+  Mutex.unlock reg_lock;
+  v
+
+let wrong_kind name v expected =
+  invalid_arg
+    (Printf.sprintf "Metrics: %s is a %s, not a %s" name (kind_name v) expected)
+
+(* -- recording -- *)
+
+let incr ?(by = 1) name =
+  if Control.is_enabled () then
+    match find_or_create name (fun () -> Counter (Atomic.make 0)) with
+    | Counter c -> ignore (Atomic.fetch_and_add c by)
+    | v -> wrong_kind name v "counter"
+
+let set_gauge name x =
+  if Control.is_enabled () then
+    match find_or_create name (fun () -> Gauge (Atomic.make 0.0)) with
+    | Gauge g -> Atomic.set g x
+    | v -> wrong_kind name v "gauge"
+
+let observe name x =
+  if Control.is_enabled () then
+    match
+      find_or_create name (fun () ->
+          Histogram { lock = Mutex.create (); values = Array.make 64 0.0; len = 0 })
+    with
+    | Histogram h ->
+      Mutex.lock h.lock;
+      if h.len = Array.length h.values then begin
+        let bigger = Array.make (2 * h.len) 0.0 in
+        Array.blit h.values 0 bigger 0 h.len;
+        h.values <- bigger
+      end;
+      h.values.(h.len) <- x;
+      h.len <- h.len + 1;
+      Mutex.unlock h.lock
+    | v -> wrong_kind name v "histogram"
+
+(* -- reading -- *)
+
+let counter_value name =
+  match find name with Some (Counter c) -> Atomic.get c | _ -> 0
+
+let gauge_value name =
+  match find name with Some (Gauge g) -> Atomic.get g | _ -> 0.0
+
+let sorted_values h =
+  Mutex.lock h.lock;
+  let copy = Array.sub h.values 0 h.len in
+  Mutex.unlock h.lock;
+  Array.sort compare copy;
+  copy
+
+(* Nearest-rank quantile on the sorted sample. *)
+let quantile_of_sorted xs q =
+  let n = Array.length xs in
+  if n = 0 then nan
+  else begin
+    let q = Float.max 0.0 (Float.min 1.0 q) in
+    let rank = int_of_float (ceil (q *. float_of_int n)) in
+    xs.(Stdlib.max 0 (Stdlib.min (n - 1) (rank - 1)))
+  end
+
+let stats_of_histo h =
+  let xs = sorted_values h in
+  let n = Array.length xs in
+  if n = 0 then
+    { count = 0; min = nan; max = nan; mean = nan; p50 = nan; p90 = nan; p99 = nan }
+  else begin
+    let sum = Array.fold_left ( +. ) 0.0 xs in
+    {
+      count = n;
+      min = xs.(0);
+      max = xs.(n - 1);
+      mean = sum /. float_of_int n;
+      p50 = quantile_of_sorted xs 0.5;
+      p90 = quantile_of_sorted xs 0.9;
+      p99 = quantile_of_sorted xs 0.99;
+    }
+  end
+
+let histogram_stats name =
+  match find name with Some (Histogram h) -> Some (stats_of_histo h) | _ -> None
+
+let quantile name q =
+  match find name with
+  | Some (Histogram h) ->
+    let xs = sorted_values h in
+    if Array.length xs = 0 then None else Some (quantile_of_sorted xs q)
+  | _ -> None
+
+let snapshot () =
+  Mutex.lock reg_lock;
+  let entries = Hashtbl.fold (fun name v acc -> (name, v) :: acc) registry [] in
+  Mutex.unlock reg_lock;
+  entries
+  |> List.map (fun (name, v) ->
+         match v with
+         | Counter c -> E_counter (name, Atomic.get c)
+         | Gauge g -> E_gauge (name, Atomic.get g)
+         | Histogram h -> E_histogram (name, stats_of_histo h))
+  |> List.sort (fun a b ->
+         let name = function
+           | E_counter (n, _) | E_gauge (n, _) | E_histogram (n, _) -> n
+         in
+         compare (name a) (name b))
+
+let reset () =
+  Mutex.lock reg_lock;
+  Hashtbl.reset registry;
+  Mutex.unlock reg_lock
+
+(* -- export -- *)
+
+let stats_fields s =
+  [
+    ("count", Json_out.int s.count);
+    ("min", Json_out.number s.min);
+    ("max", Json_out.number s.max);
+    ("mean", Json_out.number s.mean);
+    ("p50", Json_out.number s.p50);
+    ("p90", Json_out.number s.p90);
+    ("p99", Json_out.number s.p99);
+  ]
+
+let to_json () =
+  let entries = snapshot () in
+  let pick f = List.filter_map f entries in
+  Json_out.obj
+    [
+      ( "counters",
+        Json_out.obj
+          (pick (function
+            | E_counter (n, v) -> Some (n, Json_out.int v)
+            | _ -> None)) );
+      ( "gauges",
+        Json_out.obj
+          (pick (function
+            | E_gauge (n, v) -> Some (n, Json_out.number v)
+            | _ -> None)) );
+      ( "histograms",
+        Json_out.obj
+          (pick (function
+            | E_histogram (n, s) -> Some (n, Json_out.obj (stats_fields s))
+            | _ -> None)) );
+    ]
+
+let to_csv () =
+  let b = Buffer.create 256 in
+  Buffer.add_string b "metric,kind,count,value,min,max,mean,p50,p90,p99\n";
+  List.iter
+    (fun e ->
+      match e with
+      | E_counter (n, v) -> Buffer.add_string b (Printf.sprintf "%s,counter,,%d,,,,,,\n" n v)
+      | E_gauge (n, v) -> Buffer.add_string b (Printf.sprintf "%s,gauge,,%g,,,,,,\n" n v)
+      | E_histogram (n, s) ->
+        Buffer.add_string b
+          (Printf.sprintf "%s,histogram,%d,,%g,%g,%g,%g,%g,%g\n" n s.count s.min
+             s.max s.mean s.p50 s.p90 s.p99))
+    (snapshot ());
+  Buffer.contents b
+
+let write path =
+  if Filename.check_suffix path ".csv" then Json_out.write_file path (to_csv ())
+  else Json_out.write_file path (to_json ())

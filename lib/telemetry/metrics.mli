@@ -1,0 +1,59 @@
+(** Metrics registry: named counters, gauges and value histograms with
+    domain-safe updates and JSON/CSV snapshot export.
+
+    Metric names are flat dotted strings ([fm.moves],
+    [ml.start_seconds]); the first use of a name fixes its kind and a
+    later use under a different kind raises [Invalid_argument].
+    Recording calls ({!incr}, {!set_gauge}, {!observe}) are no-ops
+    while telemetry is disabled (see {!Control}), so instrumentation
+    left in hot paths costs one atomic load.  Reads and exports work
+    regardless of the switch. *)
+
+type stats = {
+  count : int;
+  min : float;
+  max : float;
+  mean : float;
+  p50 : float;
+  p90 : float;
+  p99 : float;
+}
+
+type entry =
+  | E_counter of string * int
+  | E_gauge of string * float
+  | E_histogram of string * stats
+
+val incr : ?by:int -> string -> unit
+(** Atomically add [by] (default 1) to a counter. *)
+
+val set_gauge : string -> float -> unit
+(** Set a gauge to its latest value. *)
+
+val observe : string -> float -> unit
+(** Append a sample to a histogram (all samples are retained; quantiles
+    are exact). *)
+
+val counter_value : string -> int
+(** Current counter value; [0] for unknown names. *)
+
+val gauge_value : string -> float
+(** Current gauge value; [0.] for unknown names. *)
+
+val histogram_stats : string -> stats option
+val quantile : string -> float -> float option
+(** Nearest-rank quantile, [q] clamped to [0,1].  [None] when the
+    histogram is unknown or empty. *)
+
+val snapshot : unit -> entry list
+(** All metrics, sorted by name. *)
+
+val to_json : unit -> string
+val to_csv : unit -> string
+
+val write : string -> unit
+(** Write the snapshot to a file: CSV when the path ends in [.csv],
+    JSON otherwise. *)
+
+val reset : unit -> unit
+(** Drop every registered metric (tests). *)

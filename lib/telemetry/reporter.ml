@@ -1,0 +1,29 @@
+(* Domain-safe Logs reporter.  [Logs.format_reporter] interleaves
+   partial lines when several domains log concurrently (e.g. engines
+   running under [Parallel.map_seeds] with [-v]); this reporter
+   serializes whole messages behind a mutex and prefixes the recording
+   domain id and source name. *)
+
+let lock = Mutex.create ()
+
+let reporter ?(app = Format.std_formatter) ?(dst = Format.err_formatter) () =
+  let report src level ~over k msgf =
+    let ppf = match level with Logs.App -> app | _ -> dst in
+    msgf (fun ?header ?tags:_ fmt ->
+        Mutex.lock lock;
+        let finish ppf =
+          Format.pp_print_flush ppf ();
+          Mutex.unlock lock;
+          over ();
+          k ()
+        in
+        let domain = (Domain.self () :> int) in
+        Format.kfprintf finish ppf
+          ("%a[d%d] [%s] @[" ^^ fmt ^^ "@]@.")
+          Logs.pp_header (level, header) domain (Logs.Src.name src))
+  in
+  { Logs.report }
+
+let setup ?app ?dst ?(level = Some Logs.Warning) () =
+  Logs.set_reporter (reporter ?app ?dst ());
+  Logs.set_level level

@@ -1,0 +1,29 @@
+(** Telemetry facade: the collection switch plus phase-time summaries
+    derived from the span tracer.
+
+    See {!Metrics} for the metrics registry, {!Trace} for span tracing
+    and Chrome trace export, and {!Reporter} for the domain-safe
+    [Logs] reporter.  docs/OBSERVABILITY.md documents the metric names
+    and span taxonomy used across the engines. *)
+
+val enable : unit -> unit
+val disable : unit -> unit
+val is_enabled : unit -> bool
+val with_enabled : (unit -> 'a) -> 'a
+
+val reset : unit -> unit
+(** Clear all metrics and spans. *)
+
+type phase = {
+  name : string;
+  calls : int;
+  total_us : float;
+  mean_us : float;
+  max_us : float;
+}
+
+val phase_summary : unit -> phase list
+(** Spans aggregated by name, sorted by total time descending — the
+    data behind the CLI's [--profile] table. *)
+
+val pp_phase_summary : Format.formatter -> unit -> unit

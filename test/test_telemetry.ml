@@ -1,0 +1,305 @@
+(* Telemetry: metrics registry, span tracer, and the CLI's --trace /
+   --metrics export.  Each test resets the global registry/tracer so
+   ordering inside this binary does not matter. *)
+
+module Telemetry = Hypart_telemetry.Telemetry
+module Metrics = Hypart_telemetry.Metrics
+module Trace = Hypart_telemetry.Trace
+
+let contains s needle =
+  let nl = String.length needle and sl = String.length s in
+  let rec scan i = i + nl <= sl && (String.sub s i nl = needle || scan (i + 1)) in
+  scan 0
+
+let fresh () =
+  Telemetry.reset ();
+  Telemetry.enable ()
+
+let teardown () =
+  Telemetry.reset ();
+  Telemetry.disable ()
+
+let with_fresh f =
+  fresh ();
+  Fun.protect ~finally:teardown f
+
+(* -- switch -- *)
+
+let test_disabled_noop () =
+  Telemetry.reset ();
+  Telemetry.disable ();
+  Metrics.incr "off.counter";
+  Metrics.observe "off.histo" 1.0;
+  Trace.span "off.span" (fun () -> ()) |> ignore;
+  Alcotest.(check int) "counter untouched" 0 (Metrics.counter_value "off.counter");
+  Alcotest.(check bool) "histo untouched" true
+    (Metrics.histogram_stats "off.histo" = None);
+  Alcotest.(check int) "no spans" 0 (Trace.event_count ())
+
+let test_with_enabled_restores () =
+  Telemetry.reset ();
+  Telemetry.disable ();
+  Telemetry.with_enabled (fun () ->
+      Alcotest.(check bool) "enabled inside" true (Telemetry.is_enabled ()));
+  Alcotest.(check bool) "restored" false (Telemetry.is_enabled ());
+  (try Telemetry.with_enabled (fun () -> failwith "boom") with Failure _ -> ());
+  Alcotest.(check bool) "restored on raise" false (Telemetry.is_enabled ())
+
+(* -- metrics -- *)
+
+let test_counters () =
+  with_fresh @@ fun () ->
+  Metrics.incr "t.counter";
+  Metrics.incr ~by:41 "t.counter";
+  Alcotest.(check int) "accumulates" 42 (Metrics.counter_value "t.counter");
+  Alcotest.(check int) "unknown is 0" 0 (Metrics.counter_value "t.unknown")
+
+let test_kind_mismatch () =
+  with_fresh @@ fun () ->
+  Metrics.incr "t.kind";
+  Alcotest.check_raises "gauge on counter" (Invalid_argument "x") (fun () ->
+      try Metrics.set_gauge "t.kind" 1.0
+      with Invalid_argument _ -> raise (Invalid_argument "x"))
+
+let test_histogram_quantiles () =
+  with_fresh @@ fun () ->
+  (* 1..100 in shuffled-ish order: nearest-rank quantiles are exact *)
+  for i = 0 to 99 do
+    Metrics.observe "t.histo" (float_of_int (((i * 37) mod 100) + 1))
+  done;
+  let q p = Option.get (Metrics.quantile "t.histo" p) in
+  Alcotest.(check (float 1e-9)) "p50" 50.0 (q 0.5);
+  Alcotest.(check (float 1e-9)) "p90" 90.0 (q 0.9);
+  Alcotest.(check (float 1e-9)) "p99" 99.0 (q 0.99);
+  Alcotest.(check (float 1e-9)) "p0 -> min" 1.0 (q 0.0);
+  Alcotest.(check (float 1e-9)) "p100 -> max" 100.0 (q 1.0);
+  let s = Option.get (Metrics.histogram_stats "t.histo") in
+  Alcotest.(check int) "count" 100 s.Metrics.count;
+  Alcotest.(check (float 1e-9)) "mean" 50.5 s.Metrics.mean;
+  Alcotest.(check bool) "empty name" true (Metrics.quantile "t.none" 0.5 = None)
+
+let test_counter_aggregation_across_domains () =
+  with_fresh @@ fun () ->
+  (* 4 domains x 1000 increments racing on one counter *)
+  let worker () =
+    Domain.spawn (fun () ->
+        for _ = 1 to 1000 do
+          Metrics.incr "t.race";
+          Metrics.observe "t.race_histo" 1.0
+        done)
+  in
+  let ds = List.init 4 (fun _ -> worker ()) in
+  List.iter Domain.join ds;
+  Alcotest.(check int) "no lost updates" 4000 (Metrics.counter_value "t.race");
+  let s = Option.get (Metrics.histogram_stats "t.race_histo") in
+  Alcotest.(check int) "histogram samples" 4000 s.Metrics.count
+
+let test_snapshot_and_json () =
+  with_fresh @@ fun () ->
+  Metrics.incr ~by:3 "t.c";
+  Metrics.set_gauge "t.g" 2.5;
+  Metrics.observe "t.h" 1.0;
+  let names =
+    List.map
+      (function
+        | Metrics.E_counter (n, _) -> n
+        | Metrics.E_gauge (n, _) -> n
+        | Metrics.E_histogram (n, _) -> n)
+      (Metrics.snapshot ())
+  in
+  Alcotest.(check (list string)) "sorted names" [ "t.c"; "t.g"; "t.h" ] names;
+  let json = Metrics.to_json () in
+  List.iter
+    (fun needle ->
+      if not (contains json needle) then
+        Alcotest.failf "missing %S in %s" needle json)
+    [ {|"t.c":3|}; {|"t.g":2.5|}; {|"counters"|}; {|"histograms"|} ];
+  let csv = Metrics.to_csv () in
+  Alcotest.(check bool) "csv header" true (contains csv "metric,kind,count,value")
+
+(* -- tracing -- *)
+
+let test_span_nesting () =
+  with_fresh @@ fun () ->
+  Trace.span "outer" (fun () ->
+      Trace.span "inner" (fun () -> Sys.opaque_identity (ref 0) |> ignore));
+  Alcotest.(check int) "two spans" 2 (Trace.event_count ());
+  Alcotest.(check int) "balanced" 0 (Trace.unbalanced_spans ());
+  Alcotest.(check int) "none open" 0 (Trace.open_spans ());
+  match Trace.events () with
+  | [ outer; inner ] ->
+    Alcotest.(check string) "outer first (sorted by start)" "outer"
+      outer.Trace.name;
+    Alcotest.(check string) "inner second" "inner" inner.Trace.name;
+    Alcotest.(check bool) "inner starts inside outer" true
+      (inner.Trace.ts_us >= outer.Trace.ts_us);
+    Alcotest.(check bool) "inner ends inside outer" true
+      (inner.Trace.ts_us +. inner.Trace.dur_us
+      <= outer.Trace.ts_us +. outer.Trace.dur_us +. 1e-3)
+  | evs -> Alcotest.failf "expected 2 events, got %d" (List.length evs)
+
+let test_unbalanced_detection () =
+  with_fresh @@ fun () ->
+  Trace.end_span "never_opened";
+  Alcotest.(check int) "stray end counted" 1 (Trace.unbalanced_spans ());
+  Trace.begin_span "a";
+  Trace.begin_span "b";
+  Trace.end_span "a";
+  (* mismatched: [b] is dropped as unbalanced, then [a] closes cleanly *)
+  Trace.end_span "a";
+  Alcotest.(check int) "mismatch counted" 2 (Trace.unbalanced_spans ());
+  Alcotest.(check int) "a still recorded" 1 (Trace.event_count ());
+  Alcotest.(check int) "stack drained" 0 (Trace.open_spans ())
+
+let test_span_args_and_exception_safety () =
+  with_fresh @@ fun () ->
+  (try
+     Trace.span "raising" ~args:[ ("k", 7.0) ] (fun () -> failwith "boom")
+   with Failure _ -> ());
+  Alcotest.(check int) "span closed on raise" 1 (Trace.event_count ());
+  Alcotest.(check int) "none open" 0 (Trace.open_spans ());
+  match Trace.events () with
+  | [ e ] -> Alcotest.(check bool) "args kept" true (List.mem_assoc "k" e.Trace.args)
+  | _ -> Alcotest.fail "expected one event"
+
+let test_spans_across_domains () =
+  with_fresh @@ fun () ->
+  Trace.span "main_side" (fun () ->
+      let d =
+        Domain.spawn (fun () -> Trace.span "domain_side" (fun () -> ()))
+      in
+      Domain.join d);
+  Alcotest.(check int) "both domains recorded" 2 (Trace.event_count ());
+  let tids =
+    List.sort_uniq compare (List.map (fun e -> e.Trace.tid) (Trace.events ()))
+  in
+  Alcotest.(check int) "two distinct tracks" 2 (List.length tids)
+
+(* -- phase summary -- *)
+
+let test_phase_summary () =
+  with_fresh @@ fun () ->
+  for _ = 1 to 3 do
+    Trace.span "phase_a" (fun () -> ())
+  done;
+  Trace.span "phase_b" (fun () -> ());
+  let phases = Telemetry.phase_summary () in
+  let a = List.find (fun p -> p.Telemetry.name = "phase_a") phases in
+  Alcotest.(check int) "calls aggregated" 3 a.Telemetry.calls;
+  Alcotest.(check bool) "mean consistent" true
+    (abs_float ((a.Telemetry.total_us /. 3.) -. a.Telemetry.mean_us) < 1e-6);
+  Alcotest.(check int) "two phases" 2 (List.length phases)
+
+(* -- CLI: --trace / --metrics files are valid JSON of the right shape -- *)
+
+let exe =
+  Filename.concat (Filename.dirname Sys.executable_name) "../bin/hypart.exe"
+
+let tmpdir = Filename.get_temp_dir_name ()
+
+let run_cmd args =
+  let out = Filename.concat tmpdir "hypart_telemetry_out.txt" in
+  let cmd =
+    Printf.sprintf "%s %s > %s 2>&1" (Filename.quote exe) args
+      (Filename.quote out)
+  in
+  Sys.command cmd
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let test_cli_trace_json () =
+  let trace = Filename.concat tmpdir "hypart_test_trace.json" in
+  let metrics = Filename.concat tmpdir "hypart_test_metrics.json" in
+  let code =
+    run_cmd
+      (Printf.sprintf
+         "partition ibm01 --scale 64 --engine mlclip --starts 2 --trace %s \
+          --metrics %s"
+         (Filename.quote trace) (Filename.quote metrics))
+  in
+  Alcotest.(check int) "exit code" 0 code;
+  (* the trace must parse as JSON and follow the Chrome trace_event
+     object format: {"traceEvents": [{"ph":"X"|"M", "name", ...}, ...]} *)
+  let j = Mini_json.parse (read_file trace) in
+  let events =
+    match Mini_json.member "traceEvents" j with
+    | Some (Mini_json.Arr evs) -> evs
+    | _ -> Alcotest.fail "traceEvents array missing"
+  in
+  Alcotest.(check bool) "has events" true (List.length events > 0);
+  let names =
+    List.filter_map
+      (fun e ->
+        match (Mini_json.member "ph" e, Mini_json.member "name" e) with
+        | Some (Mini_json.Str ph), Some (Mini_json.Str name) ->
+          (* complete events need ts/dur/pid/tid numbers *)
+          if ph = "X" then begin
+            List.iter
+              (fun k ->
+                match Mini_json.member k e with
+                | Some (Mini_json.Num _) -> ()
+                | _ -> Alcotest.failf "event %s missing numeric %s" name k)
+              [ "ts"; "dur"; "pid"; "tid" ];
+            Some name
+          end
+          else None
+        | _ -> Alcotest.fail "event missing ph/name")
+      events
+  in
+  List.iter
+    (fun expected ->
+      if not (List.mem expected names) then
+        Alcotest.failf "expected span %S in trace" expected)
+    [ "ml.run"; "ml.coarsen"; "fm.pass" ];
+  (* metrics file: counters/gauges/histograms objects *)
+  let m = Mini_json.parse (read_file metrics) in
+  (match Mini_json.member "counters" m with
+  | Some (Mini_json.Obj kvs) ->
+    Alcotest.(check bool) "fm.moves counted" true
+      (List.exists (fun (k, _) -> k = "fm.moves") kvs)
+  | _ -> Alcotest.fail "counters object missing");
+  match Mini_json.member "histograms" m with
+  | Some (Mini_json.Obj kvs) ->
+    Alcotest.(check bool) "per-start cut histogram" true
+      (List.exists (fun (k, _) -> k = "ml.start_cut") kvs)
+  | _ -> Alcotest.fail "histograms object missing"
+
+let () =
+  Alcotest.run "telemetry"
+    [
+      ( "switch",
+        [
+          Alcotest.test_case "disabled is no-op" `Quick test_disabled_noop;
+          Alcotest.test_case "with_enabled restores" `Quick
+            test_with_enabled_restores;
+        ] );
+      ( "metrics",
+        [
+          Alcotest.test_case "counters" `Quick test_counters;
+          Alcotest.test_case "kind mismatch" `Quick test_kind_mismatch;
+          Alcotest.test_case "histogram quantiles" `Quick
+            test_histogram_quantiles;
+          Alcotest.test_case "aggregation across domains" `Quick
+            test_counter_aggregation_across_domains;
+          Alcotest.test_case "snapshot and export" `Quick
+            test_snapshot_and_json;
+        ] );
+      ( "trace",
+        [
+          Alcotest.test_case "span nesting" `Quick test_span_nesting;
+          Alcotest.test_case "unbalanced detection" `Quick
+            test_unbalanced_detection;
+          Alcotest.test_case "args + exception safety" `Quick
+            test_span_args_and_exception_safety;
+          Alcotest.test_case "spans across domains" `Quick
+            test_spans_across_domains;
+          Alcotest.test_case "phase summary" `Quick test_phase_summary;
+        ] );
+      ( "cli",
+        [ Alcotest.test_case "--trace/--metrics JSON" `Quick test_cli_trace_json ] );
+    ]
