@@ -67,36 +67,24 @@ let table_benches =
 
 let bench_problem = lazy (Problem.make ~tolerance:0.02 (Suite.instance ~scale:16.0 "ibm01"))
 
+(* One bench per registered engine — a new engine gets a bench for free.
+   KL's O(n^2) passes need a much smaller instance to fit the quota. *)
+let kl_problem =
+  lazy (Problem.make ~tolerance:0.10 (Suite.instance ~scale:128.0 "ibm01"))
+
+let () = Hypart_engines.init ()
+
 let engine_benches =
+  let module Engine = Hypart_engine.Engine in
   Test.make_grouped ~name:"engines"
-    [
-      Test.make ~name:"flat_lifo_start"
-        (ignore1 (fun () ->
-             Fm.run_random_start ~config:Fm_config.strong_lifo (Rng.create 1)
-               (Lazy.force bench_problem)));
-      Test.make ~name:"flat_clip_start"
-        (ignore1 (fun () ->
-             Fm.run_random_start ~config:Fm_config.strong_clip (Rng.create 1)
-               (Lazy.force bench_problem)));
-      Test.make ~name:"ml_lifo_start"
-        (ignore1 (fun () ->
-             Ml.run ~config:Ml.ml_lifo (Rng.create 1) (Lazy.force bench_problem)));
-      Test.make ~name:"ml_clip_start"
-        (ignore1 (fun () ->
-             Ml.run ~config:Ml.ml_clip (Rng.create 1) (Lazy.force bench_problem)));
-      Test.make ~name:"kl_start"
-        (ignore1 (fun () ->
-             let h = Suite.instance ~scale:128.0 "ibm01" in
-             Kl.run_random_start (Rng.create 1) h));
-      Test.make ~name:"spectral_eig1"
-        (ignore1 (fun () ->
-             let h = Suite.instance ~scale:16.0 "ibm01" in
-             Hypart_spectral.Spectral.run (Rng.create 1) h));
-      Test.make ~name:"sa_start"
-        (ignore1 (fun () ->
-             Hypart_sa.Sa_partitioner.run ~moves_per_vertex:20 (Rng.create 1)
-               (Lazy.force bench_problem)));
-    ]
+    (List.map
+       (fun e ->
+         let name = Engine.name e in
+         let problem = if name = "kl" then kl_problem else bench_problem in
+         Test.make ~name:(name ^ "_start")
+           (ignore1 (fun () ->
+                Engine.run e (Rng.create 1) (Lazy.force problem) None)))
+       (Engine.all ()))
 
 (* ------------- ablation benches (design choices of DESIGN.md §5) ------------- *)
 

@@ -16,12 +16,33 @@ module Kl = Hypart_kl.Kl
 module Table = Hypart_harness.Table
 module Experiments = Hypart_harness.Experiments
 module Machine = Hypart_harness.Machine
+module Engine = Hypart_engine.Engine
 module Telemetry = Hypart_telemetry.Telemetry
 module Metrics = Hypart_telemetry.Metrics
 module Trace = Hypart_telemetry.Trace
 module Reporter = Hypart_telemetry.Reporter
 
+(* populate the engine registry before any term is evaluated *)
+let () = Hypart_engines.init ()
+
 (* ---------------- shared flags ---------------- *)
+
+(* engine names are parsed against the registry, so the error message
+   and the docs always list exactly the registered engines *)
+let engine_conv =
+  let parse s =
+    match Engine.find s with
+    | Some e -> Ok e
+    | None ->
+      Error
+        (`Msg
+           (Printf.sprintf "unknown engine %s (registered: %s)" s
+              (String.concat " | " (Engine.names ()))))
+  in
+  let print fmt e = Format.pp_print_string fmt (Engine.name e) in
+  Arg.conv ~docv:"ENGINE" (parse, print)
+
+let engine_list_doc () = String.concat " | " (Engine.names ())
 
 let seed_t =
   Arg.(value & opt int 1 & info [ "seed" ] ~docv:"N" ~doc:"Random seed.")
@@ -148,63 +169,29 @@ let partition_cmd =
       else Suite.instance ~scale input
     in
     let problem = Problem.make ~tolerance h in
-    let one_start rng =
-      match engine with
-      | "flat" -> Fm.run_random_start ~config:Fm_config.strong_lifo rng problem
-      | "clip" -> Fm.run_random_start ~config:Fm_config.strong_clip rng problem
-      | "ml" -> Ml.run ~config:Ml.ml_lifo rng problem
-      | "mlclip" | "hmetis" -> Ml.run ~config:Ml.ml_clip rng problem
-      | other -> failwith ("unknown engine: " ^ other)
-    in
     let (result, records), dt =
       Machine.cpu_time (fun () ->
           if domains > 1 then begin
             (* parallel fan-out: one derived seed per start *)
             let seeds = List.init starts (fun i -> seed + i) in
-            let results =
-              Hypart_harness.Parallel.map_seeds ~domains ~seeds (fun s ->
-                  one_start (Rng.create s))
-            in
-            let best =
-              List.fold_left
-                (fun (b : Fm.result) (r : Fm.result) ->
-                  if (r.Fm.legal && not b.Fm.legal)
-                     || (r.Fm.legal = b.Fm.legal && r.Fm.cut < b.Fm.cut)
-                  then r
-                  else b)
-                (List.hd results) (List.tl results)
-            in
-            let records =
-              List.map
-                (fun (r : Fm.result) ->
-                  { Fm.start_cut = r.Fm.cut; Fm.start_seconds = 0.0 })
-                results
+            let (_seed, best), records =
+              Engine.multistart_parallel ~domains engine problem ~seeds
             in
             (best, records)
           end
-          else begin
-            let rng = Rng.create seed in
-            match engine with
-            | "flat" -> Fm.multistart ~config:Fm_config.strong_lifo rng problem ~starts
-            | "clip" -> Fm.multistart ~config:Fm_config.strong_clip rng problem ~starts
-            | "ml" -> Ml.multistart ~config:Ml.ml_lifo rng problem ~starts
-            | "mlclip" -> Ml.multistart ~config:Ml.ml_clip rng problem ~starts
-            | "hmetis" ->
-              Ml.multistart ~config:Ml.ml_clip ~vcycle_best:1 rng problem ~starts
-            | other -> failwith ("unknown engine: " ^ other)
-          end)
+          else Engine.multistart engine (Rng.create seed) problem ~starts)
     in
     Format.printf "%a@." H.pp h;
-    Printf.printf "engine: %s, %d start(s), tolerance %.0f%%\n" engine starts
-      (100. *. tolerance);
-    Printf.printf "best cut: %d (%s)\n" result.Fm.cut
-      (if result.Fm.legal then "legal" else "ILLEGAL");
+    Printf.printf "engine: %s, %d start(s), tolerance %.0f%%\n"
+      (Engine.name engine) starts (100. *. tolerance);
+    Printf.printf "best cut: %d (%s)\n" result.Engine.Result.cut
+      (if result.Engine.Result.legal then "legal" else "ILLEGAL");
     Printf.printf "part weights: %d / %d\n"
-      (Bipartition.part_weight result.Fm.solution 0)
-      (Bipartition.part_weight result.Fm.solution 1);
+      (Bipartition.part_weight result.Engine.Result.solution 0)
+      (Bipartition.part_weight result.Engine.Result.solution 1);
     Printf.printf "per-start cuts: %s\n"
       (String.concat " "
-         (List.map (fun r -> string_of_int r.Fm.start_cut) records));
+         (List.map (fun r -> string_of_int r.Engine.start_cut) records));
     Printf.printf "CPU: %.3fs\n" (Machine.normalize dt)
   in
   let input_t =
@@ -219,8 +206,9 @@ let partition_cmd =
   let engine_t =
     Arg.(
       value
-      & opt string "mlclip"
-      & info [ "engine" ] ~docv:"E" ~doc:"flat | clip | ml | mlclip | hmetis.")
+      & opt engine_conv Hypart_multilevel.Ml_engines.mlclip
+      & info [ "engine" ] ~docv:"E"
+          ~doc:(Printf.sprintf "Partitioning engine: %s." (engine_list_doc ())))
   in
   let starts_t =
     Arg.(value & opt int 1 & info [ "starts" ] ~docv:"N" ~doc:"Independent starts.")
@@ -552,26 +540,42 @@ let corking_cmd =
 let compare_cmd =
   let run () scale runs seed engine_a engine_b instance =
     let table, verdict =
-      Experiments.compare_engines ~scale ~runs ~engine_a ~engine_b ~instance
-        ~seed ()
+      Experiments.compare_engines ~scale ~runs
+        ~engine_a:(Engine.name engine_a) ~engine_b:(Engine.name engine_b)
+        ~instance ~seed ()
     in
     Table.print table;
     print_newline ();
     print_endline verdict
   in
-  let a_t = Arg.(required & pos 0 (some string) None & info [] ~docv:"ENGINE_A") in
-  let b_t = Arg.(required & pos 1 (some string) None & info [] ~docv:"ENGINE_B") in
+  let a_t = Arg.(required & pos 0 (some engine_conv) None & info [] ~docv:"ENGINE_A") in
+  let b_t = Arg.(required & pos 1 (some engine_conv) None & info [] ~docv:"ENGINE_B") in
   let instance_t =
     Arg.(value & opt string "ibm01" & info [ "instance" ] ~docv:"NAME")
   in
   Cmd.v
     (Cmd.info "compare"
        ~doc:
-         "Head-to-head engine comparison with significance tests (Welch t, \
-          Mann-Whitney U) and bootstrap confidence intervals — the 3.2/Brglez \
-          protocol.  Engines: flat | clip | ml | mlclip | lookahead | sa | \
-          reported | reported-clip.")
+         (Printf.sprintf
+            "Head-to-head engine comparison with significance tests (Welch t, \
+             Mann-Whitney U) and bootstrap confidence intervals — the 3.2/Brglez \
+             protocol.  Engines: %s."
+            (engine_list_doc ())))
     Term.(const run $ common_t $ scale_t $ runs_t 20 $ seed_t $ a_t $ b_t $ instance_t)
+
+let engines_cmd =
+  let run () =
+    List.iter
+      (fun e ->
+        Printf.printf "%-14s %s\n" (Engine.name e) (Engine.description e))
+      (Engine.all ())
+  in
+  Cmd.v
+    (Cmd.info "engines"
+       ~doc:
+         "List the registered partitioning engines (usable with partition \
+          --engine and compare).")
+    Term.(const run $ common_t)
 
 let placement_cmd =
   let run () scale runs seed csv instance =
@@ -702,7 +706,7 @@ let main_cmd =
           the DAC'99 methodology experiments.")
     [
       generate_cmd; partition_cmd; evaluate_cmd; kway_cmd; place_cmd;
-      table1_cmd; table2_cmd; table3_cmd;
+      engines_cmd; table1_cmd; table2_cmd; table3_cmd;
       tables45_cmd; bsf_cmd; pareto_cmd; ranking_cmd; corking_cmd;
       regime_cmd; fixed_cmd; ablation_cmd; placement_cmd; compare_cmd; all_cmd;
     ]

@@ -19,6 +19,8 @@
     - {!Recursive_bisection} — k-way
     - {!Kl} — Kernighan-Lin baseline
     - {!Spectral} — EIG1 ratio-cut baseline
+    - {!Engine} — the unified engine interface, registry and multistart
+      combinators ({!Engines.init} populates the registry)
 
     {1 Applications and reporting}
 
@@ -75,6 +77,8 @@ module Machine = Hypart_harness.Machine
 module Table = Hypart_harness.Table
 module Parallel = Hypart_harness.Parallel
 module Experiments = Hypart_harness.Experiments
+module Engine = Hypart_engine.Engine
+module Engines = Hypart_engines
 module Telemetry = Hypart_telemetry.Telemetry
 module Metrics = Hypart_telemetry.Metrics
 module Trace = Hypart_telemetry.Trace

@@ -1,0 +1,210 @@
+module Rng = Hypart_rng.Rng
+module Bipartition = Hypart_partition.Bipartition
+module Problem = Hypart_partition.Problem
+module Tel = Hypart_telemetry.Control
+module Metrics = Hypart_telemetry.Metrics
+
+module Result = struct
+  type t = {
+    solution : Bipartition.t;
+    cut : int;
+    legal : bool;
+    stats : (string * float) list;
+  }
+
+  (* legality first, then cut: an illegal solution never beats a legal
+     one, whatever its cut *)
+  let better a b = (a.legal && not b.legal) || (a.legal = b.legal && a.cut < b.cut)
+  let stat t name = List.assoc_opt name t.stats
+end
+
+module type S = sig
+  val name : string
+  val description : string
+  val run : Rng.t -> Problem.t -> Bipartition.t option -> Result.t
+end
+
+type t = (module S)
+
+let name (module E : S) = E.name
+let description (module E : S) = E.description
+let run (module E : S) rng problem initial = E.run rng problem initial
+
+let make ~name ~description run =
+  (module struct
+    let name = name
+    let description = description
+    let run = run
+  end : S)
+
+(* ------------------------------------------------------------------ *)
+(* Registry                                                            *)
+
+let registry : (string, t) Hashtbl.t = Hashtbl.create 16
+
+let register engine =
+  let n = name engine in
+  if n = "" then invalid_arg "Engine.register: empty engine name";
+  if Hashtbl.mem registry n then
+    invalid_arg (Printf.sprintf "Engine.register: duplicate engine %S" n);
+  Hashtbl.replace registry n engine
+
+let names () =
+  Hashtbl.fold (fun n _ acc -> n :: acc) registry [] |> List.sort compare
+
+let all () = List.map (Hashtbl.find registry) (names ())
+let find n = Hashtbl.find_opt registry n
+
+let find_exn n =
+  match find n with
+  | Some e -> e
+  | None ->
+    invalid_arg
+      (Printf.sprintf "unknown engine %S (registered: %s)" n
+         (String.concat " | " (names ())))
+
+(* ------------------------------------------------------------------ *)
+(* Generic multistart combinators                                      *)
+
+type start = { start_cut : int; start_seconds : float }
+
+let note_start ~metrics_prefix r =
+  if Tel.is_enabled () then begin
+    Metrics.incr (metrics_prefix ^ ".starts");
+    Metrics.observe (metrics_prefix ^ ".start_cut") (float_of_int r.start_cut);
+    Metrics.observe (metrics_prefix ^ ".start_seconds") r.start_seconds
+  end
+
+let best_of_starts ?(metrics_prefix = "engine") ~starts ~better ~cut_of f =
+  if starts < 1 then invalid_arg "Engine.best_of_starts: starts must be >= 1";
+  let best = ref None and records = ref [] in
+  for _ = 1 to starts do
+    let r, dt = Machine.cpu_time f in
+    let record = { start_cut = cut_of r; start_seconds = dt } in
+    records := record :: !records;
+    note_start ~metrics_prefix record;
+    match !best with
+    | Some b when not (better r b) -> ()
+    | _ -> best := Some r
+  done;
+  (Option.get !best, List.rev !records)
+
+let pruned_starts ?(metrics_prefix = "engine") ?(prune_factor = 1.5) ~starts
+    ~better ~cut_of ~legal ~peek ~full () =
+  if starts < 1 then invalid_arg "Engine.pruned_starts: starts must be >= 1";
+  if prune_factor < 1.0 then
+    invalid_arg "Engine.pruned_starts: prune_factor must be >= 1";
+  let best = ref None and records = ref [] and pruned = ref 0 in
+  let best_cut () =
+    match !best with Some b when legal b -> cut_of b | _ -> max_int
+  in
+  for _ = 1 to starts do
+    let r, dt =
+      Machine.cpu_time (fun () ->
+          let p = peek () in
+          let threshold =
+            let b = best_cut () in
+            if b = max_int then max_int
+            else int_of_float (prune_factor *. float_of_int b)
+          in
+          if cut_of p > threshold then begin
+            incr pruned;
+            p
+          end
+          else full p)
+    in
+    let record = { start_cut = cut_of r; start_seconds = dt } in
+    records := record :: !records;
+    note_start ~metrics_prefix record;
+    (match !best with
+    | Some b when not (better r b) -> ()
+    | _ -> best := Some r)
+  done;
+  if Tel.is_enabled () then
+    Metrics.incr (metrics_prefix ^ ".starts_pruned") ~by:!pruned;
+  (Option.get !best, List.rev !records, !pruned)
+
+(* ------------------------------------------------------------------ *)
+(* Engine-level combinators                                            *)
+
+let result_cut (r : Result.t) = r.Result.cut
+let result_legal (r : Result.t) = r.Result.legal
+
+let multistart ?polish_best (engine : t) rng problem ~starts =
+  let (module E : S) = engine in
+  let best, records =
+    best_of_starts ~starts ~better:Result.better ~cut_of:result_cut (fun () ->
+        E.run rng problem None)
+  in
+  let best = match polish_best with None -> best | Some f -> f best in
+  (best, records)
+
+let multistart_pruned ?prune_factor ~peek (engine : t) rng problem ~starts =
+  let (module E : S) = engine in
+  pruned_starts ?prune_factor ~starts ~better:Result.better ~cut_of:result_cut
+    ~legal:result_legal
+    ~peek:(fun () -> peek rng problem)
+    ~full:(fun p -> E.run rng problem (Some p.Result.solution))
+    ()
+
+let with_vcycles ~name:wrapped_name ?description:desc ~rounds ~vcycle engine =
+  if rounds < 0 then invalid_arg "Engine.with_vcycles: rounds must be >= 0";
+  let (module E : S) = engine in
+  let description =
+    match desc with
+    | Some d -> d
+    | None -> Printf.sprintf "%s, then up to %d V-cycle(s)" E.description rounds
+  in
+  make ~name:wrapped_name ~description (fun rng problem initial ->
+      let best = ref (E.run rng problem initial) in
+      (try
+         for _ = 1 to rounds do
+           let r = vcycle rng problem !best in
+           if Result.better r !best then best := r else raise Exit
+         done
+       with Exit -> ());
+      !best)
+
+(* ------------------------------------------------------------------ *)
+(* Seeded multistart, sequential and parallel.  Each seed gets a fresh
+   RNG, so the two variants compute identical per-seed results; the
+   winner is picked by Result.better with ties broken toward the
+   numerically lowest seed, making the outcome independent of seed-list
+   order and domain scheduling. *)
+
+let run_seed (engine : t) problem seed =
+  let (module E : S) = engine in
+  let rng = Rng.create seed in
+  Machine.cpu_time (fun () -> E.run rng problem None)
+
+let pick_best seeds results =
+  List.fold_left2
+    (fun best seed (r, _) ->
+      match best with
+      | None -> Some (seed, r)
+      | Some (bseed, b) ->
+        if Result.better r b then Some (seed, r)
+        else if (not (Result.better b r)) && seed < bseed then Some (seed, r)
+        else best)
+    None seeds results
+  |> Option.get
+
+let finish_seeds ~metrics_prefix seeds results =
+  let records =
+    List.map
+      (fun ((r : Result.t), dt) ->
+        { start_cut = r.Result.cut; start_seconds = dt })
+      results
+  in
+  List.iter (note_start ~metrics_prefix) records;
+  (pick_best seeds results, records)
+
+let multistart_seeds (engine : t) problem ~seeds =
+  if seeds = [] then invalid_arg "Engine.multistart_seeds: empty seed list";
+  let results = List.map (run_seed engine problem) seeds in
+  finish_seeds ~metrics_prefix:"engine" seeds results
+
+let multistart_parallel ?domains (engine : t) problem ~seeds =
+  if seeds = [] then invalid_arg "Engine.multistart_parallel: empty seed list";
+  let results = Parallel.map_seeds ?domains ~seeds (run_seed engine problem) in
+  finish_seeds ~metrics_prefix:"engine" seeds results

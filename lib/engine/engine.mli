@@ -1,0 +1,190 @@
+(** The engine layer: one interface every bipartitioning heuristic
+    implements, a central name registry, and the multistart machinery
+    written once over the interface.
+
+    The paper's methodology demands that heuristics be compared under a
+    single controlled harness — same balance convention, same start
+    distribution, same timing and reporting.  Engines register
+    themselves here under their CLI name ([flat], [clip], [ml],
+    [mlclip], ...); tables, the CLI, benchmarks and telemetry all
+    dispatch through the registry, so a new heuristic only has to
+    implement {!S} and {!register} itself to appear everywhere. *)
+
+module Result : sig
+  type t = {
+    solution : Hypart_partition.Bipartition.t;
+    cut : int;  (** cut of [solution] *)
+    legal : bool;  (** whether [solution] satisfies the balance constraint *)
+    stats : (string * float) list;
+        (** engine-specific counters ([passes], [moves], ...) in a
+            telemetry-friendly shape *)
+  }
+
+  val better : t -> t -> bool
+  (** [better a b]: legality first, then cut — an illegal solution
+      never beats a legal one. *)
+
+  val stat : t -> string -> float option
+  (** Look up a stats entry by name. *)
+end
+
+(** What an engine implements.  [run rng problem initial] computes one
+    solution; [initial], when given, is a starting solution the engine
+    should improve (engines that cannot use one ignore it and engines
+    must not mutate it).  [None] means the engine picks its own start
+    from [rng]. *)
+module type S = sig
+  val name : string
+  (** Registry/CLI name, e.g. ["mlclip"]. *)
+
+  val description : string
+  (** One line for [hypart engines]. *)
+
+  val run :
+    Hypart_rng.Rng.t ->
+    Hypart_partition.Problem.t ->
+    Hypart_partition.Bipartition.t option ->
+    Result.t
+end
+
+type t = (module S)
+
+val name : t -> string
+val description : t -> string
+
+val run :
+  t ->
+  Hypart_rng.Rng.t ->
+  Hypart_partition.Problem.t ->
+  Hypart_partition.Bipartition.t option ->
+  Result.t
+
+val make :
+  name:string ->
+  description:string ->
+  (Hypart_rng.Rng.t ->
+  Hypart_partition.Problem.t ->
+  Hypart_partition.Bipartition.t option ->
+  Result.t) ->
+  t
+(** Package a run function as an engine. *)
+
+(** {1 Registry} *)
+
+val register : t -> unit
+(** @raise Invalid_argument on a duplicate or empty name. *)
+
+val find : string -> t option
+
+val find_exn : string -> t
+(** @raise Invalid_argument for unknown names, with a message listing
+    every registered name. *)
+
+val names : unit -> string list
+(** Registered names, sorted. *)
+
+val all : unit -> t list
+(** Registered engines, sorted by name. *)
+
+(** {1 Generic multistart combinators}
+
+    The polymorphic cores ({!best_of_starts}, {!pruned_starts}) are
+    shared by engines whose native result type is not {!Result.t}
+    (e.g. [Fm.multistart] keeps returning [Fm.result]).  All timing
+    uses {!Machine.cpu_time}, so Tables 4–5 normalization applies
+    uniformly. *)
+
+type start = { start_cut : int; start_seconds : float }
+(** Outcome of one independent start: its final cut and its CPU time. *)
+
+val best_of_starts :
+  ?metrics_prefix:string ->
+  starts:int ->
+  better:('a -> 'a -> bool) ->
+  cut_of:('a -> int) ->
+  (unit -> 'a) ->
+  'a * start list
+(** Run [f] [starts] times, keeping the first result that no later one
+    betters.  Per-start cut/seconds are recorded (and emitted as
+    [<prefix>.starts] / [<prefix>.start_cut] / [<prefix>.start_seconds]
+    metrics; default prefix ["engine"]). *)
+
+val pruned_starts :
+  ?metrics_prefix:string ->
+  ?prune_factor:float ->
+  starts:int ->
+  better:('a -> 'a -> bool) ->
+  cut_of:('a -> int) ->
+  legal:('a -> bool) ->
+  peek:(unit -> 'a) ->
+  full:('a -> 'a) ->
+  unit ->
+  'a * start list * int
+(** Multistart with the §3.2 pruning trick: each start first runs the
+    cheap [peek]; if its cut exceeds [prune_factor] (default 1.5) times
+    the best legal completed start so far, the start is abandoned,
+    otherwise [full] continues it to convergence.  Returns the best
+    result, per-start records (pruned starts report their peek cut) and
+    the number of starts pruned. *)
+
+(** {1 Engine-level combinators} *)
+
+val multistart :
+  ?polish_best:(Result.t -> Result.t) ->
+  t ->
+  Hypart_rng.Rng.t ->
+  Hypart_partition.Problem.t ->
+  starts:int ->
+  Result.t * start list
+(** [starts] independent self-started runs; [polish_best] (e.g. a
+    V-cycle pass) is applied once to the winner.  Per-start records are
+    in execution order, before polishing. *)
+
+val multistart_pruned :
+  ?prune_factor:float ->
+  peek:(Hypart_rng.Rng.t -> Hypart_partition.Problem.t -> Result.t) ->
+  t ->
+  Hypart_rng.Rng.t ->
+  Hypart_partition.Problem.t ->
+  starts:int ->
+  Result.t * start list * int
+(** {!pruned_starts} over an engine: [peek] produces the cheap probe
+    (typically a one-pass run); survivors continue from the probe's
+    solution via the engine's [run]. *)
+
+val with_vcycles :
+  name:string ->
+  ?description:string ->
+  rounds:int ->
+  vcycle:
+    (Hypart_rng.Rng.t ->
+    Hypart_partition.Problem.t ->
+    Result.t ->
+    Result.t) ->
+  t ->
+  t
+(** Wrap an engine so each run is followed by up to [rounds] V-cycles,
+    stopping early when one fails to improve. *)
+
+(** {1 Seeded multistart — sequential and parallel}
+
+    Each seed gets a fresh RNG, so both variants compute identical
+    per-seed results and pick the same winner: {!Result.better}, ties
+    broken toward the numerically lowest seed — deterministic
+    regardless of seed-list order or domain scheduling.  Returns
+    [((winning_seed, result), records)] with records in seed-list
+    order. *)
+
+val multistart_seeds :
+  t ->
+  Hypart_partition.Problem.t ->
+  seeds:int list ->
+  (int * Result.t) * start list
+
+val multistart_parallel :
+  ?domains:int ->
+  t ->
+  Hypart_partition.Problem.t ->
+  seeds:int list ->
+  (int * Result.t) * start list
+(** {!Parallel.map_seeds}-backed fan-out over domains. *)

@@ -1,0 +1,27 @@
+let cpu_time f =
+  let t0 = Sys.time () in
+  let r = f () in
+  (r, Sys.time () -. t0)
+
+let calibrate () =
+  let iterations = 20_000_000 in
+  let work () =
+    let acc = ref 0 and x = ref 1.0 in
+    for i = 1 to iterations do
+      acc := (!acc + i) land 0xFFFFFF;
+      x := !x +. (1.0 /. float_of_int (1 + (!acc land 1023)))
+    done;
+    ignore !x;
+    !acc
+  in
+  let _, dt = cpu_time work in
+  if dt <= 0.0 then infinity else float_of_int iterations /. dt /. 1e6
+
+let factor = ref 1.0
+let normalization_factor () = !factor
+
+let set_normalization_factor f =
+  if f <= 0.0 then invalid_arg "Machine.set_normalization_factor: must be positive";
+  factor := f
+
+let normalize seconds = seconds *. !factor

@@ -1,0 +1,9 @@
+let registered =
+  lazy
+    (Hypart_fm.Fm_engines.register ();
+     Hypart_multilevel.Ml_engines.register ();
+     Hypart_kl.Kl_engines.register ();
+     Hypart_sa.Sa_engines.register ();
+     Hypart_spectral.Spectral_engines.register ())
+
+let init () = Lazy.force registered

@@ -1,0 +1,8 @@
+(** The engine catalog.  OCaml links (and runs the initializers of)
+    only the modules a program references, so engine libraries cannot
+    rely on top-level side effects to self-register.  [init] forces
+    every built-in engine family into the
+    {!Hypart_engine.Engine} registry; call it once before consulting
+    the registry.  Idempotent and cheap after the first call. *)
+
+val init : unit -> unit

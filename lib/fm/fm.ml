@@ -27,7 +27,10 @@ type result = {
   stats : stats;
 }
 
-type start_record = { start_cut : int; start_seconds : float }
+type start_record = Hypart_engine.Engine.start = {
+  start_cut : int;
+  start_seconds : float;
+}
 
 (* Mutable per-run state.  [count.(side).(e)] is the number of pins of
    net [e] currently on [side]; [gain.(v)] is the actual gain (cut
@@ -380,71 +383,21 @@ let run_random_start ?(config = Fm_config.default) rng problem =
   let initial = Initial.random rng problem in
   run ~config rng problem initial
 
-let multistart ?(config = Fm_config.default) rng problem ~starts =
-  if starts < 1 then invalid_arg "Fm.multistart: starts must be >= 1";
-  let best = ref None in
-  let records = ref [] in
-  for _ = 1 to starts do
-    let t0 = Sys.time () in
-    let r = run_random_start ~config rng problem in
-    let dt = Sys.time () -. t0 in
-    records := { start_cut = r.cut; start_seconds = dt } :: !records;
-    if Tel.is_enabled () then begin
-      Metrics.incr "fm.starts";
-      Metrics.observe "fm.start_cut" (float_of_int r.cut);
-      Metrics.observe "fm.start_seconds" dt
-    end;
-    let better =
-      match !best with
-      | None -> true
-      | Some b ->
-        (r.legal && not b.legal) || (r.legal = b.legal && r.cut < b.cut)
-    in
-    if better then best := Some r
-  done;
-  match !best with
-  | Some b -> (b, List.rev !records)
-  | None -> assert false
+let better (a : result) b =
+  (a.legal && not b.legal) || (a.legal = b.legal && a.cut < b.cut)
 
-let multistart_pruned ?(config = Fm_config.default) ?(prune_factor = 1.5) rng
-    problem ~starts =
-  if starts < 1 then invalid_arg "Fm.multistart_pruned: starts must be >= 1";
-  if prune_factor < 1.0 then
-    invalid_arg "Fm.multistart_pruned: prune_factor must be >= 1";
+let cut_of (r : result) = r.cut
+
+let multistart ?(config = Fm_config.default) rng problem ~starts =
+  Hypart_engine.Engine.best_of_starts ~metrics_prefix:"fm" ~starts ~better
+    ~cut_of (fun () -> run_random_start ~config rng problem)
+
+let multistart_pruned ?(config = Fm_config.default) ?prune_factor rng problem
+    ~starts =
   let one_pass = { config with Fm_config.max_passes = 1 } in
-  let best = ref None and records = ref [] and pruned = ref 0 in
-  let best_cut () =
-    match !best with Some (b : result) when b.legal -> b.cut | _ -> max_int
-  in
-  for _ = 1 to starts do
-    let t0 = Sys.time () in
-    let initial = Initial.random rng problem in
-    let peek = run ~config:one_pass rng problem initial in
-    let threshold =
-      let b = best_cut () in
-      if b = max_int then max_int
-      else int_of_float (prune_factor *. float_of_int b)
-    in
-    let r =
-      if peek.cut > threshold then begin
-        incr pruned;
-        peek
-      end
-      else run ~config rng problem peek.solution
-    in
-    let dt = Sys.time () -. t0 in
-    records := { start_cut = r.cut; start_seconds = dt } :: !records;
-    if Tel.is_enabled () then begin
-      Metrics.incr "fm.starts";
-      Metrics.observe "fm.start_cut" (float_of_int r.cut);
-      Metrics.observe "fm.start_seconds" dt
-    end;
-    let better =
-      match !best with
-      | None -> true
-      | Some b -> (r.legal && not b.legal) || (r.legal = b.legal && r.cut < b.cut)
-    in
-    if better then best := Some r
-  done;
-  if Tel.is_enabled () then Metrics.incr "fm.starts_pruned" ~by:!pruned;
-  (Option.get !best, List.rev !records, !pruned)
+  Hypart_engine.Engine.pruned_starts ~metrics_prefix:"fm" ?prune_factor ~starts
+    ~better ~cut_of
+    ~legal:(fun r -> r.legal)
+    ~peek:(fun () -> run ~config:one_pass rng problem (Initial.random rng problem))
+    ~full:(fun p -> run ~config rng problem p.solution)
+    ()

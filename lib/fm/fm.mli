@@ -47,8 +47,12 @@ val run_random_start :
   result
 (** Generate a {!Hypart_partition.Initial.random} solution and [run]. *)
 
-type start_record = { start_cut : int; start_seconds : float }
-(** Outcome of one independent start: its final cut and its CPU time. *)
+type start_record = Hypart_engine.Engine.start = {
+  start_cut : int;
+  start_seconds : float;
+}
+(** Outcome of one independent start: its final cut and its CPU time
+    (an alias of the engine layer's generic record). *)
 
 val multistart :
   ?config:Fm_config.t ->
@@ -59,7 +63,8 @@ val multistart :
 (** [multistart rng problem ~starts] runs [starts] independent
     random-start trials and returns the best result (lowest legal cut)
     together with the per-start records (in execution order) that
-    best-so-far curves and speed-dependent rankings are built from. *)
+    best-so-far curves and speed-dependent rankings are built from.
+    A thin wrapper over {!Hypart_engine.Engine.best_of_starts}. *)
 
 val multistart_pruned :
   ?config:Fm_config.t ->

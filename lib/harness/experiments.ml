@@ -11,6 +11,9 @@ module Ranking = Hypart_stats.Ranking
 module Tel = Hypart_telemetry.Control
 module Metrics = Hypart_telemetry.Metrics
 module Trace = Hypart_telemetry.Trace
+module Engine = Hypart_engine.Engine
+module Fm_engines = Hypart_fm.Fm_engines
+module Ml_engines = Hypart_multilevel.Ml_engines
 
 type fm_variant = Flat_lifo | Flat_clip | Ml_lifo | Ml_clip
 
@@ -19,6 +22,14 @@ let variant_name = function
   | Flat_clip -> "Flat CLIP FM"
   | Ml_lifo -> "ML LIFO FM"
   | Ml_clip -> "ML CLIP FM"
+
+(* Registry engine backing each of the paper's four named variants; the
+   values are the registered ones, so tables and CLI stay in sync. *)
+let variant_engine = function
+  | Flat_lifo -> Fm_engines.flat
+  | Flat_clip -> Fm_engines.clip
+  | Ml_lifo -> Ml_engines.ml
+  | Ml_clip -> Ml_engines.mlclip
 
 let instance_problem ?(scale = 4.0) ~tolerance name =
   Problem.make ~tolerance (Suite.instance ~scale name)
@@ -34,9 +45,8 @@ let record_start cut dt =
   end
 
 let timed_start f =
-  let t0 = Sys.time () in
-  let cut = f () in
-  record_start cut (Sys.time () -. t0);
+  let cut, dt = Machine.cpu_time f in
+  record_start cut dt;
   cut
 
 (* One single-start trial of a variant; returns the final cut. *)
@@ -165,18 +175,20 @@ let table_multistart_eval ?(scale = 8.0) ?(repeats = 5)
               Trace.begin_span "exp.multistart";
               let (best, _), dt =
                 Machine.cpu_time (fun () ->
-                    Ml.multistart ~config:Ml.ml_clip ~vcycle_best:1 rng problem
-                      ~starts)
+                    Engine.multistart
+                      ~polish_best:
+                        (Ml_engines.vcycle_polish ~config:Ml.ml_clip rng problem)
+                      Ml_engines.mlclip rng problem ~starts)
               in
               Trace.end_span "exp.multistart"
                 ~args:
                   [
                     ("starts", float_of_int starts);
-                    ("cut", float_of_int best.Fm.cut);
+                    ("cut", float_of_int best.Engine.Result.cut);
                     ("seconds", dt);
                   ];
-              record_start best.Fm.cut dt;
-              cuts.(r) <- float_of_int best.Fm.cut;
+              record_start best.Engine.Result.cut dt;
+              cuts.(r) <- float_of_int best.Engine.Result.cut;
               times.(r) <- Machine.normalize dt
             done;
             Printf.sprintf "%.1f/%.2f" (Descriptive.mean cuts)
@@ -193,18 +205,15 @@ let table_multistart_eval ?(scale = 8.0) ?(repeats = 5)
 
 let default_budgets = [| 0.1; 0.25; 0.5; 1.0; 2.0; 5.0; 10.0 |]
 
-let heuristic_records ~starts rng problem = function
-  | Flat_lifo ->
-    snd (Fm.multistart ~config:Fm_config.strong_lifo rng problem ~starts)
-  | Flat_clip ->
-    snd (Fm.multistart ~config:Fm_config.strong_clip rng problem ~starts)
-  | Ml_lifo -> snd (Ml.multistart ~config:Ml.ml_lifo rng problem ~starts)
-  | Ml_clip -> snd (Ml.multistart ~config:Ml.ml_clip rng problem ~starts)
+let heuristic_records ~starts rng problem variant =
+  snd (Engine.multistart (variant_engine variant) rng problem ~starts)
 
 let records_array records =
   Array.of_list
     (List.map
-       (fun r -> (Machine.normalize r.Fm.start_seconds, float_of_int r.Fm.start_cut))
+       (fun r ->
+         ( Machine.normalize r.Engine.start_seconds,
+           float_of_int r.Engine.start_cut ))
        records)
 
 let bsf_heuristics = [ Flat_lifo; Flat_clip; Ml_clip ]
@@ -257,25 +266,11 @@ let pareto_figure ?(scale = 8.0) ?(repeats = 3) ?(tolerance = 0.02) ~instance
           let rng = Rng.create seed in
           let cuts = Array.make repeats 0.0 and times = Array.make repeats 0.0 in
           for r = 0 to repeats - 1 do
-            let (cut, dt) =
-              match variant with
-              | Flat_lifo | Flat_clip ->
-                let config =
-                  if variant = Flat_lifo then Fm_config.strong_lifo
-                  else Fm_config.strong_clip
-                in
-                let (best, _), dt =
-                  Machine.cpu_time (fun () -> Fm.multistart ~config rng problem ~starts)
-                in
-                (best.Fm.cut, dt)
-              | Ml_lifo | Ml_clip ->
-                let config = if variant = Ml_lifo then Ml.ml_lifo else Ml.ml_clip in
-                let (best, _), dt =
-                  Machine.cpu_time (fun () -> Ml.multistart ~config rng problem ~starts)
-                in
-                (best.Fm.cut, dt)
+            let (best, _), dt =
+              Machine.cpu_time (fun () ->
+                  Engine.multistart (variant_engine variant) rng problem ~starts)
             in
-            cuts.(r) <- float_of_int cut;
+            cuts.(r) <- float_of_int best.Engine.Result.cut;
             times.(r) <- Machine.normalize dt
           done;
           let label = Printf.sprintf "%s x%d" (variant_name variant) starts in
@@ -338,44 +333,22 @@ let ranking_figure ?(scale = 8.0) ?(starts = 15) ?(tolerance = 0.02)
 (* Head-to-head comparison                                             *)
 (* ------------------------------------------------------------------ *)
 
-let engine_of_name name =
-  match name with
-  | "flat" ->
-    fun rng problem ->
-      (Fm.run_random_start ~config:Fm_config.strong_lifo rng problem).Fm.cut
-  | "clip" ->
-    fun rng problem ->
-      (Fm.run_random_start ~config:Fm_config.strong_clip rng problem).Fm.cut
-  | "reported" ->
-    fun rng problem ->
-      (Fm.run_random_start ~config:Fm_config.reported_lifo rng problem).Fm.cut
-  | "reported-clip" ->
-    fun rng problem ->
-      (Fm.run_random_start ~config:Fm_config.reported_clip rng problem).Fm.cut
-  | "ml" -> fun rng problem -> (Ml.run ~config:Ml.ml_lifo rng problem).Fm.cut
-  | "mlclip" -> fun rng problem -> (Ml.run ~config:Ml.ml_clip rng problem).Fm.cut
-  | "lookahead" ->
-    fun rng problem ->
-      (Hypart_fm.Lookahead_fm.run_random_start rng problem)
-        .Hypart_fm.Lookahead_fm.cut
-  | "sa" ->
-    fun rng problem ->
-      (Hypart_sa.Sa_partitioner.run rng problem).Hypart_sa.Sa_partitioner.cut
-  | other -> invalid_arg ("Experiments.compare_engines: unknown engine " ^ other)
-
 let compare_engines ?(scale = 8.0) ?(runs = 20) ?(tolerance = 0.02) ~engine_a
     ~engine_b ~instance ~seed () =
+  Hypart_engines.init ();
   let problem = instance_problem ~scale ~tolerance instance in
   let sample name =
-    let run = engine_of_name name in
+    (* unknown names raise Invalid_argument listing the registry *)
+    let engine = Engine.find_exn name in
     let rng = Rng.create seed in
     let cuts = Array.make runs 0 in
-    let t0 = Sys.time () in
-    for i = 0 to runs - 1 do
-      cuts.(i) <- run rng problem
-    done;
-    let dt = (Sys.time () -. t0) /. float_of_int runs in
-    (cuts, dt)
+    let (), dt =
+      Machine.cpu_time (fun () ->
+          for i = 0 to runs - 1 do
+            cuts.(i) <- (Engine.run engine rng problem None).Engine.Result.cut
+          done)
+    in
+    (cuts, dt /. float_of_int runs)
   in
   let cuts_a, time_a = sample engine_a in
   let cuts_b, time_b = sample engine_b in
@@ -434,11 +407,13 @@ let placement_table ?(scale = 8.0) ?(runs = 3) ~instance ~seed () =
   in
   let measure name place =
     let hpwls = Array.make runs 0.0 in
-    let t0 = Sys.time () in
-    for i = 0 to runs - 1 do
-      hpwls.(i) <- Topdown.hpwl h (place (Rng.create (seed + i)))
-    done;
-    let dt = (Sys.time () -. t0) /. float_of_int runs in
+    let (), dt =
+      Machine.cpu_time (fun () ->
+          for i = 0 to runs - 1 do
+            hpwls.(i) <- Topdown.hpwl h (place (Rng.create (seed + i)))
+          done)
+    in
+    let dt = dt /. float_of_int runs in
     Table.add_row table
       [
         name;
@@ -522,13 +497,15 @@ let fixed_terminals_table ?(scale = 8.0) ?(runs = 12) ?(tolerance = 0.10)
       let problem = Problem.make ~fixed ~tolerance h in
       let cuts = Array.make runs 0 in
       let passes = ref 0 in
-      let t0 = Sys.time () in
-      for i = 0 to runs - 1 do
-        let r = Fm.run_random_start rng problem in
-        cuts.(i) <- r.Fm.cut;
-        passes := !passes + r.Fm.stats.Fm.passes
-      done;
-      let dt = (Sys.time () -. t0) /. float_of_int runs in
+      let (), dt =
+        Machine.cpu_time (fun () ->
+            for i = 0 to runs - 1 do
+              let r = Fm.run_random_start rng problem in
+              cuts.(i) <- r.Fm.cut;
+              passes := !passes + r.Fm.stats.Fm.passes
+            done)
+      in
+      let dt = dt /. float_of_int runs in
       Table.add_row table
         [
           Printf.sprintf "%.0f" (100. *. fraction);
@@ -553,11 +530,13 @@ let ablation_table ?(scale = 8.0) ?(runs = 10) ?(tolerance = 0.02) ~instance
   let measure f =
     let rng = Rng.create seed in
     let cuts = Array.make runs 0 in
-    let t0 = Sys.time () in
-    for i = 0 to runs - 1 do
-      cuts.(i) <- f rng problem
-    done;
-    let dt = (Sys.time () -. t0) /. float_of_int runs in
+    let (), dt =
+      Machine.cpu_time (fun () ->
+          for i = 0 to runs - 1 do
+            cuts.(i) <- f rng problem
+          done)
+    in
+    let dt = dt /. float_of_int runs in
     (Descriptive.min_avg cuts, Printf.sprintf "%.3f" (Machine.normalize dt))
   in
   let flat config rng problem =

@@ -114,13 +114,14 @@ val compare_engines :
   unit ->
   Table.t * string
 (** [compare_engines ~engine_a ~engine_b ~instance] runs both engines
-    ([runs] single starts each; engine names as in the CLI: "flat",
-    "clip", "ml", "mlclip", "lookahead", "sa", "reported",
-    "reported-clip") and reports min/avg/stddev, mean CPU, a bootstrap
-    95% CI of the mean cut, Welch-t and Mann-Whitney p-values, and a
-    one-line verdict — the "is the improvement due to the heuristic or
-    due to chance" check Brglez asked of the field.
-    @raise Invalid_argument on unknown engine names. *)
+    ([runs] single starts each; any name from the
+    {!Hypart_engine.Engine} registry — see [hypart engines]) and
+    reports min/avg/stddev, mean CPU, a bootstrap 95% CI of the mean
+    cut, Welch-t and Mann-Whitney p-values, and a one-line verdict —
+    the "is the improvement due to the heuristic or due to chance"
+    check Brglez asked of the field.
+    @raise Invalid_argument on unknown engine names, listing the
+    registered ones. *)
 
 (** {1 Placement quality (§2.1)} *)
 

@@ -69,18 +69,12 @@ let run ?(config = default) ?(tolerance = 0.10) ~k rng h =
     coarsest steps
 
 let multistart ?config ?tolerance ~k rng h ~starts =
-  if starts < 1 then invalid_arg "Ml_kway.multistart: starts must be >= 1";
-  let best = ref None and cuts = ref [] in
-  for _ = 1 to starts do
-    let r = run ?config ?tolerance ~k rng h in
-    cuts := r.Kway_fm.cut :: !cuts;
-    let better =
-      match !best with
-      | None -> true
-      | Some (b : Kway_fm.result) ->
+  let best, records =
+    Hypart_engine.Engine.best_of_starts ~metrics_prefix:"mlk" ~starts
+      ~better:(fun (r : Kway_fm.result) b ->
         (r.Kway_fm.legal && not b.Kway_fm.legal)
-        || (r.Kway_fm.legal = b.Kway_fm.legal && r.Kway_fm.cut < b.Kway_fm.cut)
-    in
-    if better then best := Some r
-  done;
-  (Option.get !best, List.rev !cuts)
+        || (r.Kway_fm.legal = b.Kway_fm.legal && r.Kway_fm.cut < b.Kway_fm.cut))
+      ~cut_of:(fun (r : Kway_fm.result) -> r.Kway_fm.cut)
+      (fun () -> run ?config ?tolerance ~k rng h)
+  in
+  (best, List.map (fun s -> s.Hypart_engine.Engine.start_cut) records)

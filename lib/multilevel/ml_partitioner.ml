@@ -188,32 +188,16 @@ let run ?(config = default) rng problem =
       cycle 0 r)
 
 let multistart ?(config = default) ?(vcycle_best = 0) rng problem ~starts =
-  if starts < 1 then invalid_arg "Ml_partitioner.multistart: starts must be >= 1";
-  let best = ref None in
-  let records = ref [] in
-  for _ = 1 to starts do
-    let t0 = Sys.time () in
-    let r = run ~config rng problem in
-    let dt = Sys.time () -. t0 in
-    records :=
-      { Fm.start_cut = r.Fm.cut; Fm.start_seconds = dt } :: !records;
-    if Tel.is_enabled () then begin
-      Metrics.incr "ml.starts";
-      Metrics.observe "ml.start_cut" (float_of_int r.Fm.cut);
-      Metrics.observe "ml.start_seconds" dt
-    end;
-    let better =
-      match !best with
-      | None -> true
-      | Some (b : Fm.result) ->
+  let best, records =
+    Hypart_engine.Engine.best_of_starts ~metrics_prefix:"ml" ~starts
+      ~better:(fun (r : Fm.result) b ->
         (r.Fm.legal && not b.Fm.legal)
-        || (r.Fm.legal = b.Fm.legal && r.Fm.cut < b.Fm.cut)
-    in
-    if better then best := Some r
-  done;
-  let best = Option.get !best in
+        || (r.Fm.legal = b.Fm.legal && r.Fm.cut < b.Fm.cut))
+      ~cut_of:(fun (r : Fm.result) -> r.Fm.cut)
+      (fun () -> run ~config rng problem)
+  in
   let rec cycle i (r : Fm.result) =
     if i >= vcycle_best then r
     else cycle (i + 1) (vcycle ~config rng problem r.Fm.solution)
   in
-  (cycle 0 best, List.rev !records)
+  (cycle 0 best, records)

@@ -13,8 +13,8 @@ type result = {
   attempted : int;
 }
 
-let run ?(moves_per_vertex = 100) ?(initial_acceptance = 0.5) ?(cooling = 0.95)
-    ?(balance_weight = 1.0) rng problem =
+let run ?initial ?(moves_per_vertex = 100) ?(initial_acceptance = 0.5)
+    ?(cooling = 0.95) ?(balance_weight = 1.0) rng problem =
   if initial_acceptance <= 0.0 || initial_acceptance >= 1.0 then
     invalid_arg "Sa_partitioner.run: initial_acceptance outside (0, 1)";
   if cooling <= 0.0 || cooling >= 1.0 then
@@ -22,7 +22,11 @@ let run ?(moves_per_vertex = 100) ?(initial_acceptance = 0.5) ?(cooling = 0.95)
   let h = problem.Problem.hypergraph in
   let balance = problem.Problem.balance in
   let n = H.num_vertices h in
-  let sol = Initial.random rng problem in
+  let sol =
+    match initial with
+    | Some s -> Bipartition.copy s
+    | None -> Initial.random rng problem
+  in
   let side = Bipartition.assignment sol in
   let count = [| Array.make (H.num_edges h) 0; Array.make (H.num_edges h) 0 |] in
   for v = 0 to n - 1 do

@@ -19,6 +19,7 @@ type result = {
 }
 
 val run :
+  ?initial:Hypart_partition.Bipartition.t ->
   ?moves_per_vertex:int ->
   ?initial_acceptance:float ->
   ?cooling:float ->
@@ -26,7 +27,8 @@ val run :
   Hypart_rng.Rng.t ->
   Hypart_partition.Problem.t ->
   result
-(** [run rng problem] anneals from a random legal start.
+(** [run rng problem] anneals from [initial] (copied, not mutated)
+    when given, otherwise from a random legal start.
     [moves_per_vertex] (default 100) scales the move budget;
     [balance_weight] (default 1.0) multiplies the violation penalty
     (relative to the average net weight).  Returns the best legal

@@ -1,0 +1,320 @@
+(* Tests for the engine layer: registry contents, every registered
+   engine smoke-tested on a tiny instance, and the generic multistart
+   combinators (sequential/parallel equivalence, tie-breaking,
+   pruning). *)
+
+module H = Hypart_hypergraph.Hypergraph
+module Rng = Hypart_rng.Rng
+module Problem = Hypart_partition.Problem
+module Bipartition = Hypart_partition.Bipartition
+module Initial = Hypart_partition.Initial
+module Engine = Hypart_engine.Engine
+module Suite = Hypart_generator.Ibm_suite
+
+let () = Hypart_engines.init ()
+
+let tiny_problem ?(tolerance = 0.10) seed =
+  let rng = Rng.create seed in
+  let nv = 40 in
+  let edges =
+    Array.init 80 (fun _ ->
+        Rng.sample_distinct rng ~n:(2 + Rng.int rng 3) ~universe:nv)
+  in
+  Problem.make ~tolerance (H.create ~num_vertices:nv ~edges ())
+
+let ibm_problem () =
+  Problem.make ~tolerance:0.10 (Suite.instance ~scale:16.0 "ibm01")
+
+(* -- Registry -- *)
+
+let expected_engines =
+  [
+    "clip";
+    "flat";
+    "hmetis";
+    "kl";
+    "lookahead";
+    "ml";
+    "mlclip";
+    "reported";
+    "reported-clip";
+    "sa";
+    "spectral";
+  ]
+
+let test_registry_populated () =
+  let names = Engine.names () in
+  Alcotest.(check bool) "at least 8 engines" true (List.length names >= 8);
+  List.iter
+    (fun n ->
+      Alcotest.(check bool)
+        (Printf.sprintf "%s registered" n)
+        true (List.mem n names))
+    expected_engines;
+  Alcotest.(check (list string)) "names sorted" (List.sort compare names) names;
+  Alcotest.(check int)
+    "all() agrees with names()"
+    (List.length names)
+    (List.length (Engine.all ()))
+
+let test_register_rejects_duplicate () =
+  let dup =
+    Engine.make ~name:"flat" ~description:"imposter" (fun rng problem _ ->
+        Engine.run (Engine.find_exn "flat") rng problem None)
+  in
+  Alcotest.check_raises "duplicate rejected" (Invalid_argument "x") (fun () ->
+      try Engine.register dup
+      with Invalid_argument _ -> raise (Invalid_argument "x"))
+
+let test_find_unknown () =
+  Alcotest.(check bool) "find returns None" true (Engine.find "bogus" = None);
+  let msg =
+    try
+      ignore (Engine.find_exn "bogus");
+      ""
+    with Invalid_argument m -> m
+  in
+  Alcotest.(check bool) "message non-empty" true (String.length msg > 0);
+  (* the error must list every registered name so the CLI help writes
+     itself *)
+  List.iter
+    (fun n ->
+      let found =
+        let ln = String.length n and lm = String.length msg in
+        let rec scan i =
+          i + ln <= lm && (String.sub msg i ln = n || scan (i + 1))
+        in
+        scan 0
+      in
+      Alcotest.(check bool) (Printf.sprintf "lists %s" n) true found)
+    expected_engines
+
+(* -- Per-engine smoke: legality flag consistent, determinism -- *)
+
+let smoke_one engine () =
+  let name = Engine.name engine in
+  let problem =
+    (* KL is O(n^2)-ish and spectral needs a connected-enough graph;
+       the tiny random instance covers both at this size. *)
+    tiny_problem 7
+  in
+  let r = Engine.run engine (Rng.create 42) problem None in
+  Alcotest.(check int)
+    (name ^ ": cut matches solution")
+    (Bipartition.cut problem.Problem.hypergraph r.Engine.Result.solution)
+    r.Engine.Result.cut;
+  Alcotest.(check bool)
+    (name ^ ": legal flag consistent")
+    (Bipartition.is_legal r.Engine.Result.solution problem.Problem.balance)
+    r.Engine.Result.legal;
+  let r2 = Engine.run engine (Rng.create 42) problem None in
+  Alcotest.(check int) (name ^ ": same seed, same cut") r.Engine.Result.cut
+    r2.Engine.Result.cut;
+  (* engines that enforce balance must produce a legal solution here *)
+  if name <> "spectral" then
+    Alcotest.(check bool) (name ^ ": legal") true r.Engine.Result.legal
+
+let smoke_tests () =
+  List.map
+    (fun e ->
+      Alcotest.test_case
+        (Printf.sprintf "smoke %s" (Engine.name e))
+        `Quick (smoke_one e))
+    (Engine.all ())
+
+(* -- Combinators -- *)
+
+let test_multistart_improves () =
+  let problem = ibm_problem () in
+  let engine = Engine.find_exn "flat" in
+  let best, records = Engine.multistart engine (Rng.create 3) problem ~starts:4 in
+  Alcotest.(check int) "4 records" 4 (List.length records);
+  List.iter
+    (fun r ->
+      Alcotest.(check bool) "best <= every start" true
+        (best.Engine.Result.cut <= r.Engine.start_cut);
+      Alcotest.(check bool) "time recorded" true (r.Engine.start_seconds >= 0.0))
+    records
+
+let test_multistart_zero_starts () =
+  let problem = tiny_problem 1 in
+  let engine = Engine.find_exn "flat" in
+  Alcotest.check_raises "zero starts" (Invalid_argument "x") (fun () ->
+      try ignore (Engine.multistart engine (Rng.create 1) problem ~starts:0)
+      with Invalid_argument _ -> raise (Invalid_argument "x"))
+
+let test_parallel_matches_sequential () =
+  let problem = ibm_problem () in
+  let engine = Engine.find_exn "mlclip" in
+  let seeds = [ 11; 5; 23; 2 ] in
+  let (seq_seed, seq_best), seq_records =
+    Engine.multistart_seeds engine problem ~seeds
+  in
+  let (par_seed, par_best), par_records =
+    Engine.multistart_parallel ~domains:3 engine problem ~seeds
+  in
+  Alcotest.(check int) "same winning seed" seq_seed par_seed;
+  Alcotest.(check int) "same winning cut" seq_best.Engine.Result.cut
+    par_best.Engine.Result.cut;
+  Alcotest.(check (list int))
+    "same per-seed cuts"
+    (List.map (fun r -> r.Engine.start_cut) seq_records)
+    (List.map (fun r -> r.Engine.start_cut) par_records)
+
+let test_seeded_tie_break_lowest_seed () =
+  (* a constant engine: every seed produces the same solution, so the
+     winner must be the numerically lowest seed regardless of order *)
+  let problem = tiny_problem 5 in
+  let fixed_solution = Initial.random (Rng.create 99) problem in
+  let constant =
+    Engine.make ~name:"const-test" ~description:"constant result"
+      (fun _rng problem _initial ->
+        let solution = Bipartition.copy fixed_solution in
+        {
+          Engine.Result.solution;
+          cut = Bipartition.cut problem.Problem.hypergraph solution;
+          legal = Bipartition.is_legal solution problem.Problem.balance;
+          stats = [];
+        })
+  in
+  let (seed, _), _ =
+    Engine.multistart_seeds constant problem ~seeds:[ 9; 4; 17; 6 ]
+  in
+  Alcotest.(check int) "lowest seed wins ties (sequential)" 4 seed;
+  let (pseed, _), _ =
+    Engine.multistart_parallel ~domains:2 constant problem
+      ~seeds:[ 9; 4; 17; 6 ]
+  in
+  Alcotest.(check int) "lowest seed wins ties (parallel)" 4 pseed
+
+let test_seeded_empty_seeds () =
+  let problem = tiny_problem 1 in
+  let engine = Engine.find_exn "flat" in
+  Alcotest.check_raises "empty seeds" (Invalid_argument "x") (fun () ->
+      try ignore (Engine.multistart_seeds engine problem ~seeds:[])
+      with Invalid_argument _ -> raise (Invalid_argument "x"))
+
+let test_multistart_pruned_threshold () =
+  let problem = ibm_problem () in
+  let engine = Engine.find_exn "flat" in
+  let prune_factor = 1.1 in
+  let peek rng problem = Hypart_fm.Fm_engines.one_pass_peek rng problem in
+  let best, records, pruned =
+    Engine.multistart_pruned ~prune_factor ~peek engine (Rng.create 17) problem
+      ~starts:16
+  in
+  Alcotest.(check int) "all starts recorded" 16 (List.length records);
+  Alcotest.(check bool) "pruned count in range" true
+    (pruned >= 0 && pruned < 16);
+  (* the winner is legal and at least as good as every completed start;
+     pruned starts carry their peek cut, which must exceed the
+     threshold implied by some completed cut at the time of pruning —
+     in particular it must exceed prune_factor * final best cut. *)
+  Alcotest.(check bool) "winner legal" true best.Engine.Result.legal;
+  let threshold =
+    int_of_float (prune_factor *. float_of_int best.Engine.Result.cut)
+  in
+  let completed_cuts =
+    List.filter (fun r -> r.Engine.start_cut <= threshold) records
+  in
+  List.iter
+    (fun r ->
+      Alcotest.(check bool) "best beats completed starts" true
+        (best.Engine.Result.cut <= r.Engine.start_cut))
+    completed_cuts
+
+let test_pruned_bad_factor () =
+  let problem = tiny_problem 1 in
+  let engine = Engine.find_exn "flat" in
+  let peek rng problem = Hypart_fm.Fm_engines.one_pass_peek rng problem in
+  Alcotest.check_raises "factor < 1" (Invalid_argument "x") (fun () ->
+      try
+        ignore
+          (Engine.multistart_pruned ~prune_factor:0.5 ~peek engine
+             (Rng.create 1) problem ~starts:2)
+      with Invalid_argument _ -> raise (Invalid_argument "x"))
+
+let test_polish_best_applied () =
+  let problem = ibm_problem () in
+  let engine = Engine.find_exn "ml" in
+  let polished = ref false in
+  let polish r =
+    polished := true;
+    Hypart_multilevel.Ml_engines.vcycle_polish (Rng.create 100) problem r
+  in
+  let best, _ = Engine.multistart ~polish_best:polish engine (Rng.create 5)
+      problem ~starts:2
+  in
+  Alcotest.(check bool) "polish ran" true !polished;
+  Alcotest.(check bool) "result still legal" true best.Engine.Result.legal
+
+let test_with_vcycles_improves_or_keeps () =
+  let problem = ibm_problem () in
+  let base = Engine.find_exn "ml" in
+  let wrapped =
+    Engine.with_vcycles ~name:"ml-v-test" ~rounds:2
+      ~vcycle:(fun rng problem r ->
+        Hypart_multilevel.Ml_engines.vcycle_polish rng problem r)
+      base
+  in
+  Alcotest.(check string) "wrapped name" "ml-v-test" (Engine.name wrapped);
+  let r_base = Engine.run base (Rng.create 8) problem None in
+  let r_wrapped = Engine.run wrapped (Rng.create 8) problem None in
+  Alcotest.(check bool) "v-cycles never hurt" true
+    (r_wrapped.Engine.Result.cut <= r_base.Engine.Result.cut);
+  Alcotest.check_raises "negative rounds" (Invalid_argument "x") (fun () ->
+      try
+        ignore
+          (Engine.with_vcycles ~name:"bad" ~rounds:(-1)
+             ~vcycle:(fun _ _ r -> r)
+             base)
+      with Invalid_argument _ -> raise (Invalid_argument "x"))
+
+let test_result_better_legality_first () =
+  let problem = tiny_problem 2 in
+  let sol = Initial.random (Rng.create 1) problem in
+  let mk cut legal =
+    { Engine.Result.solution = sol; cut; legal; stats = [] }
+  in
+  Alcotest.(check bool) "legal beats illegal even at higher cut" true
+    (Engine.Result.better (mk 50 true) (mk 10 false));
+  Alcotest.(check bool) "illegal never beats legal" false
+    (Engine.Result.better (mk 10 false) (mk 50 true));
+  Alcotest.(check bool) "same legality: lower cut" true
+    (Engine.Result.better (mk 10 true) (mk 20 true));
+  Alcotest.(check bool) "stat lookup" true
+    (Engine.Result.stat (mk 1 true) "passes" = None)
+
+let () =
+  Alcotest.run "engine"
+    [
+      ( "registry",
+        [
+          Alcotest.test_case "populated" `Quick test_registry_populated;
+          Alcotest.test_case "duplicate rejected" `Quick
+            test_register_rejects_duplicate;
+          Alcotest.test_case "unknown name" `Quick test_find_unknown;
+        ] );
+      ("smoke", smoke_tests ());
+      ( "combinators",
+        [
+          Alcotest.test_case "multistart best-of" `Quick
+            test_multistart_improves;
+          Alcotest.test_case "multistart zero starts" `Quick
+            test_multistart_zero_starts;
+          Alcotest.test_case "parallel = sequential" `Quick
+            test_parallel_matches_sequential;
+          Alcotest.test_case "tie-break lowest seed" `Quick
+            test_seeded_tie_break_lowest_seed;
+          Alcotest.test_case "empty seeds" `Quick test_seeded_empty_seeds;
+          Alcotest.test_case "pruned threshold" `Quick
+            test_multistart_pruned_threshold;
+          Alcotest.test_case "pruned bad factor" `Quick test_pruned_bad_factor;
+          Alcotest.test_case "polish_best applied" `Quick
+            test_polish_best_applied;
+          Alcotest.test_case "with_vcycles" `Quick
+            test_with_vcycles_improves_or_keeps;
+          Alcotest.test_case "Result.better" `Quick
+            test_result_better_legality_first;
+        ] );
+    ]

@@ -266,7 +266,7 @@ let test_cli_trace_json () =
   match Mini_json.member "histograms" m with
   | Some (Mini_json.Obj kvs) ->
     Alcotest.(check bool) "per-start cut histogram" true
-      (List.exists (fun (k, _) -> k = "ml.start_cut") kvs)
+      (List.exists (fun (k, _) -> k = "engine.start_cut") kvs)
   | _ -> Alcotest.fail "histograms object missing"
 
 let () =
