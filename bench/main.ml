@@ -236,6 +236,60 @@ let substrate_benches =
              H.contract h ~cluster_of ~num_clusters:k));
     ]
 
+(* ------------- FM hot-path microbenches (fresh vs reused workspace) ------------- *)
+
+(* Scale knob so CI can run this group on a tiny instance:
+   HYPART_BENCH_SCALE is the IBM-suite reduction factor (default 16,
+   the same instance the engine benches use). *)
+let micro_scale =
+  match Sys.getenv_opt "HYPART_BENCH_SCALE" with
+  | Some s -> ( try float_of_string s with _ -> 16.0)
+  | None -> 16.0
+
+let micro_problem =
+  lazy (Problem.make ~tolerance:0.02 (Suite.instance ~scale:micro_scale "ibm01"))
+
+(* The old engine allocated every O(V+E) scratch array (plus the gain
+   container's link arrays) per start; the new one reuses a workspace.
+   fresh vs reused pairs quantify the per-start allocation cost that
+   workspace reuse removes — the PR3 baseline in BENCH_PR3.json. *)
+let micro_benches =
+  let module Fm_workspace = Hypart_fm.Fm_workspace in
+  let ws =
+    lazy
+      (let p = Lazy.force micro_problem in
+       Fm_workspace.create ~rng:(Rng.create 1) p.Problem.hypergraph)
+  in
+  let starts = 8 in
+  Test.make_grouped ~name:"micro"
+    [
+      Test.make ~name:"fm_start_fresh"
+        (ignore1 (fun () ->
+             Fm.run_random_start (Rng.create 1) (Lazy.force micro_problem)));
+      Test.make ~name:"fm_start_reused"
+        (ignore1 (fun () ->
+             Fm.run_random_start ~workspace:(Lazy.force ws) (Rng.create 1)
+               (Lazy.force micro_problem)));
+      Test.make ~name:"fm_starts8_fresh"
+        (ignore1 (fun () ->
+             let p = Lazy.force micro_problem in
+             let rng = Rng.create 2 in
+             for _ = 1 to starts do
+               ignore (Fm.run_random_start rng p)
+             done));
+      Test.make ~name:"fm_starts8_reused"
+        (ignore1 (fun () ->
+             let p = Lazy.force micro_problem in
+             let rng = Rng.create 2 in
+             let ws = Lazy.force ws in
+             for _ = 1 to starts do
+               ignore (Fm.run_random_start ~workspace:ws rng p)
+             done));
+      Test.make ~name:"ml_start_reused"
+        (ignore1 (fun () ->
+             Ml.run (Rng.create 3) (Lazy.force micro_problem)));
+    ]
+
 (* ------------- driver ------------- *)
 
 let benchmark tests =
@@ -285,13 +339,41 @@ let snapshot_path =
   | Some p -> p
   | None -> "BENCH_RESULTS.json"
 
+(* HYPART_BENCH_GROUPS selects a comma-separated subset of bench groups
+   (e.g. "micro" for the CI perf smoke); unset or empty runs them all. *)
+let all_groups =
+  [
+    ("tables", table_benches);
+    ("engines", engine_benches);
+    ("ablations", ablation_benches);
+    ("substrate", substrate_benches);
+    ("micro", micro_benches);
+  ]
+
+let selected_groups =
+  match Sys.getenv_opt "HYPART_BENCH_GROUPS" with
+  | None | Some "" -> List.map snd all_groups
+  | Some spec ->
+    let wanted =
+      String.split_on_char ',' spec
+      |> List.map String.trim
+      |> List.filter (fun s -> s <> "")
+    in
+    List.map
+      (fun w ->
+        match List.assoc_opt w all_groups with
+        | Some g -> g
+        | None ->
+          Printf.eprintf "unknown bench group %S (known: %s)\n" w
+            (String.concat ", " (List.map fst all_groups));
+          exit 2)
+      wanted
+
 let () =
   let module Telemetry = Hypart_telemetry.Telemetry in
   let module Metrics = Hypart_telemetry.Metrics in
   Telemetry.enable ();
-  let groups =
-    [ table_benches; engine_benches; ablation_benches; substrate_benches ]
-  in
+  let groups = selected_groups in
   List.iter
     (fun tests ->
       let rows = collect_results (benchmark tests) in

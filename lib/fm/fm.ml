@@ -1,4 +1,5 @@
 module H = Hypart_hypergraph.Hypergraph
+module Csr = Hypart_hypergraph.Hypergraph.Csr
 module Rng = Hypart_rng.Rng
 module Balance = Hypart_partition.Balance
 module Bipartition = Hypart_partition.Bipartition
@@ -32,16 +33,31 @@ type start_record = Hypart_engine.Engine.start = {
   start_seconds : float;
 }
 
-(* Mutable per-run state.  [count.(side).(e)] is the number of pins of
-   net [e] currently on [side]; [gain.(v)] is the actual gain (cut
-   decrease) of moving [v]; for CLIP the container key is the
-   cumulative delta gain [gain.(v) - initial_gain.(v)] instead. *)
+(* Test hook: force the all-deltas-zero shortcut in [apply_move] off so
+   property tests can check it never changes results (it is sound for
+   [Nonzero_only] and must never fire under [All_delta_gain]). *)
+let zero_delta_fast_path = ref true
+
+(* Mutable per-run state.  The O(V+E) arrays live in the (possibly
+   caller-provided, reused) workspace; the CSR slices are zero-copy
+   views of the hypergraph so the hot loops below are flat index loops
+   with no closure calls.  [count0/count1.(e)] is the number of pins of
+   net [e] on that side; [gain.(v)] is the actual gain (cut decrease)
+   of moving [v]; for CLIP the container key is the cumulative delta
+   gain [gain.(v) - initial_gain.(v)] instead. *)
 type state = {
   h : H.t;
   problem : Problem.t;
   config : Fm_config.t;
   sol : Bipartition.t;
-  count : int array array;
+  ws : Fm_workspace.t;
+  eoff : int array;
+  epins : int array;
+  voff : int array;
+  vedges : int array;
+  ew : int array;
+  count0 : int array;
+  count1 : int array;
   gain : int array;
   locked : bool array;
   container : Gain_container.t;
@@ -49,45 +65,62 @@ type state = {
   mutable n_moves : int;
   mutable n_corking : int;
   mutable n_zero_delta : int;
+  mutable n_repairs : int;
+  mutable first_pass_done : bool;
 }
 
-let weighted_degree h v =
-  H.fold_edges h v ~init:0 ~f:(fun acc e -> acc + H.edge_weight h e)
-
-let max_weighted_degree h =
-  let m = ref 0 in
-  for v = 0 to H.num_vertices h - 1 do
-    let d = weighted_degree h v in
-    if d > !m then m := d
-  done;
-  !m
+let max_weighted_degree = Fm_workspace.max_weighted_degree
 
 let recompute_counts st =
-  let h = st.h in
-  for e = 0 to H.num_edges h - 1 do
-    st.count.(0).(e) <- 0;
-    st.count.(1).(e) <- 0
-  done;
-  for v = 0 to H.num_vertices h - 1 do
-    let s = Bipartition.side st.sol v in
-    H.iter_edges h v (fun e -> st.count.(s).(e) <- st.count.(s).(e) + 1)
+  let ne = H.num_edges st.h in
+  Array.fill st.count0 0 ne 0;
+  Array.fill st.count1 0 ne 0;
+  let voff = st.voff and vedges = st.vedges in
+  for v = 0 to H.num_vertices st.h - 1 do
+    let cnt = if Bipartition.side st.sol v = 0 then st.count0 else st.count1 in
+    for i = voff.(v) to voff.(v + 1) - 1 do
+      let e = Array.unsafe_get vedges i in
+      Array.unsafe_set cnt e (Array.unsafe_get cnt e + 1)
+    done
   done
 
-(* Actual gain of [v] from scratch: +w for nets where v is alone on its
-   side, -w for nets entirely on v's side. *)
+(* Contribution of one net to the gain of a vertex on the side holding
+   [cs] of its pins ([co] on the other side): +w when the vertex is
+   alone on its side, -w when the net is entirely on its side. *)
+let[@inline] contrib w cs co = if cs = 1 then w else if co = 0 then -w else 0
+
+(* Actual gain of [v] from scratch. *)
 let compute_gain st v =
-  let s = Bipartition.side st.sol v in
-  H.fold_edges st.h v ~init:0 ~f:(fun acc e ->
-      let w = H.edge_weight st.h e in
-      let cs = st.count.(s).(e) and co = st.count.(1 - s).(e) in
-      if cs = 1 then acc + w else if co = 0 then acc - w else acc)
+  let cs_arr, co_arr =
+    if Bipartition.side st.sol v = 0 then (st.count0, st.count1)
+    else (st.count1, st.count0)
+  in
+  let voff = st.voff and vedges = st.vedges and ew = st.ew in
+  let acc = ref 0 in
+  for i = voff.(v) to voff.(v + 1) - 1 do
+    let e = Array.unsafe_get vedges i in
+    acc :=
+      !acc
+      + contrib (Array.unsafe_get ew e)
+          (Array.unsafe_get cs_arr e)
+          (Array.unsafe_get co_arr e)
+  done;
+  !acc
 
 (* Eligibility for the gain structure: free, (with the corking fix) not
    heavier than the balance slack, and (under boundary refinement) on
    at least one cut net. *)
 let on_boundary st v =
-  H.fold_edges st.h v ~init:false ~f:(fun acc e ->
-      acc || (st.count.(0).(e) > 0 && st.count.(1).(e) > 0))
+  let vedges = st.vedges in
+  let stop = st.voff.(v + 1) in
+  let i = ref st.voff.(v) and found = ref false in
+  while (not !found) && !i < stop do
+    let e = Array.unsafe_get vedges !i in
+    if Array.unsafe_get st.count0 e > 0 && Array.unsafe_get st.count1 e > 0
+    then found := true;
+    incr i
+  done;
+  !found
 
 let insertable st v =
   Problem.is_free st.problem v
@@ -95,15 +128,74 @@ let insertable st v =
       || H.vertex_weight st.h v <= Balance.slack st.problem.Problem.balance)
   && ((not st.config.Fm_config.boundary_only) || on_boundary st v)
 
-(* Populate the container for a pass.  CLIP inserts every move with key
-   0, ordered so the highest-initial-gain cells end up at the bucket
-   heads; classic FM inserts with key = gain in vertex order. *)
+(* In-place heapsort of [a.(0 .. m-1)] ascending by [(gain, id)] — the
+   CLIP populate order — without the scratch list and [Array.sort]
+   copy the old populate allocated per pass.  The comparison is a
+   total order (ids are distinct), so any correct sort produces the
+   same sequence. *)
+let sort_by_gain gain a m =
+  let[@inline] less x y =
+    gain.(x) < gain.(y) || (gain.(x) = gain.(y) && x < y)
+  in
+  let swap i j =
+    let t = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- t
+  in
+  let rec sift i len =
+    let l = (2 * i) + 1 in
+    if l < len then begin
+      let c = if l + 1 < len && less a.(l) a.(l + 1) then l + 1 else l in
+      if less a.(i) a.(c) then begin
+        swap i c;
+        sift c len
+      end
+    end
+  in
+  for i = (m / 2) - 1 downto 0 do
+    sift i m
+  done;
+  for len = m - 1 downto 1 do
+    swap 0 len;
+    sift 0 len
+  done
+
+(* Populate the container for a pass.  The first pass of a run computes
+   every insertable gain from scratch; later passes repair only the
+   vertices whose gain could have changed — the pins of nets whose
+   counts moved last pass (every net an applied move touched is
+   stamped, whether or not the move survived rollback).  CLIP inserts
+   every move with key 0, ordered so the highest-initial-gain cells end
+   up at the bucket heads; classic FM inserts with key = gain in vertex
+   order. *)
 let populate st =
   Gain_container.clear st.container;
   let n = H.num_vertices st.h in
-  for v = 0 to n - 1 do
-    if insertable st v then st.gain.(v) <- compute_gain st v
-  done;
+  let ws = st.ws in
+  if not st.first_pass_done then begin
+    for v = 0 to n - 1 do
+      if insertable st v then st.gain.(v) <- compute_gain st v
+    done;
+    ws.Fm_workspace.n_touched <- 0
+  end
+  else begin
+    let gen = ws.Fm_workspace.generation in
+    let vstamp = ws.Fm_workspace.vertex_stamp in
+    let touched = ws.Fm_workspace.touched in
+    let eoff = st.eoff and epins = st.epins in
+    for i = 0 to ws.Fm_workspace.n_touched - 1 do
+      let e = touched.(i) in
+      for j = eoff.(e) to eoff.(e + 1) - 1 do
+        let u = Array.unsafe_get epins j in
+        if vstamp.(u) <> gen then begin
+          vstamp.(u) <- gen;
+          if insertable st u then st.gain.(u) <- compute_gain st u
+        end
+      done
+    done;
+    ws.Fm_workspace.n_touched <- 0;
+    st.n_repairs <- st.n_repairs + 1
+  end;
   match st.config.Fm_config.engine with
   | Fm_config.Lifo_fm ->
     for v = 0 to n - 1 do
@@ -112,77 +204,102 @@ let populate st =
           ~key:st.gain.(v) v
     done
   | Fm_config.Clip_fm ->
-    let vs = ref [] in
-    for v = n - 1 downto 0 do
-      if insertable st v then vs := v :: !vs
+    let order = ws.Fm_workspace.order in
+    let m = ref 0 in
+    for v = 0 to n - 1 do
+      if insertable st v then begin
+        order.(!m) <- v;
+        incr m
+      end
     done;
-    let order = Array.of_list !vs in
     (* ascending initial gain: with LIFO insertion the last (highest
        gain) vertex lands at the bucket head, as CLIP prescribes; with
        FIFO we insert descending instead so heads still hold the
        highest-gain cells. *)
-    Array.sort (fun a b -> compare (st.gain.(a), a) (st.gain.(b), b)) order;
+    sort_by_gain st.gain order !m;
     let insert v =
-      Gain_container.insert st.container ~side:(Bipartition.side st.sol v) ~key:0 v
+      Gain_container.insert st.container ~side:(Bipartition.side st.sol v)
+        ~key:0 v
     in
     (match st.config.Fm_config.insertion with
      | Fm_config.Fifo ->
-       for i = Array.length order - 1 downto 0 do
+       for i = !m - 1 downto 0 do
          insert order.(i)
        done
-     | Fm_config.Lifo | Fm_config.Random -> Array.iter insert order)
+     | Fm_config.Lifo | Fm_config.Random ->
+       for i = 0 to !m - 1 do
+         insert order.(i)
+       done)
 
 (* Apply the move of [v] and propagate delta gains to its neighbours
    per the naive "four cut values" scheme the paper describes: for each
    incident net, each unlocked neighbour's contribution is recomputed
    from the pin counts before and after the move, and the neighbour is
-   repositioned unless the delta is zero and the policy says skip. *)
+   repositioned unless the delta is zero and the policy says skip.
+   Every incident net is stamped as touched so the next pass can repair
+   exactly the gains this move could have invalidated. *)
 let apply_move st v =
-  let h = st.h in
   let f = Bipartition.side st.sol v in
-  let t = 1 - f in
   st.cur_cut <- st.cur_cut - st.gain.(v);
   Gain_container.remove st.container v;
   st.locked.(v) <- true;
-  H.iter_edges h v (fun e ->
-      let w = H.edge_weight h e in
-      let cb_f = st.count.(f).(e) and cb_t = st.count.(t).(e) in
-      let ca_f = cb_f - 1 and ca_t = cb_t + 1 in
-      (* when both sides stay at >= 2 pins (source at >= 3 before the
-         move), every neighbour's delta is provably zero: skip the pin
-         scan.  Under All_delta_gain those zero deltas must still
-         reposition vertices, so the fast path applies to Nonzero_only
-         runs — where it makes moves on huge clock-like nets O(1). *)
-      let all_deltas_zero = cb_f >= 3 && cb_t >= 2 in
-      if all_deltas_zero && st.config.Fm_config.update = Fm_config.Nonzero_only
-      then begin
-        st.count.(f).(e) <- ca_f;
-        st.count.(t).(e) <- ca_t
-      end
-      else begin
-      H.iter_pins h e (fun u ->
-          if u <> v && (not st.locked.(u)) && Gain_container.mem st.container u
-          then begin
-            let s = Bipartition.side st.sol u in
-            let cb_s, cb_o = if s = f then (cb_f, cb_t) else (cb_t, cb_f) in
-            let ca_s, ca_o = if s = f then (ca_f, ca_t) else (ca_t, ca_f) in
-            let contrib cs co = if cs = 1 then w else if co = 0 then -w else 0 in
-            let delta = contrib ca_s ca_o - contrib cb_s cb_o in
-            if delta <> 0 then begin
-              st.gain.(u) <- st.gain.(u) + delta;
-              Gain_container.update_key st.container u ~delta
-            end
-            else begin
-              st.n_zero_delta <- st.n_zero_delta + 1;
-              match st.config.Fm_config.update with
-              | Fm_config.All_delta_gain -> Gain_container.refresh st.container u
-              | Fm_config.Nonzero_only -> ()
-            end
-          end);
-      st.count.(f).(e) <- ca_f;
-      st.count.(t).(e) <- ca_t
-      end);
-  Bipartition.move st.sol h v;
+  let ws = st.ws in
+  let gen = ws.Fm_workspace.generation in
+  let estamp = ws.Fm_workspace.edge_stamp in
+  let touched = ws.Fm_workspace.touched in
+  let count_f, count_t =
+    if f = 0 then (st.count0, st.count1) else (st.count1, st.count0)
+  in
+  let fast_path_ok =
+    st.config.Fm_config.update = Fm_config.Nonzero_only && !zero_delta_fast_path
+  in
+  let eoff = st.eoff and epins = st.epins and ew = st.ew in
+  for i = st.voff.(v) to st.voff.(v + 1) - 1 do
+    let e = Array.unsafe_get st.vedges i in
+    if estamp.(e) <> gen then begin
+      estamp.(e) <- gen;
+      touched.(ws.Fm_workspace.n_touched) <- e;
+      ws.Fm_workspace.n_touched <- ws.Fm_workspace.n_touched + 1
+    end;
+    let w = Array.unsafe_get ew e in
+    let cb_f = Array.unsafe_get count_f e and cb_t = Array.unsafe_get count_t e in
+    let ca_f = cb_f - 1 and ca_t = cb_t + 1 in
+    (* when both sides stay at >= 2 pins (source at >= 3 before the
+       move), every neighbour's delta is provably zero: skip the pin
+       scan.  Under All_delta_gain those zero deltas must still
+       reposition vertices, so the fast path applies to Nonzero_only
+       runs — where it makes moves on huge clock-like nets O(1). *)
+    if fast_path_ok && cb_f >= 3 && cb_t >= 2 then begin
+      Array.unsafe_set count_f e ca_f;
+      Array.unsafe_set count_t e ca_t
+    end
+    else begin
+      for j = eoff.(e) to eoff.(e + 1) - 1 do
+        let u = Array.unsafe_get epins j in
+        if u <> v && (not (Array.unsafe_get st.locked u))
+           && Gain_container.mem st.container u
+        then begin
+          let s = Bipartition.side st.sol u in
+          let cb_s, cb_o = if s = f then (cb_f, cb_t) else (cb_t, cb_f) in
+          let ca_s, ca_o = if s = f then (ca_f, ca_t) else (ca_t, ca_f) in
+          let delta = contrib w ca_s ca_o - contrib w cb_s cb_o in
+          if delta <> 0 then begin
+            st.gain.(u) <- st.gain.(u) + delta;
+            Gain_container.update_key st.container u ~delta
+          end
+          else begin
+            st.n_zero_delta <- st.n_zero_delta + 1;
+            match st.config.Fm_config.update with
+            | Fm_config.All_delta_gain -> Gain_container.refresh st.container u
+            | Fm_config.Nonzero_only -> ()
+          end
+        end
+      done;
+      Array.unsafe_set count_f e ca_f;
+      Array.unsafe_set count_t e ca_t
+    end
+  done;
+  Bipartition.move st.sol st.h v;
   st.n_moves <- st.n_moves + 1
 
 (* Margin to the balance window edges; larger = further from violating. *)
@@ -212,14 +329,29 @@ let select_side st side =
     st.n_corking <- st.n_corking + 1;
   r
 
+(* Cut recomputed from the (repaired) pin counts in O(E) — only needed
+   when a pass saw no legal prefix at all. *)
+let cut_from_counts st =
+  let total = ref 0 in
+  for e = 0 to H.num_edges st.h - 1 do
+    if st.count0.(e) > 0 && st.count1.(e) > 0 then total := !total + st.ew.(e)
+  done;
+  !total
+
 (* One FM pass: move until no legal move remains, then roll back to the
    best legal prefix.  Returns the best legal cut seen (max_int when no
    prefix, including the empty one, was legal), the move count, and the
-   rollback depth (moves undone). *)
+   rollback depth (moves undone).  Rollback repairs [count0/count1] and
+   [cur_cut] incrementally by replaying only the undone moves — the
+   next pass starts from exact counts without an O(pins) rescan. *)
 let pass st =
+  let ws = st.ws in
+  ws.Fm_workspace.generation <- ws.Fm_workspace.generation + 1;
   populate st;
-  Array.fill st.locked 0 (Array.length st.locked) false;
-  let moves = ref [] and n_applied = ref 0 in
+  st.first_pass_done <- true;
+  Array.fill st.locked 0 (H.num_vertices st.h) false;
+  let stack = ws.Fm_workspace.move_stack in
+  let n_applied = ref 0 in
   let best_cut = ref max_int
   and best_idx = ref 0
   and best_margin = ref min_int in
@@ -271,57 +403,76 @@ let pass st =
     | Some v ->
       last_from := Bipartition.side st.sol v;
       apply_move st v;
-      moves := v :: !moves;
+      stack.(!n_applied) <- v;
       incr n_applied;
       consider !n_applied
   done;
-  (* roll back to the best prefix (all of it if nothing legal was seen) *)
+  (* roll back to the best prefix (all of it if nothing legal was seen),
+     repairing the pin counts move by move *)
   let undo = if !best_cut = max_int then !n_applied else !n_applied - !best_idx in
-  let rec undo_moves k = function
-    | [] -> ()
-    | v :: rest ->
-      if k > 0 then begin
-        (* flip back; counts and gains are rebuilt next pass *)
-        Bipartition.move st.sol st.h v;
-        undo_moves (k - 1) rest
-      end
-  in
-  undo_moves undo !moves;
+  for i = !n_applied - 1 downto !n_applied - undo do
+    let v = stack.(i) in
+    let cs, co =
+      if Bipartition.side st.sol v = 0 then (st.count0, st.count1)
+      else (st.count1, st.count0)
+    in
+    for j = st.voff.(v) to st.voff.(v + 1) - 1 do
+      let e = Array.unsafe_get st.vedges j in
+      Array.unsafe_set cs e (Array.unsafe_get cs e - 1);
+      Array.unsafe_set co e (Array.unsafe_get co e + 1)
+    done;
+    Bipartition.move st.sol st.h v
+  done;
   if !best_cut <> max_int then st.cur_cut <- !best_cut
-  else st.cur_cut <- Bipartition.cut st.h st.sol;
+  else st.cur_cut <- cut_from_counts st;
   (!best_cut, !n_applied, undo)
 
-let run ?(config = Fm_config.default) rng problem initial =
+let run ?(config = Fm_config.default) ?workspace rng problem initial =
   let h = problem.Problem.hypergraph in
-  let n = H.num_vertices h in
-  let gmax = max 1 (max_weighted_degree h) in
+  let ws =
+    match workspace with
+    | Some ws ->
+      if not (Fm_workspace.fits ws h) then
+        invalid_arg "Fm.run: workspace smaller than the problem";
+      Fm_workspace.prepare ws ~insertion:config.Fm_config.insertion ~rng h;
+      if Tel.is_enabled () then Metrics.incr "fm.workspace_reuses";
+      ws
+    | None -> Fm_workspace.create ~insertion:config.Fm_config.insertion ~rng h
+  in
+  let ops0 = Gain_container.ops ws.Fm_workspace.container in
   let st =
     {
       h;
       problem;
       config;
       sol = Bipartition.copy initial;
-      count = [| Array.make (H.num_edges h) 0; Array.make (H.num_edges h) 0 |];
-      gain = Array.make n 0;
-      locked = Array.make n false;
-      container =
-        Gain_container.create ~num_vertices:n
-          ~max_key:((2 * gmax) + 1)
-          ~insertion:config.Fm_config.insertion ~rng;
+      ws;
+      eoff = Csr.edge_offset h;
+      epins = Csr.edge_pins h;
+      voff = Csr.vertex_offset h;
+      vedges = Csr.vertex_edges h;
+      ew = Csr.edge_weight h;
+      count0 = ws.Fm_workspace.count0;
+      count1 = ws.Fm_workspace.count1;
+      gain = ws.Fm_workspace.gain;
+      locked = ws.Fm_workspace.locked;
+      container = ws.Fm_workspace.container;
       cur_cut = 0;
       n_moves = 0;
       n_corking = 0;
       n_zero_delta = 0;
+      n_repairs = 0;
+      first_pass_done = false;
     }
   in
-  st.cur_cut <- Bipartition.cut h st.sol;
+  recompute_counts st;
+  st.cur_cut <- cut_from_counts st;
   let initial_legal = Bipartition.is_legal st.sol problem.Problem.balance in
   let best = ref (if initial_legal then st.cur_cut else max_int) in
   let n_passes = ref 0 and n_empty = ref 0 in
   Trace.begin_span "fm.run";
   let improving = ref true in
   while !improving && !n_passes < config.Fm_config.max_passes do
-    recompute_counts st;
     Trace.begin_span "fm.pass";
     let pass_best, pass_moves, rollback = pass st in
     incr n_passes;
@@ -359,10 +510,14 @@ let run ?(config = Fm_config.default) rng problem initial =
     Metrics.incr "fm.empty_passes" ~by:!n_empty;
     Metrics.incr "fm.corking_events" ~by:st.n_corking;
     Metrics.incr "fm.zero_delta_updates" ~by:st.n_zero_delta;
+    Metrics.incr "fm.incremental_repairs" ~by:st.n_repairs;
     let ops = Gain_container.ops st.container in
-    Metrics.incr "gain.inserts" ~by:ops.Gain_container.inserts;
-    Metrics.incr "gain.removes" ~by:ops.Gain_container.removes;
-    Metrics.incr "gain.repositions" ~by:ops.Gain_container.repositions
+    Metrics.incr "gain.inserts"
+      ~by:(ops.Gain_container.inserts - ops0.Gain_container.inserts);
+    Metrics.incr "gain.removes"
+      ~by:(ops.Gain_container.removes - ops0.Gain_container.removes);
+    Metrics.incr "gain.repositions"
+      ~by:(ops.Gain_container.repositions - ops0.Gain_container.repositions)
   end;
   let legal = Bipartition.is_legal st.sol problem.Problem.balance in
   {
@@ -379,25 +534,40 @@ let run ?(config = Fm_config.default) rng problem initial =
       };
   }
 
-let run_random_start ?(config = Fm_config.default) rng problem =
+let run_random_start ?(config = Fm_config.default) ?workspace rng problem =
   let initial = Initial.random rng problem in
-  run ~config rng problem initial
+  run ~config ?workspace rng problem initial
 
 let better (a : result) b =
   (a.legal && not b.legal) || (a.legal = b.legal && a.cut < b.cut)
 
 let cut_of (r : result) = r.cut
 
-let multistart ?(config = Fm_config.default) rng problem ~starts =
+let multistart ?(config = Fm_config.default) ?workspace rng problem ~starts =
+  let ws =
+    match workspace with
+    | Some ws -> ws
+    | None ->
+      Fm_workspace.create ~insertion:config.Fm_config.insertion ~rng
+        problem.Problem.hypergraph
+  in
   Hypart_engine.Engine.best_of_starts ~metrics_prefix:"fm" ~starts ~better
-    ~cut_of (fun () -> run_random_start ~config rng problem)
+    ~cut_of (fun () -> run_random_start ~config ~workspace:ws rng problem)
 
-let multistart_pruned ?(config = Fm_config.default) ?prune_factor rng problem
-    ~starts =
+let multistart_pruned ?(config = Fm_config.default) ?workspace ?prune_factor rng
+    problem ~starts =
+  let ws =
+    match workspace with
+    | Some ws -> ws
+    | None ->
+      Fm_workspace.create ~insertion:config.Fm_config.insertion ~rng
+        problem.Problem.hypergraph
+  in
   let one_pass = { config with Fm_config.max_passes = 1 } in
   Hypart_engine.Engine.pruned_starts ~metrics_prefix:"fm" ?prune_factor ~starts
     ~better ~cut_of
     ~legal:(fun r -> r.legal)
-    ~peek:(fun () -> run ~config:one_pass rng problem (Initial.random rng problem))
-    ~full:(fun p -> run ~config rng problem p.solution)
+    ~peek:(fun () ->
+      run ~config:one_pass ~workspace:ws rng problem (Initial.random rng problem))
+    ~full:(fun p -> run ~config ~workspace:ws rng problem p.solution)
     ()

@@ -29,8 +29,20 @@ type result = {
   stats : stats;
 }
 
+val zero_delta_fast_path : bool ref
+(** Test hook (default [true]): when set to [false], [run] skips the
+    all-deltas-zero shortcut in its neighbour-update loop and scans
+    every pin of every touched net.  Results must be bit-identical
+    either way under both update policies — property-tested. *)
+
+val max_weighted_degree : Hypart_hypergraph.Hypergraph.t -> int
+(** Maximum over vertices of the sum of incident edge weights — the
+    bound on any single move's gain (re-exported from
+    {!Fm_workspace}). *)
+
 val run :
   ?config:Fm_config.t ->
+  ?workspace:Fm_workspace.t ->
   Hypart_rng.Rng.t ->
   Hypart_partition.Problem.t ->
   Hypart_partition.Bipartition.t ->
@@ -38,10 +50,19 @@ val run :
 (** [run rng problem initial] improves [initial] by repeated FM passes
     until a pass fails to improve the best legal cut (or
     [config.max_passes] is reached).  The input solution is not
-    mutated.  [rng] is used only for [Random] bucket insertion. *)
+    mutated.  [rng] is used only for [Random] bucket insertion.
+
+    [workspace] provides preallocated scratch state (see
+    {!Fm_workspace}); when given, the run performs no per-start array
+    allocation, and the result is bit-identical to a fresh-allocation
+    run with the same [rng] state.  Do not share one workspace between
+    concurrent domains.
+    @raise Invalid_argument if [workspace] is too small for the
+    problem's hypergraph. *)
 
 val run_random_start :
   ?config:Fm_config.t ->
+  ?workspace:Fm_workspace.t ->
   Hypart_rng.Rng.t ->
   Hypart_partition.Problem.t ->
   result
@@ -56,6 +77,7 @@ type start_record = Hypart_engine.Engine.start = {
 
 val multistart :
   ?config:Fm_config.t ->
+  ?workspace:Fm_workspace.t ->
   Hypart_rng.Rng.t ->
   Hypart_partition.Problem.t ->
   starts:int ->
@@ -64,10 +86,13 @@ val multistart :
     random-start trials and returns the best result (lowest legal cut)
     together with the per-start records (in execution order) that
     best-so-far curves and speed-dependent rankings are built from.
-    A thin wrapper over {!Hypart_engine.Engine.best_of_starts}. *)
+    A thin wrapper over {!Hypart_engine.Engine.best_of_starts}.
+    All starts share one scratch workspace ([workspace] if given, a
+    fresh one otherwise), so only the first start allocates. *)
 
 val multistart_pruned :
   ?config:Fm_config.t ->
+  ?workspace:Fm_workspace.t ->
   ?prune_factor:float ->
   Hypart_rng.Rng.t ->
   Hypart_partition.Problem.t ->

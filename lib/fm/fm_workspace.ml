@@ -1,0 +1,100 @@
+module H = Hypart_hypergraph.Hypergraph
+module Rng = Hypart_rng.Rng
+
+(* Reusable scratch state for [Fm.run].  One workspace holds every
+   O(V+E) array the engine needs, so multistart and V-cycle callers
+   allocate once per problem instead of once per start/level.  The
+   stamp arrays never need clearing: they carry a monotonically
+   increasing pass generation, so stale entries from earlier runs are
+   simply never equal to the current generation. *)
+
+type t = {
+  num_vertices : int;
+  num_edges : int;
+  count0 : int array;         (* pins of net e on side 0 *)
+  count1 : int array;
+  gain : int array;           (* current actual gain per vertex *)
+  locked : bool array;
+  move_stack : int array;     (* moves applied during the current pass *)
+  order : int array;          (* CLIP populate scratch (sorted by gain) *)
+  edge_stamp : int array;     (* generation a net's counts last changed *)
+  vertex_stamp : int array;   (* generation a gain was last repaired *)
+  touched : int array;        (* nets touched during the current pass *)
+  mutable n_touched : int;
+  mutable generation : int;   (* bumped once per pass, never reset *)
+  mutable container : Gain_container.t;
+  (* cache of the key bound required by the hypergraph the workspace
+     was last prepared for, so repeated runs on the same instance skip
+     the O(pins) weighted-degree scan *)
+  mutable keyed_for : H.t;
+  mutable required_key : int;
+}
+
+let weighted_degree h v =
+  H.fold_edges h v ~init:0 ~f:(fun acc e -> acc + H.edge_weight h e)
+
+let max_weighted_degree h =
+  let m = ref 0 in
+  for v = 0 to H.num_vertices h - 1 do
+    let d = weighted_degree h v in
+    if d > !m then m := d
+  done;
+  !m
+
+(* Same key bound the engine has always used: twice the maximum
+   weighted degree, plus one of slack. *)
+let required_max_key h = (2 * max 1 (max_weighted_degree h)) + 1
+
+let create ?(insertion = Fm_config.default.Fm_config.insertion) ~rng h =
+  if Hypart_telemetry.Control.is_enabled () then
+    Hypart_telemetry.Metrics.incr "fm.workspace_creates";
+  let n = H.num_vertices h and ne = H.num_edges h in
+  let max_key = required_max_key h in
+  {
+    num_vertices = n;
+    num_edges = ne;
+    count0 = Array.make ne 0;
+    count1 = Array.make ne 0;
+    gain = Array.make n 0;
+    locked = Array.make n false;
+    move_stack = Array.make n 0;
+    order = Array.make n 0;
+    edge_stamp = Array.make ne 0;
+    vertex_stamp = Array.make n 0;
+    touched = Array.make ne 0;
+    n_touched = 0;
+    generation = 0;
+    container = Gain_container.create ~num_vertices:n ~max_key ~insertion ~rng;
+    keyed_for = h;
+    required_key = max_key;
+  }
+
+let fits t h = H.num_vertices h <= t.num_vertices && H.num_edges h <= t.num_edges
+
+(* Point the workspace at a (run, hypergraph): make sure the cached
+   container can hold the problem's vertices under the requested
+   insertion order and key range (regrowing it once if not — the only
+   allocation a reused workspace can perform), and redirect its RNG at
+   the current run's generator so reused and fresh runs are
+   bit-identical. *)
+let prepare t ~insertion ~rng h =
+  let required =
+    if t.keyed_for == h then t.required_key
+    else begin
+      let k = required_max_key h in
+      t.keyed_for <- h;
+      t.required_key <- k;
+      k
+    end
+  in
+  let c = t.container in
+  if
+    Gain_container.insertion c <> insertion
+    || Gain_container.max_key c < required
+    || Gain_container.capacity c < H.num_vertices h
+  then
+    t.container <-
+      Gain_container.create ~num_vertices:t.num_vertices
+        ~max_key:(max required (Gain_container.max_key c))
+        ~insertion ~rng
+  else Gain_container.set_rng c rng

@@ -1,0 +1,59 @@
+(** Reusable scratch workspace for the FM engine.
+
+    [Fm.run] needs seven O(V+E) arrays (pin counts per side, gains,
+    locks, the per-pass move stack, the CLIP ordering scratch, and the
+    incremental-repair stamp/touch arrays) plus the gain container's
+    link arrays.  Allocating them per start made multistart and
+    multilevel refinement allocation-bound; a workspace is sized once
+    for a problem and threaded through every start, level, and V-cycle
+    (see [Fm.multistart], [Ml_partitioner], [Ml_kway]).
+
+    A workspace created for a hypergraph also fits any {e smaller}
+    hypergraph (fewer vertices and edges), which is what lets one
+    workspace sized at the finest level serve a whole multilevel
+    hierarchy.  Reuse is observable via the [fm.workspace_reuses]
+    telemetry counter, and reused runs are bit-identical to
+    fresh-allocation runs (property-tested).
+
+    The record fields are exposed for the engine's hot loops; treat
+    them as private elsewhere. *)
+
+module H := Hypart_hypergraph.Hypergraph
+
+type t = {
+  num_vertices : int;  (** capacity: largest vertex count served *)
+  num_edges : int;  (** capacity: largest edge count served *)
+  count0 : int array;  (** pins of net [e] on side 0 *)
+  count1 : int array;
+  gain : int array;  (** current actual gain per vertex *)
+  locked : bool array;
+  move_stack : int array;  (** moves applied during the current pass *)
+  order : int array;  (** CLIP populate scratch (sorted by gain) *)
+  edge_stamp : int array;  (** generation a net's counts last changed *)
+  vertex_stamp : int array;  (** generation a gain was last repaired *)
+  touched : int array;  (** nets touched during the current pass *)
+  mutable n_touched : int;
+  mutable generation : int;  (** bumped once per pass, never reset *)
+  mutable container : Gain_container.t;
+  mutable keyed_for : H.t;  (** instance {!required_key} was computed for *)
+  mutable required_key : int;
+}
+
+val create : ?insertion:Fm_config.insertion_order -> rng:Hypart_rng.Rng.t -> H.t -> t
+(** [create ~rng h] allocates a workspace sized for [h] (and any
+    smaller hypergraph).  [insertion] defaults to the default FM
+    configuration's order; [Fm.run] re-checks it per run and regrows
+    the container if a run needs a different order or key range. *)
+
+val fits : t -> H.t -> bool
+(** Whether the workspace arrays are large enough for [h]. *)
+
+val prepare : t -> insertion:Fm_config.insertion_order -> rng:Hypart_rng.Rng.t -> H.t -> unit
+(** Called by [Fm.run] on a reused workspace: regrows the gain
+    container if the requested insertion order or the instance's key
+    range outgrew it (the only allocation reuse can perform), and
+    points the container's RNG at the current run's generator. *)
+
+val max_weighted_degree : H.t -> int
+(** Maximum over vertices of the sum of incident edge weights — the
+    gain bound that sizes the container's bucket range. *)

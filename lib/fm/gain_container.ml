@@ -10,7 +10,7 @@ let nil = -1
 type t = {
   max_key : int;
   insertion : Fm_config.insertion_order;
-  rng : Rng.t;
+  mutable rng : Rng.t;
   prev : int array;
   next : int array;
   vkey : int array;
@@ -18,10 +18,19 @@ type t = {
   heads : int array array;  (* heads.(side).(key + max_key) *)
   tails : int array array;
   maxptr : int array;       (* upper bound on the max nonempty bucket index *)
+  (* occupied range since the last [clear]: every nonempty bucket lies
+     in [lo.(side), hi.(side)] ([lo > hi] = nothing touched), so [clear]
+     scans only the range actually used instead of all 2*max_key+1
+     buckets *)
+  lo : int array;
+  hi : int array;
   count : int array;
   mutable corked : bool;
   (* lifetime op counters (plain increments — cheap enough to stay on);
-     flushed into the telemetry registry by the engine per run *)
+     flushed into the telemetry registry by the engine per run.
+     Repositions ([update_key]/[refresh]) are counted on their own and
+     do NOT inflate inserts/removes, so [gain.inserts]/[gain.removes]
+     report true container traffic. *)
   mutable n_inserts : int;
   mutable n_removes : int;
   mutable n_repositions : int;
@@ -45,6 +54,8 @@ let create ~num_vertices ~max_key ~insertion ~rng =
     heads = [| Array.make nbuckets nil; Array.make nbuckets nil |];
     tails = [| Array.make nbuckets nil; Array.make nbuckets nil |];
     maxptr = [| 0; 0 |];
+    lo = [| nbuckets; nbuckets |];
+    hi = [| -1; -1 |];
     count = [| 0; 0 |];
     corked = false;
     n_inserts = 0;
@@ -52,6 +63,10 @@ let create ~num_vertices ~max_key ~insertion ~rng =
     n_repositions = 0;
   }
 
+let capacity c = Array.length c.prev
+let max_key c = c.max_key
+let insertion c = c.insertion
+let set_rng c rng = c.rng <- rng
 let mem c v = c.prev.(v) <> absent
 let key c v = c.vkey.(v)
 let size c side = c.count.(side)
@@ -59,7 +74,7 @@ let size c side = c.count.(side)
 let clear c =
   for side = 0 to 1 do
     let heads = c.heads.(side) and tails = c.tails.(side) in
-    for b = 0 to Array.length heads - 1 do
+    for b = c.lo.(side) to c.hi.(side) do
       let v = ref heads.(b) in
       while !v <> nil do
         let n = c.next.(!v) in
@@ -70,6 +85,8 @@ let clear c =
       heads.(b) <- nil;
       tails.(b) <- nil
     done;
+    c.lo.(side) <- Array.length heads;
+    c.hi.(side) <- -1;
     c.maxptr.(side) <- 0;
     c.count.(side) <- 0
   done
@@ -90,7 +107,9 @@ let push_back c side b v =
   if t <> nil then c.next.(t) <- v else heads.(b) <- v;
   tails.(b) <- v
 
-let insert c ~side ~key v =
+(* Raw link/unlink, shared by insert/remove and the repositioning
+   operations so that repositions don't inflate the traffic counters. *)
+let link c ~side ~key v =
   assert (not (mem c v));
   assert (abs key <= c.max_key);
   let b = key + c.max_key in
@@ -102,19 +121,27 @@ let insert c ~side ~key v =
    | Fm_config.Random ->
      if Rng.bool c.rng then push_front c side b v else push_back c side b v);
   if b > c.maxptr.(side) then c.maxptr.(side) <- b;
-  c.count.(side) <- c.count.(side) + 1;
+  if b < c.lo.(side) then c.lo.(side) <- b;
+  if b > c.hi.(side) then c.hi.(side) <- b;
+  c.count.(side) <- c.count.(side) + 1
+
+let unlink c v =
+  let side = c.vside.(v) in
+  let b = c.vkey.(v) + c.max_key in
+  let p = c.prev.(v) and n = c.next.(v) in
+  if p <> nil then c.next.(p) <- n else c.heads.(side).(b) <- n;
+  if n <> nil then c.prev.(n) <- p else c.tails.(side).(b) <- p;
+  c.prev.(v) <- absent;
+  c.next.(v) <- absent;
+  c.count.(side) <- c.count.(side) - 1
+
+let insert c ~side ~key v =
+  link c ~side ~key v;
   c.n_inserts <- c.n_inserts + 1
 
 let remove c v =
   if mem c v then begin
-    let side = c.vside.(v) in
-    let b = c.vkey.(v) + c.max_key in
-    let p = c.prev.(v) and n = c.next.(v) in
-    if p <> nil then c.next.(p) <- n else c.heads.(side).(b) <- n;
-    if n <> nil then c.prev.(n) <- p else c.tails.(side).(b) <- p;
-    c.prev.(v) <- absent;
-    c.next.(v) <- absent;
-    c.count.(side) <- c.count.(side) - 1;
+    unlink c v;
     c.n_removes <- c.n_removes + 1
   end
 
@@ -122,26 +149,28 @@ let update_key c v ~delta =
   assert (mem c v);
   let side = c.vside.(v) in
   let key = c.vkey.(v) + delta in
-  remove c v;
-  insert c ~side ~key v;
+  unlink c v;
+  link c ~side ~key v;
   c.n_repositions <- c.n_repositions + 1
 
 let refresh c v =
   assert (mem c v);
   let side = c.vside.(v) and key = c.vkey.(v) in
-  remove c v;
-  insert c ~side ~key v;
+  unlink c v;
+  link c ~side ~key v;
   c.n_repositions <- c.n_repositions + 1
 
 (* Decay the max pointer past empty buckets; returns the index of the
-   highest nonempty bucket or [nil]. *)
+   highest nonempty bucket or [nil].  When the side fully drains the
+   pointer is reset to 0, not left at the old high index — otherwise
+   every subsequent select/insert would rescan the dead bucket range. *)
 let settle_max c side =
   let heads = c.heads.(side) in
   let b = ref c.maxptr.(side) in
   while !b >= 0 && heads.(!b) = nil do
     decr b
   done;
-  if !b >= 0 then c.maxptr.(side) <- !b;
+  c.maxptr.(side) <- (if !b >= 0 then !b else 0);
   !b
 
 let head_of_max_bucket c ~side =

@@ -23,8 +23,27 @@ val create :
 (** Keys must stay within [[-max_key, max_key]].  [rng] is consulted
     only for [Random] insertion. *)
 
+val capacity : t -> int
+(** The [num_vertices] the container was created with (ids must stay
+    below it).  Used by workspace reuse to check that a cached
+    container still fits a problem. *)
+
+val max_key : t -> int
+(** The key bound the container was created with. *)
+
+val insertion : t -> Fm_config.insertion_order
+(** The insertion order the container was created with. *)
+
+val set_rng : t -> Hypart_rng.Rng.t -> unit
+(** Redirect [Random] insertion draws to another generator.  Workspace
+    reuse points a cached container at the current run's RNG so reused
+    and fresh runs consume identical random streams. *)
+
 val clear : t -> unit
-(** Empty both sides (O(contents)). *)
+(** Empty both sides.  O(occupied bucket range), not O(max_key): the
+    scan is bounded by the lowest/highest bucket touched since the last
+    clear, so clearing a nearly-empty container is cheap regardless of
+    the key range. *)
 
 val insert : t -> side:int -> key:int -> int -> unit
 (** [insert c ~side ~key v] adds vertex [v].  [v] must not currently be
@@ -75,7 +94,10 @@ val head_of_max_bucket : t -> side:int -> int option
 type ops = { inserts : int; removes : int; repositions : int }
 
 val ops : t -> ops
-(** Lifetime operation counts for this container: raw link insertions
-    and removals (repositioning performs one of each) plus the number
-    of {!update_key}/{!refresh} repositionings.  The FM engine flushes
-    these into the telemetry metrics registry ([gain.*]) per run. *)
+(** Lifetime operation counts for this container.  The three counters
+    are disjoint: [inserts]/[removes] count only true {!insert} /
+    {!remove} traffic, and {!update_key}/{!refresh} repositionings are
+    counted solely in [repositions] (they no longer inflate the other
+    two).  The FM engine flushes these into the telemetry metrics
+    registry ([gain.*]) per run; since the engine removes a vertex
+    exactly once per applied move, [gain.removes = fm.moves] holds. *)

@@ -33,6 +33,19 @@ let gain_of h part_of count v q =
       else if c_p = 1 && c_q = size - 1 then acc + w
       else acc)
 
+(* Reusable scratch arrays for [run] — the k-way analogue of
+   {!Fm_workspace}.  Sized for a (hypergraph, k) pair; fits any smaller
+   hypergraph at the same k, which lets one workspace serve a whole
+   multilevel k-way hierarchy (see [Ml_kway]). *)
+type workspace = {
+  ws_k : int;
+  ws_num_vertices : int;
+  ws_num_edges : int;
+  ws_count : int array array;
+  ws_locked : bool array;
+  mutable ws_container : Gain_container.t;
+}
+
 type state = {
   h : H.t;
   k : int;
@@ -154,27 +167,62 @@ let pass st =
   st.cur_cut <- !best_cut;
   (!best_cut, !n_applied)
 
-let max_weighted_degree h =
-  let m = ref 0 in
-  for v = 0 to H.num_vertices h - 1 do
-    let d = H.fold_edges h v ~init:0 ~f:(fun acc e -> acc + H.edge_weight h e) in
-    if d > !m then m := d
-  done;
-  !m
+let max_weighted_degree = Fm_workspace.max_weighted_degree
 
-let run ?(max_passes = 30) ?(tolerance = 0.10) ~k rng h part_of =
+let make_workspace ~k ~rng h =
+  if k < 2 then invalid_arg "Kway_fm.make_workspace: k must be >= 2";
+  if Hypart_telemetry.Control.is_enabled () then
+    Hypart_telemetry.Metrics.incr "fm.workspace_creates";
+  let n = H.num_vertices h and ne = H.num_edges h in
+  let gmax = max 1 (max_weighted_degree h) in
+  {
+    ws_k = k;
+    ws_num_vertices = n;
+    ws_num_edges = ne;
+    ws_count = Array.init ne (fun _ -> Array.make k 0);
+    ws_locked = Array.make n false;
+    ws_container =
+      Gain_container.create ~num_vertices:(n * k) ~max_key:gmax
+        ~insertion:Fm_config.Lifo ~rng;
+  }
+
+let workspace_fits ws ~k h =
+  ws.ws_k = k
+  && H.num_vertices h <= ws.ws_num_vertices
+  && H.num_edges h <= ws.ws_num_edges
+
+let run ?(max_passes = 30) ?(tolerance = 0.10) ?workspace ~k rng h part_of =
   if k < 2 then invalid_arg "Kway_fm.run: k must be >= 2";
   if Array.length part_of <> H.num_vertices h then
     invalid_arg "Kway_fm.run: assignment length mismatch";
   Array.iter
     (fun p -> if p < 0 || p >= k then invalid_arg "Kway_fm.run: part out of range")
     part_of;
-  let n = H.num_vertices h in
   let total = H.total_vertex_weight h in
   let target = float_of_int total /. float_of_int k in
   let lower = int_of_float (Float.floor ((1.0 -. tolerance) *. target)) in
   let upper = int_of_float (Float.ceil ((1.0 +. tolerance) *. target)) in
   let gmax = max 1 (max_weighted_degree h) in
+  let ws =
+    match workspace with
+    | Some ws ->
+      if not (workspace_fits ws ~k h) then
+        invalid_arg "Kway_fm.run: workspace does not fit the problem";
+      (* regrow the container if this instance's gain bound outgrew it
+         (coarse levels can exceed the finest level's bound when
+         contraction merges net weights); otherwise just point its RNG
+         at this run's generator *)
+      if Gain_container.max_key ws.ws_container < gmax then
+        ws.ws_container <-
+          Gain_container.create ~num_vertices:(ws.ws_num_vertices * k)
+            ~max_key:(max gmax (Gain_container.max_key ws.ws_container))
+            ~insertion:Fm_config.Lifo ~rng
+      else Gain_container.set_rng ws.ws_container rng;
+      if Hypart_telemetry.Control.is_enabled () then
+        Hypart_telemetry.Metrics.incr "fm.workspace_reuses";
+      ws
+    | None -> make_workspace ~k ~rng h
+  in
   let st =
     {
       h;
@@ -184,11 +232,9 @@ let run ?(max_passes = 30) ?(tolerance = 0.10) ~k rng h part_of =
         (let w = Array.make k 0 in
          Array.iteri (fun v p -> w.(p) <- w.(p) + H.vertex_weight h v) part_of;
          w);
-      count = Array.init (H.num_edges h) (fun _ -> Array.make k 0);
-      locked = Array.make n false;
-      container =
-        Gain_container.create ~num_vertices:(n * k) ~max_key:gmax
-          ~insertion:Fm_config.Lifo ~rng;
+      count = ws.ws_count;
+      locked = ws.ws_locked;
+      container = ws.ws_container;
       lower;
       upper;
       cur_cut = 0;
@@ -213,11 +259,11 @@ let run ?(max_passes = 30) ?(tolerance = 0.10) ~k rng h part_of =
     moves = st.n_moves;
   }
 
-let run_random_start ?max_passes ?tolerance ~k rng h =
+let run_random_start ?max_passes ?tolerance ?workspace ~k rng h =
   let n = H.num_vertices h in
   (* round-robin over a random permutation: balanced for unit areas and
      close enough otherwise for FM to repair *)
   let perm = Rng.permutation rng n in
   let part_of = Array.make n 0 in
   Array.iteri (fun i v -> part_of.(v) <- i mod k) perm;
-  run ?max_passes ?tolerance ~k rng h part_of
+  run ?max_passes ?tolerance ?workspace ~k rng h part_of

@@ -51,6 +51,18 @@ let edge_pins h e =
 let vertex_edges h v =
   Array.sub h.vertex_edges h.vertex_offset.(v) (vertex_degree h v)
 
+(* Zero-copy access to the underlying CSR arrays for flat index loops
+   in engine hot paths.  The arrays are the hypergraph's own storage:
+   callers must treat them as read-only. *)
+module Csr = struct
+  let edge_offset h = h.edge_offset
+  let edge_pins h = h.edge_pins
+  let vertex_offset h = h.vertex_offset
+  let vertex_edges h = h.vertex_edges
+  let vertex_weight h = h.vertex_weight
+  let edge_weight h = h.edge_weight
+end
+
 (* Build the vertex -> edges CSR from the edge -> pins CSR by counting
    sort.  Shared by [create], [contract] and [induce]. *)
 let of_csr ~num_vertices ~edge_offset ~edge_pins ~vertex_weight ~edge_weight =

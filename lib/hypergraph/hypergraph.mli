@@ -44,6 +44,29 @@ val edge_pins : t -> int -> int array
 val vertex_edges : t -> int -> int array
 (** Fresh array of the edges incident to a vertex. *)
 
+(** Zero-copy view of the underlying CSR arrays, for flat index loops
+    in engine hot paths (FM gain updates walk pin slices millions of
+    times per run; going through the raw arrays avoids the closure call
+    per element of {!iter_pins}/{!fold_edges}).
+
+    The returned arrays are the hypergraph's own storage, {b not}
+    copies: treat them as read-only.  Mutating them breaks the
+    immutability contract of {!t} and every cached statistic.  The pins
+    of edge [e] occupy [edge_pins.(edge_offset.(e)
+    .. edge_offset.(e+1) - 1)]; the edges of vertex [v] occupy
+    [vertex_edges.(vertex_offset.(v) .. vertex_offset.(v+1) - 1)];
+    [vertex_weight]/[edge_weight] are indexed directly. *)
+module Csr : sig
+  type h := t
+
+  val edge_offset : h -> int array
+  val edge_pins : h -> int array
+  val vertex_offset : h -> int array
+  val vertex_edges : h -> int array
+  val vertex_weight : h -> int array
+  val edge_weight : h -> int array
+end
+
 val iter_pins : t -> int -> (int -> unit) -> unit
 (** [iter_pins h e f] applies [f] to each pin of edge [e] without
     allocation. *)

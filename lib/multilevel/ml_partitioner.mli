@@ -36,13 +36,19 @@ val hmetis_like : config
 
 val run :
   ?config:config ->
+  ?workspace:Hypart_fm.Fm_workspace.t ->
   Hypart_rng.Rng.t ->
   Hypart_partition.Problem.t ->
   Hypart_fm.Fm.result
-(** One multilevel start. *)
+(** One multilevel start.  [workspace] (sized for the finest
+    hypergraph; see {!Hypart_fm.Fm_workspace}) is reused by every
+    refinement at every level and V-cycle — when omitted, one is
+    allocated up front, so a run still performs no per-level FM array
+    allocation. *)
 
 val vcycle :
   ?config:config ->
+  ?workspace:Hypart_fm.Fm_workspace.t ->
   Hypart_rng.Rng.t ->
   Hypart_partition.Problem.t ->
   Hypart_partition.Bipartition.t ->
@@ -53,10 +59,12 @@ val vcycle :
 val multistart :
   ?config:config ->
   ?vcycle_best:int ->
+  ?workspace:Hypart_fm.Fm_workspace.t ->
   Hypart_rng.Rng.t ->
   Hypart_partition.Problem.t ->
   starts:int ->
   Hypart_fm.Fm.result * Hypart_fm.Fm.start_record list
 (** Tables 4-5 protocol: [starts] independent multilevel starts; the
     best is then V-cycled [vcycle_best] times (default 0).  Per-start
-    records cover the independent starts only. *)
+    records cover the independent starts only.  All starts and V-cycles
+    share one scratch workspace. *)

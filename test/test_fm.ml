@@ -7,6 +7,9 @@ module Initial = Hypart_partition.Initial
 module Fm_config = Hypart_fm.Fm_config
 module Gc = Hypart_fm.Gain_container
 module Fm = Hypart_fm.Fm
+module Fm_workspace = Hypart_fm.Fm_workspace
+module Telemetry = Hypart_telemetry.Telemetry
+module Metrics = Hypart_telemetry.Metrics
 
 (* ------------------------------------------------------------------ *)
 (* Gain container                                                      *)
@@ -121,6 +124,50 @@ let test_gc_clear () =
   (* container must be reusable after clear *)
   Gc.insert c ~side:0 ~key:2 3;
   Alcotest.(check (option int)) "reusable" (Some 3) (Gc.head_of_max_bucket c ~side:0)
+
+let test_gc_drain_and_refill () =
+  (* fully draining a side must reset the max pointer: a later refill
+     at the bottom of the key range has to be found (regression test
+     for the stale-maxptr bug in [settle_max]) *)
+  let c = mk_container () in
+  Gc.insert c ~side:0 ~key:9 1;
+  Gc.insert c ~side:0 ~key:8 2;
+  Gc.remove c 1;
+  Gc.remove c 2;
+  Alcotest.(check (option int)) "drained" None (Gc.head_of_max_bucket c ~side:0);
+  Gc.insert c ~side:0 ~key:(-10) 3;
+  Alcotest.(check (option int)) "refill at lowest key found" (Some 3)
+    (Gc.head_of_max_bucket c ~side:0);
+  Gc.insert c ~side:0 ~key:(-9) 4;
+  Alcotest.(check (option int)) "max tracks the refill" (Some 4)
+    (Gc.head_of_max_bucket c ~side:0);
+  Alcotest.(check bool) "select sees the refilled side" true
+    (Gc.select c ~side:0 ~legal:(fun _ -> true)
+       ~illegal_head:Fm_config.Skip_side
+    = Some (4, false))
+
+let test_gc_ops_counters_disjoint () =
+  (* update_key/refresh are repositions, not insert+remove pairs: the
+     three counters must stay disjoint so [gain.removes = fm.moves]
+     holds in the engine *)
+  let c = mk_container () in
+  Gc.insert c ~side:0 ~key:0 1;
+  Gc.insert c ~side:0 ~key:1 2;
+  Gc.insert c ~side:1 ~key:2 3;
+  Gc.update_key c 1 ~delta:2;
+  Gc.refresh c 2;
+  Gc.update_key c 1 ~delta:(-1);
+  Gc.remove c 3;
+  Gc.remove c 3;
+  (* second remove is a no-op *)
+  let ops = Gc.ops c in
+  Alcotest.(check int) "inserts" 3 ops.Gc.inserts;
+  Alcotest.(check int) "removes" 1 ops.Gc.removes;
+  Alcotest.(check int) "repositions" 3 ops.Gc.repositions;
+  (* clear unlinks everything without touching the traffic counters *)
+  Gc.clear c;
+  let ops' = Gc.ops c in
+  Alcotest.(check bool) "clear leaves counters" true (ops' = ops)
 
 let test_gc_select_skip_side () =
   let c = mk_container () in
@@ -522,6 +569,109 @@ let prop_fm_result_legal =
       let r = Fm.run_random_start (Rng.create seed) p in
       r.Fm.legal)
 
+(* instances with nets up to 8 pins, so the all-deltas-zero shortcut in
+   apply_move actually fires (it needs nets with >= 5 pins) *)
+let random_instance_large_nets ?(nv = 60) ?(ne = 120) seed =
+  let rng = Rng.create seed in
+  let edges =
+    Array.init ne (fun _ ->
+        Rng.sample_distinct rng ~n:(2 + Rng.int rng 7) ~universe:nv)
+  in
+  H.create ~num_vertices:nv ~edges ()
+
+let prop_fast_path_never_changes_results =
+  (* the zero-delta shortcut must be invisible: sound under
+     Nonzero_only, and never firing under All_delta_gain (this locks in
+     the policy guard — removing it would make the two runs diverge) *)
+  QCheck.Test.make ~name:"zero-delta fast path never changes results" ~count:50
+    QCheck.(quad small_int (int_range 10 60) bool bool)
+    (fun (seed, nv, clip, all_delta) ->
+      let h = random_instance_large_nets ~nv ~ne:(2 * nv) seed in
+      let p = Problem.make ~tolerance:0.10 h in
+      let config =
+        {
+          Fm_config.default with
+          Fm_config.engine =
+            (if clip then Fm_config.Clip_fm else Fm_config.Lifo_fm);
+          Fm_config.update =
+            (if all_delta then Fm_config.All_delta_gain
+             else Fm_config.Nonzero_only);
+        }
+      in
+      let run () = Fm.run_random_start ~config (Rng.create (seed + 7)) p in
+      let finally () = Fm.zero_delta_fast_path := true in
+      Fun.protect ~finally (fun () ->
+          Fm.zero_delta_fast_path := false;
+          let off = run () in
+          Fm.zero_delta_fast_path := true;
+          let on = run () in
+          on.Fm.cut = off.Fm.cut
+          && Bipartition.equal on.Fm.solution off.Fm.solution
+          && on.Fm.stats.Fm.moves = off.Fm.stats.Fm.moves))
+
+let prop_workspace_reuse_bit_identical =
+  (* sharing one workspace across consecutive runs must give exactly
+     the results of fresh-allocation runs with the same seeds: same
+     cuts, same solutions, same stats *)
+  QCheck.Test.make ~name:"workspace reuse is bit-identical" ~count:50
+    QCheck.(quad small_int (int_range 10 60) bool bool)
+    (fun (seed, nv, clip, random_insertion) ->
+      let h = random_instance_large_nets ~nv ~ne:(2 * nv) seed in
+      let p = Problem.make ~tolerance:0.10 h in
+      let config =
+        {
+          Fm_config.default with
+          Fm_config.engine =
+            (if clip then Fm_config.Clip_fm else Fm_config.Lifo_fm);
+          Fm_config.insertion =
+            (if random_insertion then Fm_config.Random else Fm_config.Lifo);
+        }
+      in
+      let rng_a = Rng.create (seed + 3) in
+      let a1 = Fm.run_random_start ~config rng_a p in
+      let a2 = Fm.run_random_start ~config rng_a p in
+      let rng_b = Rng.create (seed + 3) in
+      let ws =
+        Fm_workspace.create ~insertion:config.Fm_config.insertion ~rng:rng_b h
+      in
+      let b1 = Fm.run_random_start ~config ~workspace:ws rng_b p in
+      let b2 = Fm.run_random_start ~config ~workspace:ws rng_b p in
+      let same (x : Fm.result) (y : Fm.result) =
+        x.Fm.cut = y.Fm.cut
+        && Bipartition.equal x.Fm.solution y.Fm.solution
+        && x.Fm.stats = y.Fm.stats
+      in
+      same a1 b1 && same a2 b2)
+
+let test_workspace_too_small_rejected () =
+  let small = random_instance ~nv:10 ~ne:12 70 in
+  let big = random_instance ~nv:40 ~ne:80 71 in
+  let p = Problem.make ~tolerance:0.10 big in
+  let ws = Fm_workspace.create ~rng:(Rng.create 1) small in
+  Alcotest.check_raises "undersized workspace"
+    (Invalid_argument "Fm.run: workspace smaller than the problem") (fun () ->
+      ignore (Fm.run_random_start ~workspace:ws (Rng.create 2) p))
+
+let test_multistart_zero_allocation_metrics () =
+  (* the acceptance check: multistart with 100 starts allocates one
+     workspace up front and every start reuses it *)
+  Telemetry.reset ();
+  Telemetry.enable ();
+  let finally () =
+    Telemetry.reset ();
+    Telemetry.disable ()
+  in
+  Fun.protect ~finally (fun () ->
+      let h = random_instance ~nv:80 ~ne:160 72 in
+      let p = Problem.make ~tolerance:0.05 h in
+      let _ = Fm.multistart (Rng.create 73) p ~starts:100 in
+      Alcotest.(check int) "one workspace allocated" 1
+        (Metrics.counter_value "fm.workspace_creates");
+      Alcotest.(check int) "every start reuses it" 100
+        (Metrics.counter_value "fm.workspace_reuses");
+      Alcotest.(check bool) "later passes repaired incrementally" true
+        (Metrics.counter_value "fm.incremental_repairs" > 0))
+
 let prop_fm_no_worse_than_initial =
   QCheck.Test.make ~name:"fm never returns worse than a legal initial" ~count:40
     QCheck.(pair small_int (int_range 10 60))
@@ -550,6 +700,9 @@ let () =
           Alcotest.test_case "refresh (fifo)" `Quick test_gc_refresh_fifo_moves_to_tail;
           Alcotest.test_case "sides independent" `Quick test_gc_sides_independent;
           Alcotest.test_case "clear" `Quick test_gc_clear;
+          Alcotest.test_case "drain and refill" `Quick test_gc_drain_and_refill;
+          Alcotest.test_case "ops counters disjoint" `Quick
+            test_gc_ops_counters_disjoint;
           Alcotest.test_case "select skip-side" `Quick test_gc_select_skip_side;
           Alcotest.test_case "select skip-bucket" `Quick test_gc_select_skip_bucket;
           Alcotest.test_case "select scan-bucket" `Quick test_gc_select_scan_bucket;
@@ -589,11 +742,20 @@ let () =
           Alcotest.test_case "pruned invalid factor" `Quick
             test_multistart_pruned_invalid;
         ] );
+      ( "workspace",
+        [
+          Alcotest.test_case "undersized rejected" `Quick
+            test_workspace_too_small_rejected;
+          Alcotest.test_case "multistart zero-allocation metrics" `Quick
+            test_multistart_zero_allocation_metrics;
+        ] );
       ( "properties",
         [
           QCheck_alcotest.to_alcotest prop_gc_random_ops;
           QCheck_alcotest.to_alcotest prop_fm_cut_always_consistent;
           QCheck_alcotest.to_alcotest prop_fm_result_legal;
           QCheck_alcotest.to_alcotest prop_fm_no_worse_than_initial;
+          QCheck_alcotest.to_alcotest prop_fast_path_never_changes_results;
+          QCheck_alcotest.to_alcotest prop_workspace_reuse_bit_identical;
         ] );
     ]

@@ -117,6 +117,35 @@ let test_snapshot_and_json () =
   let csv = Metrics.to_csv () in
   Alcotest.(check bool) "csv header" true (contains csv "metric,kind,count,value")
 
+let test_gain_removes_equals_fm_moves () =
+  (* invariant of the engine instrumentation: [Gain_container.remove]
+     fires exactly once per applied move (repositions are counted
+     separately and never inflate removes), so after any mix of FM runs
+     the two counters must agree exactly *)
+  with_fresh @@ fun () ->
+  let module H = Hypart_hypergraph.Hypergraph in
+  let module Rng = Hypart_rng.Rng in
+  let module Problem = Hypart_partition.Problem in
+  let module Fm = Hypart_fm.Fm in
+  let module Fm_config = Hypart_fm.Fm_config in
+  let rng = Rng.create 90 in
+  let edges =
+    Array.init 200 (fun _ ->
+        Rng.sample_distinct rng ~n:(2 + Rng.int rng 5) ~universe:90)
+  in
+  let h = H.create ~num_vertices:90 ~edges () in
+  let p = Problem.make ~tolerance:0.10 h in
+  List.iter
+    (fun config ->
+      ignore (Fm.multistart ~config (Rng.create 91) p ~starts:5))
+    [ Fm_config.strong_lifo; Fm_config.strong_clip; Fm_config.reported_clip ];
+  let moves = Metrics.counter_value "fm.moves" in
+  Alcotest.(check bool) "some moves happened" true (moves > 0);
+  Alcotest.(check int) "gain.removes = fm.moves" moves
+    (Metrics.counter_value "gain.removes");
+  Alcotest.(check bool) "inserts disjoint from repositions" true
+    (Metrics.counter_value "gain.inserts" >= moves)
+
 (* -- tracing -- *)
 
 let test_span_nesting () =
@@ -288,6 +317,8 @@ let () =
             test_counter_aggregation_across_domains;
           Alcotest.test_case "snapshot and export" `Quick
             test_snapshot_and_json;
+          Alcotest.test_case "gain.removes = fm.moves" `Quick
+            test_gain_removes_equals_fm_moves;
         ] );
       ( "trace",
         [
