@@ -386,5 +386,9 @@ let () =
     groups;
   Metrics.set_gauge "bench.normalization_factor"
     (Hypart_harness.Machine.normalization_factor ());
-  Metrics.write snapshot_path;
+  (* stamp the snapshot with the commit it measures, so trajectories
+     across PRs stay attributable (the DAC'99 reporting discipline) *)
+  Metrics.write
+    ~provenance:[ ("git", Hypart_lab.Provenance.git_describe ()) ]
+    snapshot_path;
   Printf.printf "wrote %s\n" snapshot_path

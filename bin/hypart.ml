@@ -44,13 +44,47 @@ let engine_conv =
 
 let engine_list_doc () = String.concat " | " (Engine.names ())
 
+(* validated argument parsers: a bad value is a one-line cmdliner error,
+   never a raw exception from deep inside an experiment *)
+let pos_int_conv what =
+  let parse s =
+    match int_of_string_opt s with
+    | Some n when n > 0 -> Ok n
+    | Some n ->
+      Error (`Msg (Printf.sprintf "%s must be a positive integer (got %d)" what n))
+    | None ->
+      Error (`Msg (Printf.sprintf "%s must be a positive integer (got %s)" what s))
+  in
+  Arg.conv ~docv:"N" (parse, Format.pp_print_int)
+
+let pos_float_conv what =
+  let parse s =
+    match float_of_string_opt s with
+    | Some f when f > 0. && Float.is_finite f -> Ok f
+    | Some f -> Error (`Msg (Printf.sprintf "%s must be positive (got %g)" what f))
+    | None -> Error (`Msg (Printf.sprintf "%s must be a number (got %s)" what s))
+  in
+  Arg.conv ~docv:"S" (parse, Format.pp_print_float)
+
+(* output paths are validated at parse time: an unknown directory fails
+   the command before hours of experiments run, not at exit *)
+let out_path_conv =
+  let parse s =
+    if s = "" then Error (`Msg "empty output path")
+    else
+      let dir = Filename.dirname s in
+      if Sys.file_exists dir && Sys.is_directory dir then Ok s
+      else Error (`Msg (Printf.sprintf "directory %s does not exist" dir))
+  in
+  Arg.conv ~docv:"FILE" (parse, Format.pp_print_string)
+
 let seed_t =
   Arg.(value & opt int 1 & info [ "seed" ] ~docv:"N" ~doc:"Random seed.")
 
 let scale_t =
   Arg.(
     value
-    & opt float 4.0
+    & opt (pos_float_conv "scale") 4.0
     & info [ "scale" ]
         ~docv:"S"
         ~doc:
@@ -60,7 +94,7 @@ let scale_t =
 let runs_t default =
   Arg.(
     value
-    & opt int default
+    & opt (pos_int_conv "runs") default
     & info [ "runs" ] ~docv:"N"
         ~doc:"Independent single-start trials per table cell (the paper used 100).")
 
@@ -116,7 +150,7 @@ let common_t =
   let trace_t =
     Arg.(
       value
-      & opt (some string) None
+      & opt (some out_path_conv) None
       & info [ "trace" ] ~docv:"FILE"
           ~doc:
             "Record engine spans and write a Chrome trace_event JSON file \
@@ -125,7 +159,7 @@ let common_t =
   let metrics_t =
     Arg.(
       value
-      & opt (some string) None
+      & opt (some out_path_conv) None
       & info [ "metrics" ] ~docv:"FILE"
           ~doc:
             "Write a metrics snapshot (counters, gauges, histograms) as JSON, \
@@ -211,12 +245,15 @@ let partition_cmd =
           ~doc:(Printf.sprintf "Partitioning engine: %s." (engine_list_doc ())))
   in
   let starts_t =
-    Arg.(value & opt int 1 & info [ "starts" ] ~docv:"N" ~doc:"Independent starts.")
+    Arg.(
+      value
+      & opt (pos_int_conv "starts") 1
+      & info [ "starts" ] ~docv:"N" ~doc:"Independent starts.")
   in
   let domains_t =
     Arg.(
       value
-      & opt int 1
+      & opt (pos_int_conv "domains") 1
       & info [ "domains" ] ~docv:"D"
           ~doc:
             "Fan independent starts out over D domains (multicore).  Parallel \
@@ -440,11 +477,26 @@ let table3_cmd =
     Term.(
       const run $ common_t $ scale_t $ runs_t 20 $ seed_t $ csv_t $ instances_t Suite.names_small)
 
+(* run-store persistence for the long experiments: an interrupted
+   regeneration resumes from the stored runs, an unchanged one performs
+   zero engine runs *)
+let store_t =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "store" ] ~docv:"DIR"
+        ~doc:
+          "Persist every run in the lab run store under $(docv) and serve \
+           already-stored runs from it (resume + caching; see \
+           docs/EXPERIMENTS_STORE.md).  Store-backed runs derive one seed per \
+           run, so numbers differ from the storeless protocol but stay \
+           deterministic.")
+
 let tables45_cmd =
-  let run () scale repeats seed csv instances tolerance configs =
+  let run () scale repeats seed csv instances tolerance configs store =
     emit csv
       (Experiments.table_multistart_eval ~scale ~repeats ~configs ~instances
-         ~tolerance ~seed ())
+         ?store ~tolerance ~seed ())
   in
   let tol_t =
     Arg.(
@@ -456,7 +508,7 @@ let tables45_cmd =
   let repeats_t =
     Arg.(
       value
-      & opt int 5
+      & opt (pos_int_conv "repeats") 5
       & info [ "repeats" ] ~docv:"N"
           ~doc:"Protocol repetitions per configuration (the paper used 50).")
   in
@@ -473,14 +525,17 @@ let tables45_cmd =
           (avg cut / avg CPU s per configuration).")
     Term.(
       const run $ common_t $ scale_t $ repeats_t $ seed_t $ csv_t
-      $ instances_t Suite.names_eval $ tol_t $ configs_t)
+      $ instances_t Suite.names_eval $ tol_t $ configs_t $ store_t)
 
 let bsf_cmd =
   let run () scale starts seed csv instance =
     emit csv (Experiments.bsf_figure ~scale ~starts ~instance ~seed ())
   in
   let starts_t =
-    Arg.(value & opt int 20 & info [ "starts" ] ~docv:"N" ~doc:"Recorded starts.")
+    Arg.(
+      value
+      & opt (pos_int_conv "starts") 20
+      & info [ "starts" ] ~docv:"N" ~doc:"Recorded starts.")
   in
   let instance_t =
     Arg.(value & opt string "ibm01" & info [ "instance" ] ~docv:"NAME")
@@ -505,7 +560,9 @@ let pareto_cmd =
         Printf.printf "  %-20s %8.1f %8.3f\n" label cost runtime)
       frontier
   in
-  let repeats_t = Arg.(value & opt int 3 & info [ "repeats" ] ~docv:"N") in
+  let repeats_t =
+    Arg.(value & opt (pos_int_conv "repeats") 3 & info [ "repeats" ] ~docv:"N")
+  in
   let instance_t =
     Arg.(value & opt string "ibm01" & info [ "instance" ] ~docv:"NAME")
   in
@@ -518,7 +575,9 @@ let ranking_cmd =
   let run () scale starts seed csv instances =
     emit csv (Experiments.ranking_figure ~scale ~starts ~instances ~seed ())
   in
-  let starts_t = Arg.(value & opt int 15 & info [ "starts" ] ~docv:"N") in
+  let starts_t =
+    Arg.(value & opt (pos_int_conv "starts") 15 & info [ "starts" ] ~docv:"N")
+  in
   Cmd.v
     (Cmd.info "ranking"
        ~doc:"Speed-dependent ranking diagram: dominant heuristic per (instance, budget).")
@@ -538,9 +597,9 @@ let corking_cmd =
     Term.(const run $ common_t $ scale_t $ runs_t 10 $ seed_t $ csv_t $ instance_t)
 
 let compare_cmd =
-  let run () scale runs seed engine_a engine_b instance =
+  let run () scale runs seed engine_a engine_b instance store =
     let table, verdict =
-      Experiments.compare_engines ~scale ~runs
+      Experiments.compare_engines ~scale ~runs ?store
         ~engine_a:(Engine.name engine_a) ~engine_b:(Engine.name engine_b)
         ~instance ~seed ()
     in
@@ -561,7 +620,9 @@ let compare_cmd =
              Mann-Whitney U) and bootstrap confidence intervals — the 3.2/Brglez \
              protocol.  Engines: %s."
             (engine_list_doc ())))
-    Term.(const run $ common_t $ scale_t $ runs_t 20 $ seed_t $ a_t $ b_t $ instance_t)
+    Term.(
+      const run $ common_t $ scale_t $ runs_t 20 $ seed_t $ a_t $ b_t
+      $ instance_t $ store_t)
 
 let engines_cmd =
   let run () =
@@ -638,7 +699,7 @@ let ablation_cmd =
     Term.(const run $ common_t $ scale_t $ runs_t 10 $ seed_t $ csv_t $ instance_t)
 
 let all_cmd =
-  let run () scale runs seed out =
+  let run () scale runs seed out store =
     Option.iter
       (fun dir -> if not (Sys.file_exists dir) then Sys.mkdir dir 0o755)
       out;
@@ -663,9 +724,11 @@ let all_cmd =
     emit "table3" "Table 3 (CLIP: reported vs ours)"
       (Experiments.table_reported_vs_ours ~engine:`Clip ~scale ~runs ~seed ());
     emit "table4" "Table 4 (multistart eval, 2%)"
-      (Experiments.table_multistart_eval ~scale:(scale *. 2.) ~tolerance:0.02 ~seed ());
+      (Experiments.table_multistart_eval ~scale:(scale *. 2.) ?store
+         ~tolerance:0.02 ~seed ());
     emit "table5" "Table 5 (multistart eval, 10%)"
-      (Experiments.table_multistart_eval ~scale:(scale *. 2.) ~tolerance:0.10 ~seed ());
+      (Experiments.table_multistart_eval ~scale:(scale *. 2.) ?store
+         ~tolerance:0.10 ~seed ());
     (* the flat-vs-multilevel crossover only shows on instances large
        enough that flat FM cannot reach multilevel quality, so the
        figures run at the base scale, not the reduced tables45 scale *)
@@ -696,7 +759,165 @@ let all_cmd =
   in
   Cmd.v
     (Cmd.info "all" ~doc:"Regenerate every table and figure at the given scale.")
-    Term.(const run $ common_t $ scale_t $ runs_t 20 $ seed_t $ out_t)
+    Term.(const run $ common_t $ scale_t $ runs_t 20 $ seed_t $ out_t $ store_t)
+
+(* ---------------- lab ---------------- *)
+
+module Lab_manifest = Hypart_lab.Manifest
+module Lab_orchestrator = Hypart_lab.Orchestrator
+module Lab_report = Hypart_lab.Report
+module Lab_store = Hypart_lab.Run_store
+
+let lab_cmd =
+  let campaign_conv =
+    let parse s =
+      if List.mem s Lab_manifest.campaign_names then Ok s
+      else
+        Error
+          (`Msg
+             (Printf.sprintf "unknown campaign %s (known: %s)" s
+                (String.concat " | " Lab_manifest.campaign_names)))
+    in
+    Arg.conv ~docv:"CAMPAIGN" (parse, Format.pp_print_string)
+  in
+  let campaign_t =
+    Arg.(
+      value
+      & opt campaign_conv "smoke"
+      & info [ "campaign" ] ~docv:"NAME"
+          ~doc:
+            (Printf.sprintf "Built-in campaign: %s."
+               (String.concat " | " Lab_manifest.campaign_names)))
+  in
+  let store_dir_t =
+    Arg.(
+      value
+      & opt string "lab"
+      & info [ "store" ] ~docv:"DIR" ~doc:"Run store directory.")
+  in
+  let lab_scale_t =
+    Arg.(
+      value
+      & opt (pos_float_conv "scale") 8.0
+      & info [ "scale" ] ~docv:"S" ~doc:"Instance size divisor.")
+  in
+  let lab_runs_t =
+    Arg.(
+      value
+      & opt (pos_int_conv "runs") 20
+      & info [ "runs" ] ~docv:"N" ~doc:"Independent runs per table cell.")
+  in
+  let domains_t =
+    Arg.(
+      value
+      & opt (some (pos_int_conv "domains")) None
+      & info [ "domains" ] ~docv:"D"
+          ~doc:
+            "Execute pending jobs over D domains.  Per-job derived seeds make \
+             the stored results bit-identical for every D.")
+  in
+  let execute ~what campaign store scale runs seed domains =
+    let manifest = Lab_manifest.campaign ~scale ~runs ~seed campaign in
+    let outcome = Lab_orchestrator.run ?domains ~store_dir:store ~manifest () in
+    Printf.printf "%s campaign %s into %s: %d jobs, %d cached, %d executed\n"
+      what campaign store outcome.Lab_orchestrator.jobs
+      outcome.Lab_orchestrator.cached outcome.Lab_orchestrator.executed;
+    if outcome.Lab_orchestrator.dropped > 0 then
+      Printf.printf "dropped %d malformed store line(s) on load\n"
+        outcome.Lab_orchestrator.dropped
+  in
+  let run_cmd =
+    let run () campaign store scale runs seed domains =
+      execute ~what:"ran" campaign store scale runs seed domains
+    in
+    Cmd.v
+      (Cmd.info "run"
+         ~doc:
+           "Execute a campaign: expand the manifest, serve already-stored \
+            cells from the run store, fan the rest out over domains, append \
+            one flushed JSONL record per completed run.")
+      Term.(
+        const run $ common_t $ campaign_t $ store_dir_t $ lab_scale_t
+        $ lab_runs_t $ seed_t $ domains_t)
+  in
+  let resume_cmd =
+    let run () campaign store scale runs seed domains =
+      if not (Sys.file_exists (Lab_store.filename store)) then begin
+        Printf.eprintf
+          "hypart lab resume: no run store at %s (use `hypart lab run` to \
+           start a campaign)\n"
+          (Lab_store.filename store);
+        exit 1
+      end;
+      execute ~what:"resumed" campaign store scale runs seed domains
+    in
+    Cmd.v
+      (Cmd.info "resume"
+         ~doc:
+           "Resume an interrupted campaign: identical to run (the store IS \
+            the checkpoint — completed cells are cache hits, the rest \
+            execute), but refuses to start from an absent store.")
+      Term.(
+        const run $ common_t $ campaign_t $ store_dir_t $ lab_scale_t
+        $ lab_runs_t $ seed_t $ domains_t)
+  in
+  let report_cmd =
+    let run () campaign store scale runs seed out timing =
+      let manifest = Lab_manifest.campaign ~scale ~runs ~seed campaign in
+      let report = Lab_report.generate ~timing ~store_dir:store ~manifest () in
+      match out with
+      | None -> print_string report
+      | Some path ->
+        let oc = open_out path in
+        output_string oc report;
+        close_out oc;
+        Printf.printf "wrote %s\n" path
+    in
+    let out_t =
+      Arg.(
+        value
+        & opt (some out_path_conv) None
+        & info [ "o"; "output" ] ~docv:"FILE"
+            ~doc:"Write the report to $(docv) instead of stdout.")
+    in
+    let timing_t =
+      Arg.(
+        value & flag
+        & info [ "timing" ]
+            ~doc:
+              "Include a CPU-seconds column.  Timing is not derived from the \
+               seed, so a timed report is not byte-reproducible across \
+               machines or re-runs.")
+    in
+    Cmd.v
+      (Cmd.info "report"
+         ~doc:
+           "Rebuild the campaign tables (min/avg cuts, bootstrap confidence \
+            intervals) purely from the run store — no engine runs.")
+      Term.(
+        const run $ common_t $ campaign_t $ store_dir_t $ lab_scale_t
+        $ lab_runs_t $ seed_t $ out_t $ timing_t)
+  in
+  let gc_cmd =
+    let run () store =
+      let kept, dropped = Lab_store.compact store in
+      Printf.printf "compacted %s: kept %d record(s), dropped %d\n"
+        (Lab_store.filename store) kept dropped
+    in
+    Cmd.v
+      (Cmd.info "gc"
+         ~doc:
+           "Compact the run store in place: drop malformed lines and \
+            duplicate keys (first occurrence wins).")
+      Term.(const run $ common_t $ store_dir_t)
+  in
+  Cmd.group
+    (Cmd.info "lab"
+       ~doc:
+         "Experiment campaigns over the persistent run store: crash-safe \
+          JSONL records, content-addressed caching, deterministic sharded \
+          execution, store-only reporting (docs/EXPERIMENTS_STORE.md).")
+    [ run_cmd; resume_cmd; report_cmd; gc_cmd ]
 
 let main_cmd =
   Cmd.group
@@ -709,6 +930,7 @@ let main_cmd =
       engines_cmd; table1_cmd; table2_cmd; table3_cmd;
       tables45_cmd; bsf_cmd; pareto_cmd; ranking_cmd; corking_cmd;
       regime_cmd; fixed_cmd; ablation_cmd; placement_cmd; compare_cmd; all_cmd;
+      lab_cmd;
     ]
 
 let () = exit (Cmd.eval main_cmd)

@@ -14,6 +14,10 @@ module Trace = Hypart_telemetry.Trace
 module Engine = Hypart_engine.Engine
 module Fm_engines = Hypart_fm.Fm_engines
 module Ml_engines = Hypart_multilevel.Ml_engines
+module Lab_cache = Hypart_lab.Cache
+module Lab_store = Hypart_lab.Run_store
+module Lab_fp = Hypart_lab.Fingerprint
+module Provenance = Hypart_lab.Provenance
 
 type fm_variant = Flat_lifo | Flat_clip | Ml_lifo | Ml_clip
 
@@ -69,6 +73,65 @@ let fm_config_of_variant variant ~bias ~update =
 
 let cuts_of_runs ~runs f =
   Array.init runs (fun i -> f i)
+
+(* ------------------------------------------------------------------ *)
+(* Run-store integration (lib/lab)                                     *)
+(* ------------------------------------------------------------------ *)
+
+(* When a protocol is given a store directory, each unit of work (one
+   seeded run) is content-addressed in the lib/lab run store: stored
+   runs are served from the cache — an unchanged re-invocation performs
+   zero engine runs — and fresh runs are appended, flushed per record.
+   Store-backed protocols derive one seed per run from the cell
+   identity instead of consuming a shared RNG stream, so cached and
+   fresh runs are interchangeable; the numbers therefore differ from
+   the storeless shared-stream protocol but remain deterministic. *)
+type store_ctx = { cache : Lab_cache.t; handle : Lab_store.t; git : string }
+
+let open_store_ctx dir =
+  {
+    cache = Lab_cache.of_store dir;
+    handle = Lab_store.open_store dir;
+    git = Provenance.git_describe ();
+  }
+
+let close_store_ctx ctx = Lab_store.close ctx.handle
+
+(* [run] computes (cut, legal); timing, provenance and persistence are
+   handled here.  Returns stored or fresh (cut, seconds). *)
+let cached_run ctx ~engine_name ~config ~instance_fp ~seed run =
+  let key =
+    Lab_store.key ~engine:engine_name ~config ~instance:instance_fp ~seed
+  in
+  match Lab_cache.find ctx.cache ~key with
+  | Some r -> (r.Lab_store.cut, r.Lab_store.seconds)
+  | None ->
+    let (cut, legal), dt = Machine.cpu_time run in
+    let r =
+      {
+        Lab_store.engine = engine_name;
+        config;
+        instance = instance_fp;
+        seed;
+        cut;
+        legal;
+        seconds = dt;
+        machine_factor = Provenance.machine_factor ();
+        git = ctx.git;
+      }
+    in
+    Lab_store.append ctx.handle r;
+    Lab_cache.add ctx.cache r;
+    (cut, dt)
+
+let store_config ~scale ~tolerance ~protocol extra =
+  Lab_fp.of_pairs
+    ([
+       ("scale", Printf.sprintf "%.17g" scale);
+       ("tolerance", Printf.sprintf "%.17g" tolerance);
+       ("protocol", protocol);
+     ]
+    @ extra)
 
 (* ------------------------------------------------------------------ *)
 (* Table 1                                                             *)
@@ -156,15 +219,42 @@ let table_reported_vs_ours ~engine ?(scale = 4.0) ?(runs = 20)
 
 let table_multistart_eval ?(scale = 8.0) ?(repeats = 5)
     ?(configs = [ 1; 2; 4; 8; 16; 100 ]) ?(instances = Suite.names_eval)
-    ~tolerance ~seed () =
+    ?store ~tolerance ~seed () =
   Trace.span "exp.table_multistart_eval" @@ fun () ->
+  let ctx = Option.map open_store_ctx store in
   let headers =
     "Circuit" :: List.map (fun n -> Printf.sprintf "%d start%s" n (if n = 1 then "" else "s")) configs
   in
   let table = Table.make ~headers in
+  (* One protocol repetition: N starts, V-cycle the best.  [rng] drives
+     the whole repetition (starts and polish). *)
+  let repetition rng problem starts =
+    Trace.begin_span "exp.multistart";
+    let (best, _), dt =
+      Machine.cpu_time (fun () ->
+          Engine.multistart
+            ~polish_best:
+              (Ml_engines.vcycle_polish ~config:Ml.ml_clip rng problem)
+            Ml_engines.mlclip rng problem ~starts)
+    in
+    Trace.end_span "exp.multistart"
+      ~args:
+        [
+          ("starts", float_of_int starts);
+          ("cut", float_of_int best.Engine.Result.cut);
+          ("seconds", dt);
+        ];
+    record_start best.Engine.Result.cut dt;
+    (best, dt)
+  in
   List.iter
     (fun name ->
       let problem = instance_problem ~scale ~tolerance name in
+      let instance_fp =
+        match ctx with
+        | None -> ""
+        | Some _ -> Lab_fp.of_instance problem.Hypart_partition.Problem.hypergraph
+      in
       let cells =
         List.map
           (fun starts ->
@@ -172,24 +262,30 @@ let table_multistart_eval ?(scale = 8.0) ?(repeats = 5)
             let cuts = Array.make repeats 0.0 in
             let times = Array.make repeats 0.0 in
             for r = 0 to repeats - 1 do
-              Trace.begin_span "exp.multistart";
-              let (best, _), dt =
-                Machine.cpu_time (fun () ->
-                    Engine.multistart
-                      ~polish_best:
-                        (Ml_engines.vcycle_polish ~config:Ml.ml_clip rng problem)
-                      Ml_engines.mlclip rng problem ~starts)
-              in
-              Trace.end_span "exp.multistart"
-                ~args:
-                  [
-                    ("starts", float_of_int starts);
-                    ("cut", float_of_int best.Engine.Result.cut);
-                    ("seconds", dt);
-                  ];
-              record_start best.Engine.Result.cut dt;
-              cuts.(r) <- float_of_int best.Engine.Result.cut;
-              times.(r) <- Machine.normalize dt
+              match ctx with
+              | None ->
+                (* storeless protocol: one shared stream, as published *)
+                let best, dt = repetition rng problem starts in
+                cuts.(r) <- float_of_int best.Engine.Result.cut;
+                times.(r) <- Machine.normalize dt
+              | Some ctx ->
+                let repeat_seed =
+                  Lab_fp.mix_seed ~base:seed
+                    [ "tables45"; name; string_of_int starts; string_of_int r ]
+                in
+                let config =
+                  store_config ~scale ~tolerance ~protocol:"multistart+vcycle"
+                    [ ("starts", string_of_int starts) ]
+                in
+                let cut, dt =
+                  cached_run ctx ~engine_name:"mlclip" ~config ~instance_fp
+                    ~seed:repeat_seed (fun () ->
+                      let rng = Rng.create repeat_seed in
+                      let best, _ = repetition rng problem starts in
+                      (best.Engine.Result.cut, best.Engine.Result.legal))
+                in
+                cuts.(r) <- float_of_int cut;
+                times.(r) <- Machine.normalize dt
             done;
             Printf.sprintf "%.1f/%.2f" (Descriptive.mean cuts)
               (Descriptive.mean times))
@@ -197,6 +293,7 @@ let table_multistart_eval ?(scale = 8.0) ?(repeats = 5)
       in
       Table.add_row table (name :: cells))
     instances;
+  Option.iter close_store_ctx ctx;
   table
 
 (* ------------------------------------------------------------------ *)
@@ -333,25 +430,53 @@ let ranking_figure ?(scale = 8.0) ?(starts = 15) ?(tolerance = 0.02)
 (* Head-to-head comparison                                             *)
 (* ------------------------------------------------------------------ *)
 
-let compare_engines ?(scale = 8.0) ?(runs = 20) ?(tolerance = 0.02) ~engine_a
-    ~engine_b ~instance ~seed () =
+let compare_engines ?(scale = 8.0) ?(runs = 20) ?(tolerance = 0.02) ?store
+    ~engine_a ~engine_b ~instance ~seed () =
   Hypart_engines.init ();
   let problem = instance_problem ~scale ~tolerance instance in
+  let ctx = Option.map open_store_ctx store in
   let sample name =
     (* unknown names raise Invalid_argument listing the registry *)
     let engine = Engine.find_exn name in
-    let rng = Rng.create seed in
-    let cuts = Array.make runs 0 in
-    let (), dt =
-      Machine.cpu_time (fun () ->
-          for i = 0 to runs - 1 do
-            cuts.(i) <- (Engine.run engine rng problem None).Engine.Result.cut
-          done)
-    in
-    (cuts, dt /. float_of_int runs)
+    match ctx with
+    | None ->
+      let rng = Rng.create seed in
+      let cuts = Array.make runs 0 in
+      let (), dt =
+        Machine.cpu_time (fun () ->
+            for i = 0 to runs - 1 do
+              cuts.(i) <- (Engine.run engine rng problem None).Engine.Result.cut
+            done)
+      in
+      (cuts, dt /. float_of_int runs)
+    | Some ctx ->
+      let instance_fp =
+        Lab_fp.of_instance problem.Hypart_partition.Problem.hypergraph
+      in
+      let config =
+        store_config ~scale ~tolerance ~protocol:"single-start" []
+      in
+      let cuts = Array.make runs 0 in
+      let total = ref 0.0 in
+      for i = 0 to runs - 1 do
+        let run_seed =
+          Lab_fp.mix_seed ~base:seed
+            [ "compare"; name; instance; string_of_int i ]
+        in
+        let cut, dt =
+          cached_run ctx ~engine_name:name ~config ~instance_fp ~seed:run_seed
+            (fun () ->
+              let r = Engine.run engine (Rng.create run_seed) problem None in
+              (r.Engine.Result.cut, r.Engine.Result.legal))
+        in
+        cuts.(i) <- cut;
+        total := !total +. dt
+      done;
+      (cuts, !total /. float_of_int runs)
   in
   let cuts_a, time_a = sample engine_a in
   let cuts_b, time_b = sample engine_b in
+  Option.iter close_store_ctx ctx;
   let table =
     Table.make
       ~headers:

@@ -52,6 +52,7 @@ val table_multistart_eval :
   ?repeats:int ->
   ?configs:int list ->
   ?instances:string list ->
+  ?store:string ->
   tolerance:float ->
   seed:int ->
   unit ->
@@ -60,7 +61,16 @@ val table_multistart_eval :
     default [1; 2; 4; 8; 16; 100]), run the protocol [repeats] times:
     N independent multilevel starts, V-cycle the best; report
     (average best cut / average CPU seconds), CPU time normalized by
-    {!Machine.normalize}. *)
+    {!Machine.normalize}.
+
+    [store] persists every repetition in the lib/lab run store under
+    that directory and serves already-stored repetitions from it, so an
+    interrupted regeneration resumes where it stopped and an unchanged
+    one performs zero engine runs.  Store-backed repetitions derive one
+    seed per (instance, starts, repeat) cell instead of sharing one RNG
+    stream, so the numbers differ from the storeless protocol but are
+    deterministic and independent of which repetitions were cached
+    (see [docs/EXPERIMENTS_STORE.md]). *)
 
 (** {1 §3.2 figures} *)
 
@@ -107,6 +117,7 @@ val compare_engines :
   ?scale:float ->
   ?runs:int ->
   ?tolerance:float ->
+  ?store:string ->
   engine_a:string ->
   engine_b:string ->
   instance:string ->
@@ -120,6 +131,13 @@ val compare_engines :
     cut, Welch-t and Mann-Whitney p-values, and a one-line verdict —
     the "is the improvement due to the heuristic or due to chance"
     check Brglez asked of the field.
+
+    [store] caches every single run in the lib/lab run store under that
+    directory: repeating an identical comparison performs zero engine
+    runs, and the per-run records (seed, cut, CPU, git stamp) remain
+    available to [hypart lab report].  Store-backed sampling derives
+    one seed per run instead of sharing one RNG stream — deterministic,
+    but numerically distinct from the storeless protocol.
     @raise Invalid_argument on unknown engine names, listing the
     registered ones. *)
 

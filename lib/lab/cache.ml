@@ -1,0 +1,38 @@
+module Tel = Hypart_telemetry.Control
+module Metrics = Hypart_telemetry.Metrics
+
+type t = { index : (string, Run_store.record) Hashtbl.t; dropped : int; lock : Mutex.t }
+
+let of_store dir =
+  let records, dropped = Run_store.load dir in
+  let index = Hashtbl.create (max 64 (List.length records)) in
+  List.iter
+    (fun r ->
+      let k = Run_store.record_key r in
+      (* duplicate keys denote bit-identical runs; keep the first *)
+      if not (Hashtbl.mem index k) then Hashtbl.add index k r)
+    records;
+  { index; dropped; lock = Mutex.create () }
+
+let size t = Hashtbl.length t.index
+let dropped t = t.dropped
+
+let find t ~key =
+  Mutex.lock t.lock;
+  let r = Hashtbl.find_opt t.index key in
+  Mutex.unlock t.lock;
+  if Tel.is_enabled () then
+    Metrics.incr (match r with Some _ -> "lab.cache_hits" | None -> "lab.cache_misses");
+  r
+
+let mem t ~key =
+  Mutex.lock t.lock;
+  let b = Hashtbl.mem t.index key in
+  Mutex.unlock t.lock;
+  b
+
+let add t r =
+  Mutex.lock t.lock;
+  let k = Run_store.record_key r in
+  if not (Hashtbl.mem t.index k) then Hashtbl.add t.index k r;
+  Mutex.unlock t.lock

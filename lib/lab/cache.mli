@@ -1,0 +1,33 @@
+(** Content-addressed run cache over the {!Run_store}.
+
+    Loading a store builds an in-memory index from {!Run_store.key} to
+    the stored record; campaign execution consults it before running an
+    engine, so re-invoking an experiment only computes the delta.
+
+    Lookups feed the [lab.cache_hits] / [lab.cache_misses] telemetry
+    counters (no-ops while telemetry is disabled, like every other
+    recording site). *)
+
+type t
+
+val of_store : string -> t
+(** [of_store dir] loads every intact record of the store under [dir]
+    (an absent store loads as empty). *)
+
+val size : t -> int
+(** Number of distinct keys held. *)
+
+val dropped : t -> int
+(** Malformed lines dropped while loading — non-zero after a crash
+    truncated the final record. *)
+
+val find : t -> key:string -> Run_store.record option
+(** Cache lookup; counts a [lab.cache_hits] or [lab.cache_misses]. *)
+
+val mem : t -> key:string -> bool
+(** Silent membership test (no telemetry). *)
+
+val add : t -> Run_store.record -> unit
+(** Index a freshly computed record (also appended to the store by the
+    caller).  First record for a key wins, matching {!Run_store.load}
+    order semantics. *)

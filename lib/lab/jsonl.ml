@@ -1,0 +1,143 @@
+module Json_out = Hypart_telemetry.Json_out
+
+type value = String of string | Int of int | Float of float | Bool of bool
+
+let value_to_string = function
+  | String s -> Json_out.string s
+  | Int i -> Json_out.int i
+  | Float f -> Json_out.number f
+  | Bool b -> if b then "true" else "false"
+
+let to_line fields =
+  Json_out.obj (List.map (fun (k, v) -> (k, value_to_string v)) fields)
+
+(* Recursive-descent parser for one flat object.  [Fail] aborts to
+   [None]: a truncated tail line must never take the store down. *)
+exception Fail
+
+let of_line line =
+  let n = String.length line in
+  let pos = ref 0 in
+  let peek () = if !pos < n then line.[!pos] else raise Fail in
+  let next () =
+    let c = peek () in
+    incr pos;
+    c
+  in
+  let skip_ws () =
+    while !pos < n && (match line.[!pos] with ' ' | '\t' | '\r' | '\n' -> true | _ -> false) do
+      incr pos
+    done
+  in
+  let expect c = if next () <> c then raise Fail in
+  let hex c =
+    match c with
+    | '0' .. '9' -> Char.code c - Char.code '0'
+    | 'a' .. 'f' -> Char.code c - Char.code 'a' + 10
+    | 'A' .. 'F' -> Char.code c - Char.code 'A' + 10
+    | _ -> raise Fail
+  in
+  let parse_string () =
+    expect '"';
+    let buf = Buffer.create 16 in
+    let rec go () =
+      match next () with
+      | '"' -> Buffer.contents buf
+      | '\\' ->
+        (match next () with
+         | '"' -> Buffer.add_char buf '"'
+         | '\\' -> Buffer.add_char buf '\\'
+         | '/' -> Buffer.add_char buf '/'
+         | 'b' -> Buffer.add_char buf '\b'
+         | 'f' -> Buffer.add_char buf '\012'
+         | 'n' -> Buffer.add_char buf '\n'
+         | 'r' -> Buffer.add_char buf '\r'
+         | 't' -> Buffer.add_char buf '\t'
+         | 'u' ->
+           (* the writer only emits \u00XX for control bytes; decode the
+              low byte and reject astral escapes we never produce *)
+           let a = hex (next ()) and b = hex (next ()) in
+           let c = hex (next ()) and d = hex (next ()) in
+           let code = (a lsl 12) lor (b lsl 8) lor (c lsl 4) lor d in
+           if code > 0xff then raise Fail;
+           Buffer.add_char buf (Char.chr code)
+         | _ -> raise Fail);
+        go ()
+      | c -> Buffer.add_char buf c; go ()
+    in
+    go ()
+  in
+  let parse_scalar () =
+    skip_ws ();
+    match peek () with
+    | '"' -> String (parse_string ())
+    | 't' ->
+      pos := !pos + 4;
+      if !pos > n || String.sub line (!pos - 4) 4 <> "true" then raise Fail;
+      Bool true
+    | 'f' ->
+      pos := !pos + 5;
+      if !pos > n || String.sub line (!pos - 5) 5 <> "false" then raise Fail;
+      Bool false
+    | '-' | '0' .. '9' ->
+      let start = !pos in
+      let is_float = ref false in
+      let continue = ref true in
+      while !continue && !pos < n do
+        (match line.[!pos] with
+         | '0' .. '9' | '-' | '+' -> incr pos
+         | '.' | 'e' | 'E' ->
+           is_float := true;
+           incr pos
+         | _ -> continue := false)
+      done;
+      let text = String.sub line start (!pos - start) in
+      (try
+         if !is_float then Float (float_of_string text)
+         else Int (int_of_string text)
+       with _ -> raise Fail)
+    | _ -> raise Fail
+  in
+  try
+    skip_ws ();
+    expect '{';
+    skip_ws ();
+    let fields = ref [] in
+    if peek () = '}' then incr pos
+    else begin
+      let rec members () =
+        skip_ws ();
+        let key = parse_string () in
+        skip_ws ();
+        expect ':';
+        let v = parse_scalar () in
+        fields := (key, v) :: !fields;
+        skip_ws ();
+        match next () with
+        | ',' -> members ()
+        | '}' -> ()
+        | _ -> raise Fail
+      in
+      members ()
+    end;
+    skip_ws ();
+    if !pos <> n then raise Fail;
+    Some (List.rev !fields)
+  with Fail -> None
+
+let member key fields = List.assoc_opt key fields
+
+let string_member key fields =
+  match member key fields with Some (String s) -> Some s | _ -> None
+
+let int_member key fields =
+  match member key fields with Some (Int i) -> Some i | _ -> None
+
+let bool_member key fields =
+  match member key fields with Some (Bool b) -> Some b | _ -> None
+
+let float_member key fields =
+  match member key fields with
+  | Some (Float f) -> Some f
+  | Some (Int i) -> Some (float_of_int i)
+  | _ -> None

@@ -1,0 +1,28 @@
+(** Flat JSON-lines records: one object of scalar fields per line.
+
+    The run store ({!Run_store}) writes one JSON object per completed
+    run and must survive a process killed mid-write, so the reader
+    treats every line independently and reports a malformed line (in
+    particular a truncated final line) as [None] instead of failing the
+    whole file.  Only flat objects with scalar values are supported —
+    exactly what the store writes; nesting is rejected as malformed. *)
+
+type value = String of string | Int of int | Float of float | Bool of bool
+
+val to_line : (string * value) list -> string
+(** One-line JSON object (no trailing newline).  Field order is
+    preserved, strings are escaped as in {!Hypart_telemetry.Json_out}. *)
+
+val of_line : string -> (string * value) list option
+(** Parse one line back.  [None] on any malformed input: truncation,
+    trailing garbage, nested arrays/objects, bad escapes. *)
+
+val member : string -> (string * value) list -> value option
+
+val string_member : string -> (string * value) list -> string option
+val int_member : string -> (string * value) list -> int option
+val bool_member : string -> (string * value) list -> bool option
+
+val float_member : string -> (string * value) list -> float option
+(** Accepts both [Int] and [Float] fields (JSON does not distinguish
+    [1] from [1.0] on the wire). *)

@@ -1,0 +1,10 @@
+(** Provenance stamps for stored results and benchmark snapshots. *)
+
+val git_describe : unit -> string
+(** [git describe --always --dirty] of the current working directory,
+    computed once per process; ["unknown"] outside a git checkout or
+    when git is unavailable. *)
+
+val machine_factor : unit -> float
+(** The {!Hypart_engine.Machine} normalization factor in effect, so
+    stored CPU seconds can be compared across hosts. *)

@@ -1,0 +1,18 @@
+(** Report generation decoupled from execution: the tables are rebuilt
+    purely from the run store plus the manifest (which re-derives every
+    cache key), never from in-process results.
+
+    The default report is deterministic — it shows only seed-derived
+    quantities (cuts, legality, run counts, bootstrap confidence
+    intervals re-sampled from a seed derived from the campaign seed) —
+    so an interrupted-then-resumed campaign renders a byte-identical
+    report to an uninterrupted one.  CPU timings are measurements, not
+    functions of the seed; they only appear with [~timing:true], which
+    forfeits byte-reproducibility. *)
+
+val generate :
+  ?timing:bool -> store_dir:string -> manifest:Manifest.t -> unit -> string
+(** Markdown: per experiment a min/avg table (engines × instances) and
+    a per-cell detail table with 95% bootstrap confidence intervals of
+    the mean cut.  Cells whose runs are not all stored render as
+    ["(k/N)"] partial markers; a coverage summary leads the report. *)

@@ -1,0 +1,162 @@
+type record = {
+  engine : string;
+  config : string;
+  instance : string;
+  seed : int;
+  cut : int;
+  legal : bool;
+  seconds : float;
+  machine_factor : float;
+  git : string;
+}
+
+let key ~engine ~config ~instance ~seed =
+  Printf.sprintf "%s/%s/%s/%d" engine config instance seed
+
+let record_key r =
+  key ~engine:r.engine ~config:r.config ~instance:r.instance ~seed:r.seed
+
+let filename dir = Filename.concat dir "runs.jsonl"
+
+let record_to_line r =
+  Jsonl.to_line
+    [
+      ("engine", Jsonl.String r.engine);
+      ("config", Jsonl.String r.config);
+      ("instance", Jsonl.String r.instance);
+      ("seed", Jsonl.Int r.seed);
+      ("cut", Jsonl.Int r.cut);
+      ("legal", Jsonl.Bool r.legal);
+      ("seconds", Jsonl.Float r.seconds);
+      ("machine", Jsonl.Float r.machine_factor);
+      ("git", Jsonl.String r.git);
+    ]
+
+let record_of_line line =
+  match Jsonl.of_line line with
+  | None -> None
+  | Some fields ->
+    let ( let* ) = Option.bind in
+    let* engine = Jsonl.string_member "engine" fields in
+    let* config = Jsonl.string_member "config" fields in
+    let* instance = Jsonl.string_member "instance" fields in
+    let* seed = Jsonl.int_member "seed" fields in
+    let* cut = Jsonl.int_member "cut" fields in
+    let* legal = Jsonl.bool_member "legal" fields in
+    let* seconds = Jsonl.float_member "seconds" fields in
+    let* machine_factor = Jsonl.float_member "machine" fields in
+    let* git = Jsonl.string_member "git" fields in
+    Some { engine; config; instance; seed; cut; legal; seconds; machine_factor; git }
+
+(* -- writing -- *)
+
+type t = { oc : out_channel; lock : Mutex.t }
+
+let rec mkdir_p dir =
+  if dir <> "" && dir <> "." && dir <> "/" && not (Sys.file_exists dir) then begin
+    mkdir_p (Filename.dirname dir);
+    (* another domain/process may have won the race *)
+    try Sys.mkdir dir 0o755 with Sys_error _ -> ()
+  end
+
+(* a crash can leave the file ending mid-record; the next append must
+   not glue its record onto that partial line (which would corrupt the
+   new record too), so an unterminated tail gets its newline first *)
+let ends_with_newline path =
+  (not (Sys.file_exists path))
+  ||
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      let len = in_channel_length ic in
+      len = 0
+      ||
+      (seek_in ic (len - 1);
+       input_char ic = '\n'))
+
+let open_store dir =
+  mkdir_p dir;
+  let path = filename dir in
+  let terminate = not (ends_with_newline path) in
+  let oc = open_out_gen [ Open_append; Open_creat; Open_wronly ] 0o644 path in
+  if terminate then begin
+    output_char oc '\n';
+    flush oc
+  end;
+  { oc; lock = Mutex.create () }
+
+let append t r =
+  Mutex.lock t.lock;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock t.lock)
+    (fun () ->
+      output_string t.oc (record_to_line r);
+      output_char t.oc '\n';
+      (* per-record flush is the crash-safety contract: a killed
+         campaign loses at most the record being written *)
+      flush t.oc)
+
+let close t = close_out t.oc
+
+(* -- reading -- *)
+
+let fold_lines path f init =
+  if not (Sys.file_exists path) then init
+  else begin
+    let ic = open_in path in
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () ->
+        let acc = ref init in
+        (try
+           while true do
+             acc := f !acc (input_line ic)
+           done
+         with End_of_file -> ());
+        !acc)
+  end
+
+let load dir =
+  let records, dropped =
+    fold_lines (filename dir)
+      (fun (records, dropped) line ->
+        if String.trim line = "" then (records, dropped)
+        else
+          match record_of_line line with
+          | Some r -> (r :: records, dropped)
+          | None -> (records, dropped + 1))
+      ([], 0)
+  in
+  (List.rev records, dropped)
+
+(* -- maintenance -- *)
+
+let compact dir =
+  let records, corrupt = load dir in
+  let seen = Hashtbl.create 256 in
+  let kept, duplicates =
+    List.fold_left
+      (fun (kept, dups) r ->
+        let k = record_key r in
+        if Hashtbl.mem seen k then (kept, dups + 1)
+        else begin
+          Hashtbl.add seen k ();
+          (r :: kept, dups)
+        end)
+      ([], 0) records
+  in
+  let kept = List.rev kept in
+  let path = filename dir in
+  let tmp = path ^ ".tmp" in
+  let oc = open_out tmp in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      List.iter
+        (fun r ->
+          output_string oc (record_to_line r);
+          output_char oc '\n')
+        kept);
+  Sys.rename tmp path;
+  (List.length kept, corrupt + duplicates)

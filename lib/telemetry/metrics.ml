@@ -180,11 +180,18 @@ let stats_fields s =
     ("p99", Json_out.number s.p99);
   ]
 
-let to_json () =
+let to_json ?(provenance = []) () =
   let entries = snapshot () in
   let pick f = List.filter_map f entries in
   Json_out.obj
-    [
+    ((if provenance = [] then []
+      else
+        [
+          ( "provenance",
+            Json_out.obj
+              (List.map (fun (k, v) -> (k, Json_out.string v)) provenance) );
+        ])
+    @ [
       ( "counters",
         Json_out.obj
           (pick (function
@@ -200,7 +207,7 @@ let to_json () =
           (pick (function
             | E_histogram (n, s) -> Some (n, Json_out.obj (stats_fields s))
             | _ -> None)) );
-    ]
+    ])
 
 let to_csv () =
   let b = Buffer.create 256 in
@@ -217,6 +224,6 @@ let to_csv () =
     (snapshot ());
   Buffer.contents b
 
-let write path =
+let write ?provenance path =
   if Filename.check_suffix path ".csv" then Json_out.write_file path (to_csv ())
-  else Json_out.write_file path (to_json ())
+  else Json_out.write_file path (to_json ?provenance ())

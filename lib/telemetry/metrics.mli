@@ -48,12 +48,17 @@ val quantile : string -> float -> float option
 val snapshot : unit -> entry list
 (** All metrics, sorted by name. *)
 
-val to_json : unit -> string
+val to_json : ?provenance:(string * string) list -> unit -> string
+(** JSON snapshot.  [provenance] (e.g. a git-describe stamp and machine
+    factor) is emitted as a top-level ["provenance"] string object when
+    non-empty, so snapshots carry the DAC'99 reporting context with the
+    numbers. *)
+
 val to_csv : unit -> string
 
-val write : string -> unit
+val write : ?provenance:(string * string) list -> string -> unit
 (** Write the snapshot to a file: CSV when the path ends in [.csv],
-    JSON otherwise. *)
+    JSON (with the optional [provenance] object) otherwise. *)
 
 val reset : unit -> unit
 (** Drop every registered metric (tests). *)

@@ -81,6 +81,68 @@ let test_unknown_engine_fails () =
 let test_help () =
   check_ok "help" (run_cmd "--help=plain") [ "table1"; "partition"; "pareto" ]
 
+(* argument validation: a bad value is a one-line parse error, never a
+   crash minutes into an experiment *)
+let check_rejected name args needle =
+  let code, out = run_cmd args in
+  Alcotest.(check bool) (name ^ " nonzero exit") true (code <> 0);
+  if not (contains out needle) then
+    Alcotest.failf "%s: expected %S in output:\n%s" name needle out
+
+let test_validation () =
+  check_rejected "runs = 0" "table1 --scale 64 --runs 0" "positive";
+  check_rejected "negative runs" "table1 --scale 64 --runs=-3" "positive";
+  check_rejected "runs not a number" "table1 --scale 64 --runs x" "positive";
+  check_rejected "scale = 0" "table1 --scale 0" "positive";
+  check_rejected "starts = 0" "partition ibm01 --scale 64 --starts 0" "positive";
+  check_rejected "bad metrics dir"
+    "table1 --scale 64 --runs 1 --metrics /hypart_no_such_dir/m.json"
+    "does not exist";
+  check_rejected "bad trace dir"
+    "table1 --scale 64 --runs 1 --trace /hypart_no_such_dir/t.json"
+    "does not exist";
+  check_rejected "unknown campaign" "lab run --campaign bogus" "unknown campaign"
+
+(* lab round trip through the CLI: run, 100% cached re-run, resume
+   after truncation with a byte-identical report, gc *)
+let test_lab_cli () =
+  let store = Filename.concat tmpdir "hypart_cli_lab_store" in
+  let jsonl = Filename.concat store "runs.jsonl" in
+  let args rest =
+    Printf.sprintf "lab %s --campaign smoke --scale 64 --runs 2 --seed 3 --store %s"
+      rest (Filename.quote store)
+  in
+  ignore (Sys.command (Printf.sprintf "rm -rf %s" (Filename.quote store)));
+  let code, _ = run_cmd "lab resume" in
+  Alcotest.(check bool) "resume without store fails" true (code <> 0);
+  check_ok "lab run" (run_cmd (args "run")) [ "2 jobs"; "2 executed" ];
+  check_ok "lab rerun all cached" (run_cmd (args "run"))
+    [ "2 cached"; "0 executed" ];
+  let report out = args (Printf.sprintf "report -o %s" (Filename.quote out)) in
+  let full = Filename.concat tmpdir "hypart_cli_lab_full.md" in
+  let resumed = Filename.concat tmpdir "hypart_cli_lab_resumed.md" in
+  check_ok "lab report" (run_cmd (report full)) [ "wrote" ];
+  (* truncate the store to its first record and resume *)
+  let ic = open_in jsonl in
+  let first = input_line ic in
+  close_in ic;
+  let oc = open_out jsonl in
+  output_string oc (first ^ "\n");
+  close_out oc;
+  check_ok "lab resume" (run_cmd (args "resume")) [ "1 cached"; "1 executed" ];
+  check_ok "lab report after resume" (run_cmd (report resumed)) [ "wrote" ];
+  let slurp path =
+    let ic = open_in path in
+    let s = really_input_string ic (in_channel_length ic) in
+    close_in ic;
+    s
+  in
+  Alcotest.(check string) "resumed report byte-identical" (slurp full)
+    (slurp resumed);
+  check_ok "lab gc"
+    (run_cmd (Printf.sprintf "lab gc --store %s" (Filename.quote store)))
+    [ "kept 2" ]
+
 let () =
   Alcotest.run "cli"
     [
@@ -94,5 +156,7 @@ let () =
           Alcotest.test_case "fixed" `Quick test_fixed_subcommand;
           Alcotest.test_case "unknown engine" `Quick test_unknown_engine_fails;
           Alcotest.test_case "help" `Quick test_help;
+          Alcotest.test_case "argument validation" `Quick test_validation;
+          Alcotest.test_case "lab round trip" `Quick test_lab_cli;
         ] );
     ]

@@ -161,6 +161,45 @@ let test_parallel_matches_sequential () =
     (List.map (fun r -> r.Engine.start_cut) seq_records)
     (List.map (fun r -> r.Engine.start_cut) par_records)
 
+(* degenerate sharding still matches the sequential protocol: more
+   domains than jobs (some domains get an empty block) and exactly one
+   domain (the parallel path collapsing to sequential) *)
+let test_parallel_more_domains_than_jobs () =
+  let problem = ibm_problem () in
+  let engine = Engine.find_exn "mlclip" in
+  let seeds = [ 11; 5; 23 ] in
+  let (seq_seed, seq_best), seq_records =
+    Engine.multistart_seeds engine problem ~seeds
+  in
+  let (par_seed, par_best), par_records =
+    Engine.multistart_parallel ~domains:8 engine problem ~seeds
+  in
+  Alcotest.(check int) "same winning seed" seq_seed par_seed;
+  Alcotest.(check int) "same winning cut" seq_best.Engine.Result.cut
+    par_best.Engine.Result.cut;
+  Alcotest.(check (list int))
+    "same per-seed cuts"
+    (List.map (fun r -> r.Engine.start_cut) seq_records)
+    (List.map (fun r -> r.Engine.start_cut) par_records)
+
+let test_parallel_single_domain () =
+  let problem = ibm_problem () in
+  let engine = Engine.find_exn "mlclip" in
+  let seeds = [ 11; 5; 23; 2 ] in
+  let (seq_seed, seq_best), seq_records =
+    Engine.multistart_seeds engine problem ~seeds
+  in
+  let (par_seed, par_best), par_records =
+    Engine.multistart_parallel ~domains:1 engine problem ~seeds
+  in
+  Alcotest.(check int) "same winning seed" seq_seed par_seed;
+  Alcotest.(check int) "same winning cut" seq_best.Engine.Result.cut
+    par_best.Engine.Result.cut;
+  Alcotest.(check (list int))
+    "same per-seed cuts"
+    (List.map (fun r -> r.Engine.start_cut) seq_records)
+    (List.map (fun r -> r.Engine.start_cut) par_records)
+
 let test_seeded_tie_break_lowest_seed () =
   (* a constant engine: every seed produces the same solution, so the
      winner must be the numerically lowest seed regardless of order *)
@@ -302,6 +341,10 @@ let () =
             test_multistart_improves;
           Alcotest.test_case "multistart zero starts" `Quick
             test_multistart_zero_starts;
+          Alcotest.test_case "parallel: domains > jobs" `Quick
+            test_parallel_more_domains_than_jobs;
+          Alcotest.test_case "parallel: one domain" `Quick
+            test_parallel_single_domain;
           Alcotest.test_case "parallel = sequential" `Quick
             test_parallel_matches_sequential;
           Alcotest.test_case "tie-break lowest seed" `Quick

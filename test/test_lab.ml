@@ -1,0 +1,386 @@
+(* The lib/lab experiment store: JSONL robustness, fingerprint
+   stability, crash-safe store semantics, cache-hit accounting, and the
+   orchestrator invariants the subsystem exists for — resume from a
+   truncated store reproduces the uninterrupted report byte for byte,
+   and re-running an unchanged campaign performs zero engine runs. *)
+
+module Jsonl = Hypart_lab.Jsonl
+module Fingerprint = Hypart_lab.Fingerprint
+module Run_store = Hypart_lab.Run_store
+module Cache = Hypart_lab.Cache
+module Manifest = Hypart_lab.Manifest
+module Orchestrator = Hypart_lab.Orchestrator
+module Report = Hypart_lab.Report
+module Metrics = Hypart_telemetry.Metrics
+module Control = Hypart_telemetry.Control
+
+let tmp_dir =
+  let counter = ref 0 in
+  fun () ->
+    incr counter;
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "hypart_lab_test_%d_%d" (Unix.getpid ()) !counter)
+
+(* ---------------- jsonl ---------------- *)
+
+let test_jsonl_round_trip () =
+  let fields =
+    [
+      ("name", Jsonl.String "flat \"x\"\n");
+      ("n", Jsonl.Int (-42));
+      ("t", Jsonl.Float 1.5);
+      ("ok", Jsonl.Bool true);
+    ]
+  in
+  match Jsonl.of_line (Jsonl.to_line fields) with
+  | None -> Alcotest.fail "round trip failed to parse"
+  | Some got ->
+    Alcotest.(check (option string)) "string" (Some "flat \"x\"\n")
+      (Jsonl.string_member "name" got);
+    Alcotest.(check (option int)) "int" (Some (-42)) (Jsonl.int_member "n" got);
+    Alcotest.(check (option (float 1e-9))) "float" (Some 1.5)
+      (Jsonl.float_member "t" got);
+    Alcotest.(check (option bool)) "bool" (Some true)
+      (Jsonl.bool_member "ok" got);
+    Alcotest.(check (option int)) "absent member" None
+      (Jsonl.int_member "missing" got)
+
+let test_jsonl_malformed () =
+  let bad =
+    [
+      "";
+      "{";
+      "{\"a\":";
+      "{\"a\":1";
+      "{\"a\":1}garbage";
+      "{\"a\":[1,2]}";
+      "{\"a\":{\"b\":1}}";
+      "{\"a\":\"unterminated";
+      "not json at all";
+      "{\"a\"1}";
+    ]
+  in
+  List.iter
+    (fun line ->
+      Alcotest.(check bool)
+        (Printf.sprintf "rejects %S" line)
+        true
+        (Jsonl.of_line line = None))
+    bad
+
+let test_jsonl_truncated_record () =
+  let line =
+    Jsonl.to_line [ ("engine", Jsonl.String "flat"); ("cut", Jsonl.Int 70) ]
+  in
+  (* every strict prefix of a valid line is malformed, never a crash *)
+  for len = 0 to String.length line - 1 do
+    Alcotest.(check bool)
+      (Printf.sprintf "prefix of length %d rejected" len)
+      true
+      (Jsonl.of_line (String.sub line 0 len) = None)
+  done
+
+(* ---------------- fingerprints ---------------- *)
+
+let test_fingerprint_stable () =
+  (* golden values: the whole point of FNV-1a over Hashtbl.hash is that
+     these never change across OCaml versions or machines *)
+  Alcotest.(check string) "empty string" "cbf29ce484222325"
+    (Fingerprint.of_string "");
+  Alcotest.(check string) "known string" "af63dc4c8601ec8c"
+    (Fingerprint.of_string "a")
+
+let test_fingerprint_pairs_order_independent () =
+  let a = Fingerprint.of_pairs [ ("scale", "8"); ("tol", "0.1") ] in
+  let b = Fingerprint.of_pairs [ ("tol", "0.1"); ("scale", "8") ] in
+  Alcotest.(check string) "order independent" a b;
+  let c = Fingerprint.of_pairs [ ("scale", "8"); ("tol", "0.2") ] in
+  Alcotest.(check bool) "value sensitive" true (a <> c);
+  (* length prefixes: ("ab","c") must differ from ("a","bc") *)
+  let d = Fingerprint.of_pairs [ ("ab", "c") ] in
+  let e = Fingerprint.of_pairs [ ("a", "bc") ] in
+  Alcotest.(check bool) "no concatenation collision" true (d <> e)
+
+let test_fingerprint_instance () =
+  let h1 = Hypart_generator.Ibm_suite.instance ~scale:64.0 "ibm01" in
+  let h2 = Hypart_generator.Ibm_suite.instance ~scale:64.0 "ibm01" in
+  let h3 = Hypart_generator.Ibm_suite.instance ~scale:32.0 "ibm01" in
+  Alcotest.(check string) "same instance, same fp"
+    (Fingerprint.of_instance h1) (Fingerprint.of_instance h2);
+  Alcotest.(check bool) "different scale, different fp" true
+    (Fingerprint.of_instance h1 <> Fingerprint.of_instance h3)
+
+let test_mix_seed () =
+  let a = Fingerprint.mix_seed ~base:7 [ "exp"; "flat"; "ibm01"; "0" ] in
+  let b = Fingerprint.mix_seed ~base:7 [ "exp"; "flat"; "ibm01"; "0" ] in
+  let c = Fingerprint.mix_seed ~base:7 [ "exp"; "flat"; "ibm01"; "1" ] in
+  let d = Fingerprint.mix_seed ~base:8 [ "exp"; "flat"; "ibm01"; "0" ] in
+  Alcotest.(check int) "deterministic" a b;
+  Alcotest.(check bool) "run-index sensitive" true (a <> c);
+  Alcotest.(check bool) "base sensitive" true (a <> d);
+  Alcotest.(check bool) "non-negative" true (a >= 0 && c >= 0 && d >= 0)
+
+(* ---------------- run store ---------------- *)
+
+let sample_record ?(seed = 1) ?(cut = 70) () =
+  {
+    Run_store.engine = "flat";
+    config = "cfg0123456789abc";
+    instance = "ins0123456789abc";
+    seed;
+    cut;
+    legal = true;
+    seconds = 0.25;
+    machine_factor = 1.0;
+    git = "deadbee";
+  }
+
+let test_store_append_load () =
+  let dir = tmp_dir () in
+  let store = Run_store.open_store dir in
+  Run_store.append store (sample_record ~seed:1 ~cut:70 ());
+  Run_store.append store (sample_record ~seed:2 ~cut:72 ());
+  Run_store.close store;
+  let records, dropped = Run_store.load dir in
+  Alcotest.(check int) "two records" 2 (List.length records);
+  Alcotest.(check int) "nothing dropped" 0 dropped;
+  let r = List.hd records in
+  Alcotest.(check string) "engine survives" "flat" r.Run_store.engine;
+  Alcotest.(check int) "cut survives" 70 r.Run_store.cut;
+  Alcotest.(check bool) "legal survives" true r.Run_store.legal;
+  Alcotest.(check string) "git survives" "deadbee" r.Run_store.git
+
+let test_store_truncated_tail () =
+  let dir = tmp_dir () in
+  let store = Run_store.open_store dir in
+  Run_store.append store (sample_record ~seed:1 ());
+  Run_store.append store (sample_record ~seed:2 ());
+  Run_store.close store;
+  (* simulate a crash mid-write: chop the last 10 bytes *)
+  let path = Run_store.filename dir in
+  let len = (Unix.stat path).Unix.st_size in
+  let fd = Unix.openfile path [ Unix.O_WRONLY ] 0 in
+  Unix.ftruncate fd (len - 10);
+  Unix.close fd;
+  let records, dropped = Run_store.load dir in
+  Alcotest.(check int) "intact record kept" 1 (List.length records);
+  Alcotest.(check int) "truncated record dropped" 1 dropped;
+  (* the store stays appendable after the crash *)
+  let store = Run_store.open_store dir in
+  Run_store.append store (sample_record ~seed:3 ());
+  Run_store.close store;
+  let records, _ = Run_store.load dir in
+  Alcotest.(check int) "append after crash" 2 (List.length records)
+
+let test_store_compact () =
+  let dir = tmp_dir () in
+  let store = Run_store.open_store dir in
+  Run_store.append store (sample_record ~seed:1 ~cut:70 ());
+  Run_store.append store (sample_record ~seed:1 ~cut:99 ());
+  (* duplicate key *)
+  Run_store.append store (sample_record ~seed:2 ~cut:72 ());
+  Run_store.close store;
+  let oc =
+    open_out_gen [ Open_append ] 0o644 (Run_store.filename dir)
+  in
+  output_string oc "{broken\n";
+  close_out oc;
+  let kept, dropped = Run_store.compact dir in
+  Alcotest.(check int) "kept distinct keys" 2 kept;
+  Alcotest.(check int) "dropped dup + malformed" 2 dropped;
+  let records, d = Run_store.load dir in
+  Alcotest.(check int) "clean after compact" 0 d;
+  let first =
+    List.find (fun r -> r.Run_store.seed = 1) records
+  in
+  Alcotest.(check int) "first occurrence wins" 70 first.Run_store.cut
+
+let test_record_line_round_trip () =
+  let r = sample_record () in
+  match Run_store.record_of_line (Run_store.record_to_line r) with
+  | None -> Alcotest.fail "record line failed to parse"
+  | Some got ->
+    Alcotest.(check string) "key preserved" (Run_store.record_key r)
+      (Run_store.record_key got)
+
+(* ---------------- cache ---------------- *)
+
+let test_cache_counters () =
+  let dir = tmp_dir () in
+  let store = Run_store.open_store dir in
+  let r = sample_record () in
+  Run_store.append store r;
+  Run_store.close store;
+  let cache = Cache.of_store dir in
+  Alcotest.(check int) "one key" 1 (Cache.size cache);
+  Control.with_enabled (fun () ->
+      Metrics.reset ();
+      ignore (Cache.find cache ~key:(Run_store.record_key r));
+      ignore (Cache.find cache ~key:"missing/key/x/1");
+      Alcotest.(check int) "one hit" 1 (Metrics.counter_value "lab.cache_hits");
+      Alcotest.(check int) "one miss" 1
+        (Metrics.counter_value "lab.cache_misses");
+      Metrics.reset ())
+
+(* ---------------- orchestrator + report ---------------- *)
+
+(* a custom 2-cell manifest at scale 64 keeps the engine runs trivial *)
+let tiny_manifest seed =
+  Manifest.make ~name:"test" ~seed
+    ~experiments:
+      [
+        {
+          Manifest.exp_name = "t";
+          engines = [ "flat"; "clip" ];
+          instances = [ "ibm01" ];
+          scale = 64.0;
+          tolerance = 0.1;
+          runs = 2;
+        };
+      ]
+
+let test_manifest_validation () =
+  let bad runs scale =
+    try
+      ignore
+        (Manifest.make ~name:"x" ~seed:1
+           ~experiments:
+             [
+               {
+                 Manifest.exp_name = "t";
+                 engines = [ "flat" ];
+                 instances = [ "ibm01" ];
+                 scale;
+                 tolerance = 0.1;
+                 runs;
+               };
+             ]);
+      false
+    with Invalid_argument _ -> true
+  in
+  Alcotest.(check bool) "runs = 0 rejected" true (bad 0 64.0);
+  Alcotest.(check bool) "negative scale rejected" true (bad 2 (-1.0));
+  Alcotest.(check bool) "valid accepted" false (bad 2 64.0);
+  Alcotest.(check bool) "unknown campaign rejected" true
+    (try
+       ignore (Manifest.campaign ~seed:1 "bogus");
+       false
+     with Invalid_argument _ -> true)
+
+let test_jobs_deterministic () =
+  let m = tiny_manifest 3 in
+  let jobs = Manifest.jobs m in
+  Alcotest.(check int) "2 cells x 2 runs" 4 (List.length jobs);
+  let seeds = List.map (fun j -> j.Manifest.job_seed) jobs in
+  Alcotest.(check (list int)) "expansion deterministic" seeds
+    (List.map (fun j -> j.Manifest.job_seed) (Manifest.jobs m));
+  let distinct = List.sort_uniq compare seeds in
+  Alcotest.(check int) "job seeds distinct" 4 (List.length distinct)
+
+let test_campaign_fresh_then_cached () =
+  let dir = tmp_dir () in
+  let manifest = tiny_manifest 3 in
+  let o1 = Orchestrator.run ~domains:2 ~store_dir:dir ~manifest () in
+  Alcotest.(check int) "fresh: all executed" o1.Orchestrator.jobs
+    o1.Orchestrator.executed;
+  Alcotest.(check int) "fresh: none cached" 0 o1.Orchestrator.cached;
+  Control.with_enabled (fun () ->
+      Metrics.reset ();
+      let o2 = Orchestrator.run ~domains:2 ~store_dir:dir ~manifest () in
+      Alcotest.(check int) "rerun: zero engine runs" 0 o2.Orchestrator.executed;
+      Alcotest.(check int) "rerun: all cached" o2.Orchestrator.jobs
+        o2.Orchestrator.cached;
+      Alcotest.(check int) "rerun: cache_hits counter" o2.Orchestrator.jobs
+        (Metrics.counter_value "lab.cache_hits");
+      Metrics.reset ())
+
+let test_resume_report_byte_identical () =
+  let manifest = tiny_manifest 5 in
+  (* uninterrupted reference run *)
+  let full_dir = tmp_dir () in
+  ignore (Orchestrator.run ~domains:1 ~store_dir:full_dir ~manifest ());
+  let full = Report.generate ~store_dir:full_dir ~manifest () in
+  (* interrupted run: keep only the first k lines of the store *)
+  let cut_dir = tmp_dir () in
+  ignore (Orchestrator.run ~domains:1 ~store_dir:cut_dir ~manifest ());
+  let path = Run_store.filename cut_dir in
+  let ic = open_in path in
+  let first = input_line ic in
+  close_in ic;
+  let oc = open_out path in
+  output_string oc (first ^ "\n");
+  close_out oc;
+  Control.with_enabled (fun () ->
+      Metrics.reset ();
+      let o = Orchestrator.run ~domains:3 ~store_dir:cut_dir ~manifest () in
+      Alcotest.(check int) "resume: cached = surviving runs" 1
+        o.Orchestrator.cached;
+      Alcotest.(check int) "resume: cache_hits = surviving runs" 1
+        (Metrics.counter_value "lab.cache_hits");
+      Alcotest.(check int) "resume: executed = missing runs"
+        (o.Orchestrator.jobs - 1) o.Orchestrator.executed;
+      Metrics.reset ());
+  let resumed = Report.generate ~store_dir:cut_dir ~manifest () in
+  Alcotest.(check string) "resumed report byte-identical" full resumed
+
+let test_report_domain_count_invariant () =
+  let manifest = tiny_manifest 9 in
+  let d1 = tmp_dir () and d4 = tmp_dir () in
+  ignore (Orchestrator.run ~domains:1 ~store_dir:d1 ~manifest ());
+  ignore (Orchestrator.run ~domains:4 ~store_dir:d4 ~manifest ());
+  Alcotest.(check string) "domains=1 report = domains=4 report"
+    (Report.generate ~store_dir:d1 ~manifest ())
+    (Report.generate ~store_dir:d4 ~manifest ())
+
+let test_report_incomplete_cells () =
+  let manifest = tiny_manifest 11 in
+  let dir = tmp_dir () in
+  (* report over an empty store renders every cell as (0/N), not an error *)
+  let empty = Report.generate ~store_dir:dir ~manifest () in
+  Alcotest.(check bool) "empty store renders" true
+    (String.length empty > 0)
+
+let () =
+  Hypart_engines.init ();
+  Alcotest.run "lab"
+    [
+      ( "jsonl",
+        [
+          Alcotest.test_case "round trip" `Quick test_jsonl_round_trip;
+          Alcotest.test_case "malformed lines" `Quick test_jsonl_malformed;
+          Alcotest.test_case "truncated record" `Quick
+            test_jsonl_truncated_record;
+        ] );
+      ( "fingerprint",
+        [
+          Alcotest.test_case "FNV-1a golden" `Quick test_fingerprint_stable;
+          Alcotest.test_case "pairs canonical" `Quick
+            test_fingerprint_pairs_order_independent;
+          Alcotest.test_case "instance" `Quick test_fingerprint_instance;
+          Alcotest.test_case "mix_seed" `Quick test_mix_seed;
+        ] );
+      ( "store",
+        [
+          Alcotest.test_case "append/load" `Quick test_store_append_load;
+          Alcotest.test_case "truncated tail" `Quick test_store_truncated_tail;
+          Alcotest.test_case "compact" `Quick test_store_compact;
+          Alcotest.test_case "record line round trip" `Quick
+            test_record_line_round_trip;
+        ] );
+      ( "cache",
+        [ Alcotest.test_case "hit/miss counters" `Quick test_cache_counters ] );
+      ( "campaign",
+        [
+          Alcotest.test_case "manifest validation" `Quick
+            test_manifest_validation;
+          Alcotest.test_case "job expansion" `Quick test_jobs_deterministic;
+          Alcotest.test_case "fresh then cached" `Quick
+            test_campaign_fresh_then_cached;
+          Alcotest.test_case "resume report identical" `Quick
+            test_resume_report_byte_identical;
+          Alcotest.test_case "domain-count invariant" `Quick
+            test_report_domain_count_invariant;
+          Alcotest.test_case "empty store report" `Quick
+            test_report_incomplete_cells;
+        ] );
+    ]
