@@ -385,7 +385,7 @@ let () =
       print_newline ())
     groups;
   Metrics.set_gauge "bench.normalization_factor"
-    (Hypart_harness.Machine.normalization_factor ());
+    (Hypart_engine.Machine.normalization_factor ());
   (* stamp the snapshot with the commit it measures, so trajectories
      across PRs stay attributable (the DAC'99 reporting discipline) *)
   Metrics.write

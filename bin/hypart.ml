@@ -15,12 +15,15 @@ module Ml = Hypart_multilevel.Ml_partitioner
 module Kl = Hypart_kl.Kl
 module Table = Hypart_harness.Table
 module Experiments = Hypart_harness.Experiments
-module Machine = Hypart_harness.Machine
+module Machine = Hypart_engine.Machine
 module Engine = Hypart_engine.Engine
 module Telemetry = Hypart_telemetry.Telemetry
 module Metrics = Hypart_telemetry.Metrics
 module Trace = Hypart_telemetry.Trace
 module Reporter = Hypart_telemetry.Reporter
+module Server = Hypart_server.Server
+module Client = Hypart_server.Client
+module Http = Hypart_server.Http
 
 (* populate the engine registry before any term is evaluated *)
 let () = Hypart_engines.init ()
@@ -919,6 +922,224 @@ let lab_cmd =
           execution, store-only reporting (docs/EXPERIMENTS_STORE.md).")
     [ run_cmd; resume_cmd; report_cmd; gc_cmd ]
 
+(* ---------------- serve / submit ---------------- *)
+
+let host_t =
+  Arg.(
+    value
+    & opt string "127.0.0.1"
+    & info [ "host" ] ~docv:"HOST" ~doc:"Daemon address.")
+
+let port_t =
+  Arg.(
+    value
+    & opt int 8817
+    & info [ "port" ] ~docv:"PORT" ~doc:"Daemon port (serve: 0 = ephemeral).")
+
+let serve_cmd =
+  let run () host port workers queue_capacity max_body_mb store retention =
+    let config =
+      {
+        Server.host;
+        port;
+        workers;
+        queue_capacity;
+        max_body = max_body_mb * 1024 * 1024;
+        store;
+        retention;
+      }
+    in
+    let server = Server.create config in
+    (* SIGTERM/SIGINT initiate the graceful drain: stop accepting, let
+       admitted work finish, exit 0 *)
+    let stop = Sys.Signal_handle (fun _ -> Server.shutdown server) in
+    Sys.set_signal Sys.sigterm stop;
+    Sys.set_signal Sys.sigint stop;
+    (* a client vanishing mid-response must be an EPIPE, not a kill *)
+    Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+    Printf.printf "hypart daemon listening on %s:%d\n%!" host
+      (Server.port server);
+    Server.run server
+  in
+  let workers_t =
+    Arg.(
+      value
+      & opt (pos_int_conv "workers") (Server.default_config.Server.workers)
+      & info [ "workers" ] ~docv:"N" ~doc:"Worker domains.")
+  in
+  let queue_t =
+    Arg.(
+      value
+      & opt (pos_int_conv "queue") 64
+      & info [ "queue" ] ~docv:"N"
+          ~doc:
+            "Bounded queue capacity; beyond it new requests are answered 503 \
+             with Retry-After.")
+  in
+  let max_body_t =
+    Arg.(
+      value
+      & opt (pos_int_conv "max-body-mb") 64
+      & info [ "max-body-mb" ] ~docv:"MB"
+          ~doc:"Request bodies above this are answered 413.")
+  in
+  let store_t =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "store" ] ~docv:"DIR"
+          ~doc:
+            "Persist completed runs to this lab run store and warm the dedup \
+             cache from it at startup.")
+  in
+  let retention_t =
+    Arg.(
+      value
+      & opt (pos_int_conv "retention") 1024
+      & info [ "retention" ] ~docv:"N"
+          ~doc:"Finished jobs kept queryable at /jobs/<id>.")
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Run the partitioning daemon: HTTP/1.1 over a bounded worker pool, \
+          cache-aware dedup, per-request deadlines, graceful drain on SIGTERM \
+          (docs/SERVER.md).")
+    Term.(
+      const run $ common_t $ host_t $ port_t $ workers_t $ queue_t $ max_body_t
+      $ store_t $ retention_t)
+
+let submit_cmd =
+  let read_file path =
+    let ic = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
+  let run () input scale host port engine seed starts tolerance deadline_ms
+      attempts out_file =
+    let body, format =
+      if Filename.check_suffix input ".hgr" then (read_file input, "hgr")
+      else if
+        Filename.check_suffix input ".netD" || Filename.check_suffix input ".netd"
+      then (read_file input, "netd")
+      else if Filename.check_suffix input ".nodes" then
+        let base = Filename.remove_extension input in
+        (read_file (base ^ ".nodes") ^ read_file (base ^ ".nets"), "bookshelf")
+      else begin
+        (* a suite name: generate locally, ship as .hgr text *)
+        let h = Suite.instance ~scale input in
+        let tmp = Filename.temp_file "hypart_submit" ".hgr" in
+        Fun.protect
+          ~finally:(fun () -> try Sys.remove tmp with Sys_error _ -> ())
+          (fun () ->
+            Io.write_hgr tmp h;
+            (read_file tmp, "hgr"))
+      end
+    in
+    let path =
+      Printf.sprintf
+        "/partition?engine=%s&seed=%d&starts=%d&tol=%.9g&format=%s&out=plain%s"
+        (Engine.name engine) seed starts tolerance format
+        (if deadline_ms > 0 then Printf.sprintf "&deadline_ms=%d" deadline_ms
+         else "")
+    in
+    match
+      Client.with_retries ~attempts (fun () ->
+          Client.http_request ~host ~port ~meth:"POST" ~path ~body ())
+    with
+    | Error msg ->
+      Printf.eprintf "submit failed: %s\n" msg;
+      exit 1
+    | Ok resp when resp.Client.status <> 200 ->
+      Printf.eprintf "submit failed: HTTP %d %s\n%s\n" resp.Client.status
+        (Http.status_text resp.Client.status)
+        resp.Client.resp_body;
+      exit 1
+    | Ok resp ->
+      let hdr name =
+        Option.value ~default:"?" (Http.resp_header resp name)
+      in
+      let cached = hdr "x-hypart-cached" = "true" in
+      Printf.printf "engine: %s, %d start(s), tolerance %.0f%%\n"
+        (Engine.name engine) starts (100. *. tolerance);
+      Printf.printf "best cut: %s (%s)%s\n" (hdr "x-hypart-cut")
+        (if hdr "x-hypart-legal" = "true" then "legal" else "ILLEGAL")
+        (if cached then " [cached]" else "");
+      Printf.printf "server job %s, engine CPU %ss\n" (hdr "x-hypart-job")
+        (hdr "x-hypart-seconds");
+      match out_file with
+      | None -> ()
+      | Some out ->
+        if cached then
+          (* a cached record holds only scalars, not the assignment *)
+          Printf.eprintf
+            "note: cached result carries no assignment; %s not written\n" out
+        else begin
+          let oc = open_out out in
+          output_string oc resp.Client.resp_body;
+          close_out oc;
+          Printf.printf "partition written to %s\n" out
+        end
+  in
+  let input_t =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"INPUT"
+          ~doc:
+            "An instance name (ibm01..ibm18), an .hgr or .netD file, or a \
+             Bookshelf .nodes file.")
+  in
+  let tol_t =
+    Arg.(
+      value & opt float 0.02 & info [ "tol" ] ~docv:"T" ~doc:"Balance tolerance.")
+  in
+  let engine_t =
+    Arg.(
+      value
+      & opt engine_conv Hypart_multilevel.Ml_engines.mlclip
+      & info [ "engine" ] ~docv:"E"
+          ~doc:(Printf.sprintf "Partitioning engine: %s." (engine_list_doc ())))
+  in
+  let starts_t =
+    Arg.(
+      value
+      & opt (pos_int_conv "starts") 1
+      & info [ "starts" ] ~docv:"N" ~doc:"Independent starts.")
+  in
+  let deadline_t =
+    Arg.(
+      value
+      & opt int 0
+      & info [ "deadline-ms" ] ~docv:"MS"
+          ~doc:"Per-request deadline; 0 means none.  Expiry is answered 504.")
+  in
+  let attempts_t =
+    Arg.(
+      value
+      & opt (pos_int_conv "attempts") 6
+      & info [ "attempts" ] ~docv:"N"
+          ~doc:
+            "Total tries when the daemon is unreachable or answers 503 \
+             (exponential backoff with jitter, honouring Retry-After).")
+  in
+  let out_t =
+    Arg.(
+      value
+      & opt (some out_path_conv) None
+      & info [ "o"; "out" ] ~docv:"FILE"
+          ~doc:"Write the winning partition (one side per line).")
+  in
+  Cmd.v
+    (Cmd.info "submit"
+       ~doc:
+         "Submit a partitioning job to a running daemon and print the result \
+          in the same shape as $(b,partition).")
+    Term.(
+      const run $ common_t $ input_t $ scale_t $ host_t $ port_t $ engine_t
+      $ seed_t $ starts_t $ tol_t $ deadline_t $ attempts_t $ out_t)
+
 let main_cmd =
   Cmd.group
     (Cmd.info "hypart" ~version:"1.0.0"
@@ -930,7 +1151,7 @@ let main_cmd =
       engines_cmd; table1_cmd; table2_cmd; table3_cmd;
       tables45_cmd; bsf_cmd; pareto_cmd; ranking_cmd; corking_cmd;
       regime_cmd; fixed_cmd; ablation_cmd; placement_cmd; compare_cmd; all_cmd;
-      lab_cmd;
+      lab_cmd; serve_cmd; submit_cmd;
     ]
 
 let () = exit (Cmd.eval main_cmd)

@@ -73,9 +73,9 @@ module Histogram = Hypart_stats.Histogram
 module Bootstrap = Hypart_stats.Bootstrap
 module Pareto = Hypart_stats.Pareto
 module Ranking = Hypart_stats.Ranking
-module Machine = Hypart_harness.Machine
+module Machine = Hypart_engine.Machine
 module Table = Hypart_harness.Table
-module Parallel = Hypart_harness.Parallel
+module Parallel = Hypart_engine.Parallel
 module Experiments = Hypart_harness.Experiments
 module Engine = Hypart_engine.Engine
 module Engines = Hypart_engines

@@ -1,0 +1,34 @@
+(** Cooperative cancellation for engine runs.
+
+    A long-lived process (the [hypart serve] daemon, a notebook, a
+    campaign driver) needs to abandon an engine run that has outlived
+    its deadline without killing the whole process.  Engines are pure
+    compute loops, so cancellation is cooperative: the caller installs
+    a hook for the current domain, and the engine layer polls it at
+    its natural safe points — between multistart starts and between FM
+    passes — raising {!Cancelled} when the hook fires.
+
+    The hook is domain-local ({!Domain.DLS}): installing it affects
+    only engine runs executed by the installing domain.  In particular
+    {!Parallel.map_seeds} workers are fresh domains and do {e not}
+    inherit the parent's hook. *)
+
+exception Cancelled
+(** Raised by {!check} (from inside engine loops) when the installed
+    hook reports cancellation.  The partial computation is discarded;
+    engine workspaces remain reusable because every run re-prepares
+    its scratch state. *)
+
+val with_hook : (unit -> bool) -> (unit -> 'a) -> 'a
+(** [with_hook hook f] runs [f] with [hook] installed for the current
+    domain, restoring the previous hook afterwards (exception-safe).
+    [hook] must be cheap — it is polled once per FM pass and once per
+    multistart start — and should return [true] once cancellation is
+    requested (e.g. [fun () -> Clock.now_s () > deadline]). *)
+
+val cancelled : unit -> bool
+(** Whether the current domain's hook (if any) requests cancellation. *)
+
+val check : unit -> unit
+(** @raise Cancelled when {!cancelled}[ ()] is true.  No-op (one DLS
+    read) when no hook is installed. *)

@@ -79,6 +79,7 @@ let best_of_starts ?(metrics_prefix = "engine") ~starts ~better ~cut_of f =
   if starts < 1 then invalid_arg "Engine.best_of_starts: starts must be >= 1";
   let best = ref None and records = ref [] in
   for _ = 1 to starts do
+    Cancel.check ();
     let r, dt = Machine.cpu_time f in
     let record = { start_cut = cut_of r; start_seconds = dt } in
     records := record :: !records;
@@ -99,6 +100,7 @@ let pruned_starts ?(metrics_prefix = "engine") ?(prune_factor = 1.5) ~starts
     match !best with Some b when legal b -> cut_of b | _ -> max_int
   in
   for _ = 1 to starts do
+    Cancel.check ();
     let r, dt =
       Machine.cpu_time (fun () ->
           let p = peek () in
@@ -174,6 +176,7 @@ let with_vcycles ~name:wrapped_name ?description:desc ~rounds ~vcycle engine =
 
 let run_seed (engine : t) problem seed =
   let (module E : S) = engine in
+  Cancel.check ();
   let rng = Rng.create seed in
   Machine.cpu_time (fun () -> E.run rng problem None)
 

@@ -472,30 +472,41 @@ let run ?(config = Fm_config.default) ?workspace rng problem initial =
   let n_passes = ref 0 and n_empty = ref 0 in
   Trace.begin_span "fm.run";
   let improving = ref true in
-  while !improving && !n_passes < config.Fm_config.max_passes do
-    Trace.begin_span "fm.pass";
-    let pass_best, pass_moves, rollback = pass st in
-    incr n_passes;
-    if pass_moves = 0 then incr n_empty;
-    Trace.end_span "fm.pass"
-      ~args:
-        [
-          ("pass", float_of_int !n_passes);
-          ("cut", float_of_int st.cur_cut);
-          ("moves", float_of_int pass_moves);
-          ("rollback", float_of_int rollback);
-        ];
-    if Tel.is_enabled () then begin
-      Metrics.observe "fm.pass_cut" (float_of_int st.cur_cut);
-      Metrics.observe "fm.rollback_depth" (float_of_int rollback)
-    end;
-    Log.debug (fun m ->
-        m "pass %d (%s): best cut %d, %d moves" !n_passes
-          (Fm_config.describe config)
-          (if pass_best = max_int then -1 else pass_best)
-          pass_moves);
-    if pass_best < !best then best := pass_best else improving := false
-  done;
+  (try
+     while !improving && !n_passes < config.Fm_config.max_passes do
+       (* cooperative cancellation (deadlines in [hypart serve]): the
+          natural safe point is the pass boundary — counts, cut and the
+          solution are consistent there, and the workspace re-prepares
+          on the next run either way *)
+       Hypart_engine.Cancel.check ();
+       Trace.begin_span "fm.pass";
+       let pass_best, pass_moves, rollback = pass st in
+       incr n_passes;
+       if pass_moves = 0 then incr n_empty;
+       Trace.end_span "fm.pass"
+         ~args:
+           [
+             ("pass", float_of_int !n_passes);
+             ("cut", float_of_int st.cur_cut);
+             ("moves", float_of_int pass_moves);
+             ("rollback", float_of_int rollback);
+           ];
+       if Tel.is_enabled () then begin
+         Metrics.observe "fm.pass_cut" (float_of_int st.cur_cut);
+         Metrics.observe "fm.rollback_depth" (float_of_int rollback)
+       end;
+       Log.debug (fun m ->
+           m "pass %d (%s): best cut %d, %d moves" !n_passes
+             (Fm_config.describe config)
+             (if pass_best = max_int then -1 else pass_best)
+             pass_moves);
+       if pass_best < !best then best := pass_best else improving := false
+     done
+   with Hypart_engine.Cancel.Cancelled as e ->
+     (* close the run span so traces stay balanced, then let the
+        cancellation propagate — the partial solution is discarded *)
+     Trace.end_span "fm.run" ~args:[ ("cancelled", 1.) ];
+     raise e);
   Trace.end_span "fm.run"
     ~args:
       [

@@ -12,6 +12,7 @@ module Tel = Hypart_telemetry.Control
 module Metrics = Hypart_telemetry.Metrics
 module Trace = Hypart_telemetry.Trace
 module Engine = Hypart_engine.Engine
+module Machine = Hypart_engine.Machine
 module Fm_engines = Hypart_fm.Fm_engines
 module Ml_engines = Hypart_multilevel.Ml_engines
 module Lab_cache = Hypart_lab.Cache

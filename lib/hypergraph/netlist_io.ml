@@ -11,7 +11,10 @@ let with_out path f =
   close_out oc
 
 (* Read all non-comment lines, keeping 1-based line numbers for
-   diagnostics. *)
+   diagnostics.  [String.trim] strips the '\r' of CRLF line endings
+   along with surrounding blanks, and fully blank lines (trailing or
+   interior) and ['%'] comment lines are skipped, so files written on
+   Windows or hand-edited survive unchanged. *)
 let read_lines path =
   let ic = open_in path in
   let lines = ref [] in
@@ -27,9 +30,15 @@ let read_lines path =
   close_in ic;
   List.rev !lines
 
-let ints_of_line path lineno l =
+(* Split a data line on runs of blanks — spaces or tabs (hMetis files
+   in the wild use both). *)
+let fields_of_line l =
   String.split_on_char ' ' l
+  |> List.concat_map (String.split_on_char '\t')
   |> List.filter (fun s -> s <> "")
+
+let ints_of_line path lineno l =
+  fields_of_line l
   |> List.map (fun s ->
          match int_of_string_opt s with
          | Some v -> v
@@ -66,6 +75,10 @@ let read_hgr path =
       | [ ne; nv; fmt ] -> (ne, nv, fmt)
       | _ -> parse_error path lineno "bad header"
     in
+    (* validate the counts here, with a location, rather than letting a
+       negative value escape as a bare Invalid_argument from Array.make *)
+    if ne < 0 then parse_error path lineno "negative edge count %d" ne;
+    if nv < 0 then parse_error path lineno "negative vertex count %d" nv;
     if fmt <> 0 && fmt <> 1 && fmt <> 10 && fmt <> 11 then
       parse_error path lineno "unsupported fmt %d" fmt;
     let has_ew = fmt = 1 || fmt = 11 in
@@ -122,7 +135,7 @@ let read_are path ~num_vertices =
   let seen = Array.make num_vertices false in
   List.iter
     (fun (lineno, l) ->
-      match String.split_on_char ' ' l |> List.filter (fun s -> s <> "") with
+      match fields_of_line l with
       | [ name; area ] ->
         let id =
           if String.length name >= 2 && (name.[0] = 'a' || name.[0] = 'p') then
@@ -217,7 +230,7 @@ let read_netd path =
     let nets = ref [] and current = ref [] in
     List.iter
       (fun (lineno, l) ->
-        match String.split_on_char ' ' l |> List.filter (fun s -> s <> "") with
+        match fields_of_line l with
         | name :: flag :: _ ->
           let v = vertex_of lineno name in
           (match flag with

@@ -3,6 +3,9 @@ module Metrics = Hypart_telemetry.Metrics
 
 type t = { index : (string, Run_store.record) Hashtbl.t; dropped : int; lock : Mutex.t }
 
+let in_memory () =
+  { index = Hashtbl.create 64; dropped = 0; lock = Mutex.create () }
+
 let of_store dir =
   let records, dropped = Run_store.load dir in
   let index = Hashtbl.create (max 64 (List.length records)) in

@@ -14,6 +14,11 @@ val of_store : string -> t
 (** [of_store dir] loads every intact record of the store under [dir]
     (an absent store loads as empty). *)
 
+val in_memory : unit -> t
+(** An empty cache backed by no store — for long-lived processes (the
+    [hypart serve] daemon) that deduplicate within their own lifetime
+    without persisting. *)
+
 val size : t -> int
 (** Number of distinct keys held. *)
 

@@ -1,0 +1,109 @@
+type response = Http.response = {
+  status : int;
+  resp_headers : (string * string) list;
+  resp_body : string;
+}
+
+let rec write_all fd s off len =
+  if len > 0 then
+    match Unix.write_substring fd s off len with
+    | n -> write_all fd s (off + n) (len - n)
+    | exception Unix.Unix_error (EINTR, _, _) -> write_all fd s off len
+
+let read_to_eof fd =
+  let buf = Bytes.create 65536 in
+  let out = Buffer.create 4096 in
+  let rec loop () =
+    match Unix.read fd buf 0 (Bytes.length buf) with
+    | 0 -> Buffer.contents out
+    | n ->
+      Buffer.add_subbytes out buf 0 n;
+      loop ()
+    | exception Unix.Unix_error (EINTR, _, _) -> loop ()
+  in
+  loop ()
+
+let http_request ~host ~port ~meth ~path ?(headers = []) ?(body = "") () =
+  match Unix.socket PF_INET SOCK_STREAM 0 with
+  | exception Unix.Unix_error (e, _, _) ->
+    Error (Printf.sprintf "socket: %s" (Unix.error_message e))
+  | fd ->
+    Fun.protect
+      ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+      (fun () ->
+        match
+          Unix.connect fd (ADDR_INET (Unix.inet_addr_of_string host, port))
+        with
+        | exception Unix.Unix_error (e, _, _) ->
+          Error
+            (Printf.sprintf "connect %s:%d: %s" host port
+               (Unix.error_message e))
+        | () -> (
+          let b = Buffer.create 1024 in
+          Buffer.add_string b
+            (Printf.sprintf "%s %s HTTP/1.1\r\n" meth path);
+          Buffer.add_string b (Printf.sprintf "Host: %s:%d\r\n" host port);
+          List.iter
+            (fun (k, v) -> Buffer.add_string b (Printf.sprintf "%s: %s\r\n" k v))
+            headers;
+          Buffer.add_string b
+            (Printf.sprintf "Content-Length: %d\r\n" (String.length body));
+          Buffer.add_string b "Connection: close\r\n\r\n";
+          Buffer.add_string b body;
+          let msg = Buffer.contents b in
+          (* a request the daemon refuses mid-upload (413) ends our
+             write early; the response that explains why is still on
+             the socket, so prefer it over the write error *)
+          let write_err =
+            try
+              write_all fd msg 0 (String.length msg);
+              None
+            with Unix.Unix_error (e, _, _) -> Some (Unix.error_message e)
+          in
+          (* the daemon is Connection: close — EOF delimits the
+             response even without a Content-Length *)
+          match read_to_eof fd with
+          | exception Unix.Unix_error (e, _, _) ->
+            Error
+              (Printf.sprintf "i/o %s:%d: %s" host port
+                 (Unix.error_message e))
+          | "" ->
+            Error
+              (Printf.sprintf "i/o %s:%d: %s" host port
+                 (Option.value ~default:"empty response" write_err))
+          | raw -> Http.parse_response raw))
+
+let backoff_delay ?(base = 0.25) ?(cap = 8.0) ~attempt ~retry_after jitter =
+  let u = Float.min cap (base *. Float.pow 2. (float_of_int attempt)) in
+  (* equal jitter: half the window is guaranteed, half is randomized,
+     so concurrent clients spread out instead of retrying in lockstep *)
+  let d = (u /. 2.) +. (Float.max 0. (Float.min 1. jitter) *. u /. 2.) in
+  match retry_after with None -> d | Some ra -> Float.max ra d
+
+let retry_after_of resp =
+  match Http.resp_header resp "retry-after" with
+  | None -> None
+  | Some s -> float_of_string_opt (String.trim s)
+
+let with_retries ?(attempts = 6) ?base ?cap ?(sleep = Unix.sleepf)
+    ?(rng = fun () -> 0.5) f =
+  let rec go attempt last =
+    if attempt >= attempts then last
+    else
+      match f () with
+      | Ok resp when resp.status <> 503 -> Ok resp
+      | outcome ->
+        (* retryable: queue-full 503, or a transport error (daemon not
+           up yet / connection reset) *)
+        let retry_after =
+          match outcome with
+          | Ok resp -> retry_after_of resp
+          | Error _ -> None
+        in
+        if attempt = attempts - 1 then outcome
+        else begin
+          sleep (backoff_delay ?base ?cap ~attempt ~retry_after (rng ()));
+          go (attempt + 1) outcome
+        end
+  in
+  go 0 (Error "no attempts made")

@@ -1,0 +1,55 @@
+(** The daemon's CLI client ([hypart submit]).
+
+    A blocking HTTP/1.1 client over stdlib [Unix] sockets with retry
+    logic tuned for the daemon's backpressure contract: a
+    [503 Retry-After] (queue full) is retried with capped exponential
+    backoff and equal jitter — honouring the server's [Retry-After]
+    as the floor — while [4xx] responses and [504] (deadline) are
+    terminal.  Connection failures (daemon not up yet, connection
+    reset) retry on the same schedule, which makes
+    "start daemon & submit" scripts race-free. *)
+
+type response = Http.response = {
+  status : int;
+  resp_headers : (string * string) list;
+  resp_body : string;
+}
+
+val http_request :
+  host:string ->
+  port:int ->
+  meth:string ->
+  path:string ->
+  ?headers:(string * string) list ->
+  ?body:string ->
+  unit ->
+  (response, string) result
+(** One request-response exchange on a fresh connection (the daemon
+    is [Connection: close]); reads to EOF, then parses.  [Error] is a
+    human-readable transport or parse failure. *)
+
+val backoff_delay :
+  ?base:float -> ?cap:float -> attempt:int -> retry_after:float option ->
+  float ->
+  float
+(** [backoff_delay ~attempt ~retry_after jitter] is the delay before
+    retry [attempt] (0-based): equal jitter over an exponential
+    schedule, [delay = u/2 + jitter * u/2] with
+    [u = min cap (base * 2^attempt)] and [jitter] in [[0,1]]; a server
+    [retry_after] raises the result to at least that.  Pure — the
+    caller supplies the jitter sample — so tests are deterministic.
+    Defaults: [base = 0.25], [cap = 8.0]. *)
+
+val with_retries :
+  ?attempts:int ->
+  ?base:float ->
+  ?cap:float ->
+  ?sleep:(float -> unit) ->
+  ?rng:(unit -> float) ->
+  (unit -> (response, string) result) ->
+  (response, string) result
+(** Run [f] until it yields a non-retryable outcome: success, any
+    status other than 503, or [attempts] (default 6) exhausted (the
+    last result is returned).  [sleep] and [rng] are injectable for
+    tests; [rng] defaults to a fixed mid-range jitter of [0.5] so the
+    client needs no global random state. *)

@@ -1,0 +1,114 @@
+module J = Hypart_telemetry.Json_out
+module Clock = Hypart_telemetry.Clock
+
+type status =
+  | Queued
+  | Running
+  | Done
+  | Served_cached
+  | Deadline_exceeded
+  | Rejected of string
+  | Failed of string
+
+let status_name = function
+  | Queued -> "queued"
+  | Running -> "running"
+  | Done -> "done"
+  | Served_cached -> "cached"
+  | Deadline_exceeded -> "deadline_exceeded"
+  | Rejected _ -> "rejected"
+  | Failed _ -> "failed"
+
+type job = {
+  id : int;
+  engine : string;
+  key : string;
+  seed : int;
+  starts : int;
+  submitted_s : float;
+  mutable status : status;
+  mutable cut : int option;
+  mutable legal : bool option;
+  mutable seconds : float;
+}
+
+type t = {
+  lock : Mutex.t;
+  by_id : (int, job) Hashtbl.t;
+  order : int Queue.t;  (* insertion order, for retention eviction *)
+  retention : int;
+  mutable next_id : int;
+}
+
+let create ~retention =
+  if retention < 1 then invalid_arg "Job_table.create: retention must be >= 1";
+  {
+    lock = Mutex.create ();
+    by_id = Hashtbl.create 64;
+    order = Queue.create ();
+    retention;
+    next_id = 1;
+  }
+
+let with_lock t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
+let add t ~engine ~key ~seed ~starts =
+  with_lock t (fun () ->
+      let id = t.next_id in
+      t.next_id <- id + 1;
+      let job =
+        {
+          id;
+          engine;
+          key;
+          seed;
+          starts;
+          submitted_s = Clock.now_s ();
+          status = Queued;
+          cut = None;
+          legal = None;
+          seconds = 0.;
+        }
+      in
+      Hashtbl.replace t.by_id id job;
+      Queue.push id t.order;
+      if Queue.length t.order > t.retention then
+        Hashtbl.remove t.by_id (Queue.pop t.order);
+      job)
+
+let update t job status = with_lock t (fun () -> job.status <- status)
+let find t id = with_lock t (fun () -> Hashtbl.find_opt t.by_id id)
+
+let count t status =
+  with_lock t (fun () ->
+      Hashtbl.fold
+        (fun _ j acc ->
+          if status_name j.status = status_name status then acc + 1 else acc)
+        t.by_id 0)
+
+let total t = with_lock t (fun () -> t.next_id - 1)
+
+let job_json t job =
+  with_lock t (fun () ->
+      let detail =
+        match job.status with
+        | Rejected msg | Failed msg -> [ ("detail", J.string msg) ]
+        | _ -> []
+      in
+      let opt name f = function Some v -> [ (name, f v) ] | None -> [] in
+      J.obj
+        ([
+           ("job", J.int job.id);
+           ("status", J.string (status_name job.status));
+           ("engine", J.string job.engine);
+           ("key", J.string job.key);
+           ("seed", J.int job.seed);
+           ("starts", J.int job.starts);
+           ("age_seconds", J.number (Clock.now_s () -. job.submitted_s));
+           ("seconds", J.number job.seconds);
+         ]
+        @ opt "cut" J.int job.cut
+        @ opt "legal" (fun b -> if b then "true" else "false") job.legal
+        @ detail))

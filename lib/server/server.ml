@@ -1,0 +1,673 @@
+module Rng = Hypart_rng.Rng
+module Io = Hypart_hypergraph.Netlist_io
+module Bookshelf = Hypart_hypergraph.Bookshelf
+module Problem = Hypart_partition.Problem
+module Bipartition = Hypart_partition.Bipartition
+module Engine = Hypart_engine.Engine
+module Machine = Hypart_engine.Machine
+module Parallel = Hypart_engine.Parallel
+module Cancel = Hypart_engine.Cancel
+module Cache = Hypart_lab.Cache
+module Run_store = Hypart_lab.Run_store
+module Fingerprint = Hypart_lab.Fingerprint
+module Provenance = Hypart_lab.Provenance
+module Tel = Hypart_telemetry.Control
+module Metrics = Hypart_telemetry.Metrics
+module Clock = Hypart_telemetry.Clock
+module J = Hypart_telemetry.Json_out
+
+let log_src = Logs.Src.create "hypart.server" ~doc:"partitioning daemon"
+
+module Log = (val Logs.src_log log_src)
+
+type config = {
+  host : string;
+  port : int;
+  workers : int;
+  queue_capacity : int;
+  max_body : int;
+  store : string option;
+  retention : int;
+}
+
+let default_config =
+  {
+    host = "127.0.0.1";
+    port = 8817;
+    workers = Parallel.recommended_domains ();
+    queue_capacity = 64;
+    max_body = 64 * 1024 * 1024;
+    store = None;
+    retention = 1024;
+  }
+
+(* a queued element: the accepted socket and its admission time — the
+   deadline clock starts at admission, so time spent waiting in the
+   queue counts against the request's deadline *)
+type conn = { fd : Unix.file_descr; accepted_s : float }
+
+type t = {
+  config : config;
+  listen_fd : Unix.file_descr;
+  bound_port : int;
+  queue : conn Job_queue.t;
+  jobs : Job_table.t;
+  cache : Cache.t;
+  store : Run_store.t option;
+  stop : bool Atomic.t;
+  in_flight : int Atomic.t;
+  (* self-pipe: [shutdown] writes a byte so the accept loop's select
+     wakes even when no connection is pending *)
+  pipe_r : Unix.file_descr;
+  pipe_w : Unix.file_descr;
+}
+
+let create config =
+  if config.workers < 1 then invalid_arg "Server.create: workers must be >= 1";
+  if config.queue_capacity < 1 then
+    invalid_arg "Server.create: queue_capacity must be >= 1";
+  Hypart_engines.init ();
+  (* the daemon is observability-first: /metrics is an endpoint, so
+     collection is on for the whole process lifetime *)
+  Tel.enable ();
+  let listen_fd = Unix.socket PF_INET SOCK_STREAM 0 in
+  Unix.setsockopt listen_fd SO_REUSEADDR true;
+  (try
+     Unix.bind listen_fd
+       (ADDR_INET (Unix.inet_addr_of_string config.host, config.port));
+     Unix.listen listen_fd 128
+   with e ->
+     Unix.close listen_fd;
+     raise e);
+  let bound_port =
+    match Unix.getsockname listen_fd with
+    | ADDR_INET (_, p) -> p
+    | _ -> config.port
+  in
+  let cache =
+    match config.store with
+    | Some dir -> Cache.of_store dir
+    | None -> Cache.in_memory ()
+  in
+  let store = Option.map Run_store.open_store config.store in
+  let pipe_r, pipe_w = Unix.pipe () in
+  {
+    config;
+    listen_fd;
+    bound_port;
+    queue = Job_queue.create ~capacity:config.queue_capacity;
+    jobs = Job_table.create ~retention:config.retention;
+    cache;
+    store;
+    stop = Atomic.make false;
+    in_flight = Atomic.make 0;
+    pipe_r;
+    pipe_w;
+  }
+
+let port t = t.bound_port
+
+let shutdown t =
+  if not (Atomic.exchange t.stop true) then
+    (* wake the accept loop; EPIPE/EBADF mean it is already gone *)
+    try ignore (Unix.write_substring t.pipe_w "x" 0 1) with _ -> ()
+
+(* ------------------------------------------------------------------ *)
+(* Socket plumbing                                                     *)
+
+let rec write_all fd s off len =
+  if len > 0 then
+    match Unix.write_substring fd s off len with
+    | n -> write_all fd s (off + n) (len - n)
+    | exception Unix.Unix_error (EINTR, _, _) -> write_all fd s off len
+
+(* best-effort: the client may already be gone; that must never take a
+   worker down *)
+let send_response fd ?headers ~status ~body () =
+  let bytes = Http.render_response ?headers ~status ~body () in
+  try write_all fd bytes 0 (String.length bytes) with Unix.Unix_error _ -> ()
+
+let read_request fd max_body =
+  let parser = Http.create_parser ~max_body () in
+  let buf = Bytes.create 8192 in
+  let rec loop () =
+    match Unix.read fd buf 0 (Bytes.length buf) with
+    | 0 -> `Closed
+    | n -> (
+      match Http.feed parser (Bytes.sub_string buf 0 n) with
+      | `More -> loop ()
+      | `Request r -> `Request r
+      | `Error e -> `Http_error e)
+    | exception Unix.Unix_error (EINTR, _, _) -> loop ()
+    | exception Unix.Unix_error ((EAGAIN | EWOULDBLOCK), _, _) -> `Timeout
+    | exception Unix.Unix_error _ -> `Closed
+  in
+  loop ()
+
+(* ------------------------------------------------------------------ *)
+(* JSON bodies                                                         *)
+
+let error_body msg = J.obj [ ("error", J.string msg) ]
+
+let count m = if Tel.is_enabled () then Metrics.incr m
+
+(* ------------------------------------------------------------------ *)
+(* Request parameter parsing                                           *)
+
+exception Bad_param of string
+
+let param_int req name default =
+  match Http.query_param req name with
+  | None -> default
+  | Some s -> (
+    match int_of_string_opt s with
+    | Some v -> v
+    | None -> raise (Bad_param (Printf.sprintf "%s must be an integer" name)))
+
+let param_float req name default =
+  match Http.query_param req name with
+  | None -> default
+  | Some s -> (
+    match float_of_string_opt s with
+    | Some v when Float.is_finite v -> v
+    | _ -> raise (Bad_param (Printf.sprintf "%s must be a number" name)))
+
+let param_string req name default =
+  Option.value ~default (Http.query_param req name)
+
+(* ------------------------------------------------------------------ *)
+(* Netlist decoding: the body is written to a temp file so the hardened
+   Netlist_io / Bookshelf parsers (with their located errors) are
+   reused verbatim. *)
+
+let with_temp_files body format parse =
+  let base = Filename.temp_file "hypart_serve" "" in
+  let written = ref [ base ] in
+  let write_file path contents =
+    let oc = open_out path in
+    output_string oc contents;
+    close_out oc;
+    if path <> base then written := path :: !written
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      List.iter (fun p -> try Sys.remove p with Sys_error _ -> ()) !written)
+    (fun () ->
+      match format with
+      | `Hgr ->
+        let path = base ^ ".hgr" in
+        write_file path body;
+        parse (`File path)
+      | `Netd ->
+        let path = base ^ ".netD" in
+        write_file path body;
+        parse (`File path)
+      | `Bookshelf ->
+        (* the two Bookshelf slots travel concatenated; the ".nets"
+           slot starts at its own "UCLA nets" header line *)
+        let marker = "UCLA nets" in
+        let split_at =
+          let n = String.length body and m = String.length marker in
+          let rec scan i =
+            if i + m > n then None
+            else if String.sub body i m = marker
+                    && (i = 0 || body.[i - 1] = '\n') then Some i
+            else scan (i + 1)
+          in
+          scan 0
+        in
+        (match split_at with
+        | None ->
+          raise
+            (Bookshelf.Parse_error
+               "bookshelf body must contain a \"UCLA nets\" section")
+        | Some i ->
+          write_file (base ^ ".nodes") (String.sub body 0 i);
+          write_file (base ^ ".nets") (String.sub body i (String.length body - i));
+          parse (`Bookshelf base)))
+
+let decode_netlist body format =
+  let parse = function
+    | `File path when Filename.check_suffix path ".hgr" -> Io.read_hgr path
+    | `File path -> fst (Io.read_netd path)
+    | `Bookshelf base -> fst (Bookshelf.read ~basename:base)
+  in
+  with_temp_files body format parse
+
+(* ------------------------------------------------------------------ *)
+(* POST /partition                                                     *)
+
+type partition_params = {
+  engine : Engine.t;
+  seed : int;
+  starts : int;
+  tolerance : float;
+  deadline_s : float option;  (** relative, seconds *)
+  format : [ `Hgr | `Netd | `Bookshelf ];
+  out : [ `Json | `Plain ];
+  want_assignment : bool;
+}
+
+let parse_params req =
+  let engine_name = param_string req "engine" "mlclip" in
+  let engine =
+    match Engine.find engine_name with
+    | Some e -> e
+    | None ->
+      raise
+        (Bad_param
+           (Printf.sprintf "unknown engine %s (registered: %s)" engine_name
+              (String.concat " | " (Engine.names ()))))
+  in
+  let starts = param_int req "starts" 1 in
+  if starts < 1 then raise (Bad_param "starts must be >= 1");
+  let tolerance = param_float req "tol" 0.02 in
+  if tolerance <= 0. then raise (Bad_param "tol must be positive");
+  let deadline_s =
+    match param_int req "deadline_ms" 0 with
+    | 0 -> None
+    | ms when ms > 0 -> Some (float_of_int ms /. 1000.)
+    | _ -> raise (Bad_param "deadline_ms must be positive")
+  in
+  let format =
+    match param_string req "format" "hgr" with
+    | "hgr" -> `Hgr
+    | "netd" -> `Netd
+    | "bookshelf" -> `Bookshelf
+    | other ->
+      raise (Bad_param (Printf.sprintf "unknown format %s (hgr | netd | bookshelf)" other))
+  in
+  let out =
+    match param_string req "out" "json" with
+    | "json" -> `Json
+    | "plain" -> `Plain
+    | other -> raise (Bad_param (Printf.sprintf "unknown out %s (json | plain)" other))
+  in
+  {
+    engine;
+    seed = param_int req "seed" 1;
+    starts;
+    tolerance;
+    deadline_s;
+    format;
+    out;
+    want_assignment = param_int req "assignment" 1 <> 0;
+  }
+
+(* the server-side config fingerprint: everything that parameterizes a
+   run besides engine name, instance content and seed.  "proto" is a
+   version stamp so a future protocol change invalidates old keys
+   instead of aliasing them. *)
+let config_fingerprint p =
+  Fingerprint.of_pairs
+    [
+      ("proto", "serve-v1");
+      ("tolerance", Printf.sprintf "%.9g" p.tolerance);
+      ("starts", string_of_int p.starts);
+    ]
+
+let result_headers job ~cached ~(cut : int) ~(legal : bool) ~seconds =
+  [
+    ("Content-Type", "application/json");
+    ("X-Hypart-Job", string_of_int job.Job_table.id);
+    ("X-Hypart-Cut", string_of_int cut);
+    ("X-Hypart-Legal", if legal then "true" else "false");
+    ("X-Hypart-Cached", if cached then "true" else "false");
+    ("X-Hypart-Seconds", Printf.sprintf "%.6f" seconds);
+  ]
+
+let respond_result fd p job ~cached ~cut ~legal ~seconds ~assignment =
+  let headers = result_headers job ~cached ~cut ~legal ~seconds in
+  match p.out with
+  | `Plain ->
+    (* body is exactly a Netlist_io partition file (one side per line);
+       all metadata travels in X-Hypart-* headers.  A cached record has
+       no assignment — the body is empty and the headers say so. *)
+    let body =
+      match assignment with
+      | Some sides ->
+        let b = Buffer.create (2 * Array.length sides) in
+        Array.iter
+          (fun s ->
+            Buffer.add_string b (string_of_int s);
+            Buffer.add_char b '\n')
+          sides;
+        Buffer.contents b
+      | None -> ""
+    in
+    send_response fd
+      ~headers:(("Content-Type", "text/plain") :: List.tl headers)
+      ~status:200 ~body ()
+  | `Json ->
+    let fields =
+      [
+        ("job", J.int job.Job_table.id);
+        ("engine", J.string job.Job_table.engine);
+        ("key", J.string job.Job_table.key);
+        ("seed", J.int job.Job_table.seed);
+        ("starts", J.int job.Job_table.starts);
+        ("cut", J.int cut);
+        ("legal", if legal then "true" else "false");
+        ("cached", if cached then "true" else "false");
+        ("seconds", J.number seconds);
+      ]
+      @
+      match assignment with
+      | Some sides when p.want_assignment ->
+        [ ("assignment", J.arr (Array.to_list (Array.map J.int sides))) ]
+      | _ -> []
+    in
+    send_response fd ~headers ~status:200 ~body:(J.obj fields) ()
+
+let run_engine p problem =
+  if p.starts = 1 then
+    (* the CLI's sequential single-start path, bit for bit *)
+    Machine.cpu_time (fun () ->
+        Engine.run p.engine (Rng.create p.seed) problem None)
+  else begin
+    (* the CLI's seeded multistart: one derived seed per start, so the
+       winner is identical to `partition --domains D` for every D *)
+    let seeds = List.init p.starts (fun i -> p.seed + i) in
+    let (_seed, best), records = Engine.multistart_seeds p.engine problem ~seeds in
+    let seconds =
+      List.fold_left (fun acc r -> acc +. r.Engine.start_seconds) 0. records
+    in
+    (best, seconds)
+  end
+
+let handle_partition t fd (req : Http.request) accepted_s =
+  match parse_params req with
+  | exception Bad_param msg ->
+    count "server.bad_requests";
+    send_response fd ~status:400 ~body:(error_body msg) ()
+  | p -> (
+    let engine_name = Engine.name p.engine in
+    match decode_netlist req.Http.body p.format with
+    | exception Io.Parse_error msg | exception Bookshelf.Parse_error msg ->
+      count "server.bad_requests";
+      send_response fd ~status:400 ~body:(error_body ("netlist: " ^ msg)) ()
+    | exception Invalid_argument msg ->
+      count "server.bad_requests";
+      send_response fd ~status:400 ~body:(error_body ("netlist: " ^ msg)) ()
+    | h -> (
+      let problem = Problem.make ~tolerance:p.tolerance h in
+      let key =
+        Run_store.key ~engine:engine_name ~config:(config_fingerprint p)
+          ~instance:(Fingerprint.of_instance h) ~seed:p.seed
+      in
+      let job =
+        Job_table.add t.jobs ~engine:engine_name ~key ~seed:p.seed
+          ~starts:p.starts
+      in
+      match Cache.find t.cache ~key with
+      | Some record ->
+        (* duplicate submission: answered from the content-addressed
+           cache, zero engine runs *)
+        count "server.cache_served";
+        job.Job_table.cut <- Some record.Run_store.cut;
+        job.Job_table.legal <- Some record.Run_store.legal;
+        job.Job_table.seconds <- record.Run_store.seconds;
+        Job_table.update t.jobs job Job_table.Served_cached;
+        respond_result fd p job ~cached:true ~cut:record.Run_store.cut
+          ~legal:record.Run_store.legal ~seconds:record.Run_store.seconds
+          ~assignment:None
+      | None -> (
+        let deadline_abs = Option.map (fun d -> accepted_s +. d) p.deadline_s in
+        let expired () =
+          match deadline_abs with
+          | Some dl -> Clock.now_s () > dl
+          | None -> false
+        in
+        if expired () then begin
+          (* the deadline elapsed while the request waited in the
+             queue: refuse without burning engine time *)
+          count "server.deadline_exceeded";
+          Job_table.update t.jobs job Job_table.Deadline_exceeded;
+          send_response fd
+            ~status:504
+            ~body:(error_body "deadline exceeded while queued")
+            ()
+        end
+        else begin
+          Job_table.update t.jobs job Job_table.Running;
+          Atomic.incr t.in_flight;
+          if Tel.is_enabled () then
+            Metrics.set_gauge "server.in_flight"
+              (float_of_int (Atomic.get t.in_flight));
+          let finish () =
+            Atomic.decr t.in_flight;
+            if Tel.is_enabled () then
+              Metrics.set_gauge "server.in_flight"
+                (float_of_int (Atomic.get t.in_flight))
+          in
+          match
+            Fun.protect ~finally:finish (fun () ->
+                Cancel.with_hook expired (fun () -> run_engine p problem))
+          with
+          | result, seconds ->
+            let record =
+              {
+                Run_store.engine = engine_name;
+                config = config_fingerprint p;
+                instance = Fingerprint.of_instance h;
+                seed = p.seed;
+                cut = result.Engine.Result.cut;
+                legal = result.Engine.Result.legal;
+                seconds;
+                machine_factor = Provenance.machine_factor ();
+                git = Provenance.git_describe ();
+              }
+            in
+            Cache.add t.cache record;
+            Option.iter (fun store -> Run_store.append store record) t.store;
+            count "server.jobs_executed";
+            if Tel.is_enabled () then
+              Metrics.observe "server.engine_seconds" seconds;
+            job.Job_table.cut <- Some result.Engine.Result.cut;
+            job.Job_table.legal <- Some result.Engine.Result.legal;
+            job.Job_table.seconds <- seconds;
+            Job_table.update t.jobs job Job_table.Done;
+            respond_result fd p job ~cached:false
+              ~cut:result.Engine.Result.cut ~legal:result.Engine.Result.legal
+              ~seconds
+              ~assignment:
+                (Some (Bipartition.assignment result.Engine.Result.solution))
+          | exception Cancel.Cancelled ->
+            count "server.deadline_exceeded";
+            Job_table.update t.jobs job Job_table.Deadline_exceeded;
+            send_response fd ~status:504
+              ~body:(error_body "deadline exceeded during the run")
+              ()
+          | exception e ->
+            count "server.failures";
+            let msg = Printexc.to_string e in
+            Log.err (fun m -> m "job %d failed: %s" job.Job_table.id msg);
+            Job_table.update t.jobs job (Job_table.Failed msg);
+            send_response fd ~status:500
+              ~body:(error_body ("engine failed: " ^ msg))
+              ()
+        end)))
+
+(* ------------------------------------------------------------------ *)
+(* Dispatch                                                            *)
+
+let healthz_body t =
+  J.obj
+    [
+      ( "status",
+        J.string (if Atomic.get t.stop then "draining" else "ok") );
+      ("queue_depth", J.int (Job_queue.length t.queue));
+      ("queue_capacity", J.int t.config.queue_capacity);
+      ("in_flight", J.int (Atomic.get t.in_flight));
+      ("workers", J.int t.config.workers);
+      ("jobs_total", J.int (Job_table.total t.jobs));
+      ("cache_size", J.int (Cache.size t.cache));
+      ("store", match t.config.store with
+        | Some dir -> J.string dir
+        | None -> "null");
+    ]
+
+let handle_request t fd (req : Http.request) accepted_s =
+  count "server.requests";
+  let json = [ ("Content-Type", "application/json") ] in
+  match (req.Http.meth, req.Http.path) with
+  | "GET", "/healthz" ->
+    send_response fd ~headers:json ~status:200 ~body:(healthz_body t) ()
+  | "GET", "/metrics" ->
+    send_response fd ~headers:json ~status:200 ~body:(Metrics.to_json ()) ()
+  | "GET", path
+    when String.length path > 6 && String.sub path 0 6 = "/jobs/" -> (
+    let id = String.sub path 6 (String.length path - 6) in
+    match int_of_string_opt id with
+    | None ->
+      count "server.bad_requests";
+      send_response fd ~headers:json ~status:400
+        ~body:(error_body "job id must be an integer") ()
+    | Some id -> (
+      match Job_table.find t.jobs id with
+      | Some job ->
+        send_response fd ~headers:json ~status:200
+          ~body:(Job_table.job_json t.jobs job) ()
+      | None ->
+        send_response fd ~headers:json ~status:404
+          ~body:(error_body (Printf.sprintf "no such job %d" id)) ()))
+  | "POST", "/partition" -> handle_partition t fd req accepted_s
+  | _, ("/healthz" | "/metrics" | "/partition") ->
+    send_response fd ~headers:json ~status:405
+      ~body:(error_body "method not allowed") ()
+  | _ ->
+    send_response fd ~headers:json ~status:404
+      ~body:(error_body (Printf.sprintf "no such endpoint %s" req.Http.path))
+      ()
+
+(* lingering close: after refusing a request mid-upload (413/400) the
+   client may still be writing; closing immediately would RST the
+   connection and destroy the error response before the client reads
+   it.  Discard the remainder (bounded, short timeout) so the client
+   sees a clean FIN after our response. *)
+let drain_input fd =
+  (try Unix.setsockopt_float fd SO_RCVTIMEO 2. with Unix.Unix_error _ -> ());
+  let buf = Bytes.create 65536 in
+  let rec loop budget =
+    if budget > 0 then
+      match Unix.read fd buf 0 (Bytes.length buf) with
+      | 0 -> ()
+      | n -> loop (budget - n)
+      | exception Unix.Unix_error _ -> ()
+  in
+  loop (256 * 1024 * 1024)
+
+let handle_connection t (c : conn) =
+  let t0 = Clock.now_s () in
+  Fun.protect
+    ~finally:(fun () -> try Unix.close c.fd with Unix.Unix_error _ -> ())
+    (fun () ->
+      (* a stuck or dead client must not wedge the worker: bound the
+         time we wait for request bytes *)
+      (try Unix.setsockopt_float c.fd SO_RCVTIMEO 30. with
+      | Unix.Unix_error _ -> ());
+      match read_request c.fd t.config.max_body with
+      | `Closed -> ()
+      | `Timeout ->
+        count "server.bad_requests";
+        send_response c.fd ~status:408
+          ~body:(error_body "timed out reading the request") ()
+      | `Http_error (Http.Body_too_large limit) ->
+        count "server.rejected_oversized";
+        send_response c.fd ~status:413
+          ~body:
+            (error_body
+               (Printf.sprintf "body exceeds the %d byte limit" limit))
+          ();
+        drain_input c.fd
+      | `Http_error (Http.Bad_request msg) ->
+        count "server.bad_requests";
+        send_response c.fd ~status:400 ~body:(error_body msg) ();
+        drain_input c.fd
+      | `Request req ->
+        handle_request t c.fd req c.accepted_s;
+        if Tel.is_enabled () then
+          Metrics.observe "server.request_seconds" (Clock.now_s () -. t0))
+
+let worker_loop t () =
+  let rec loop () =
+    match Job_queue.pop t.queue with
+    | None -> ()  (* closed and drained: clean exit *)
+    | Some conn ->
+      if Tel.is_enabled () then
+        Metrics.set_gauge "server.queue_depth"
+          (float_of_int (Job_queue.length t.queue));
+      (* nothing a request does may kill the worker: parse errors are
+         400s, engine failures are 500s, and anything that still
+         escapes is logged and dropped with the connection *)
+      (try handle_connection t conn
+       with e ->
+         count "server.failures";
+         Log.err (fun m ->
+             m "connection handler raised: %s" (Printexc.to_string e)));
+      loop ()
+  in
+  loop ()
+
+(* ------------------------------------------------------------------ *)
+(* Accept loop and lifecycle                                           *)
+
+let busy_response =
+  Http.render_response
+    ~headers:
+      [ ("Content-Type", "application/json"); ("Retry-After", "1") ]
+    ~status:503
+    ~body:(error_body "queue full, retry later")
+    ()
+
+let accept_loop t =
+  let rec loop () =
+    if not (Atomic.get t.stop) then begin
+      (match Unix.select [ t.listen_fd; t.pipe_r ] [] [] (-1.) with
+      | readable, _, _ ->
+        if (not (Atomic.get t.stop)) && List.mem t.listen_fd readable then begin
+          match Unix.accept t.listen_fd with
+          | fd, _ ->
+            let c = { fd; accepted_s = Clock.now_s () } in
+            if Job_queue.try_push t.queue c then begin
+              if Tel.is_enabled () then
+                Metrics.set_gauge "server.queue_depth"
+                  (float_of_int (Job_queue.length t.queue))
+            end
+            else begin
+              (* backpressure: a full queue answers immediately with
+                 Retry-After instead of queueing invisibly *)
+              count "server.rejected_full";
+              (try write_all fd busy_response 0 (String.length busy_response)
+               with Unix.Unix_error _ -> ());
+              (try Unix.close fd with Unix.Unix_error _ -> ())
+            end
+          | exception Unix.Unix_error ((EINTR | ECONNABORTED), _, _) -> ()
+        end
+      | exception Unix.Unix_error (EINTR, _, _) -> ());
+      loop ()
+    end
+  in
+  loop ()
+
+let run t =
+  Log.info (fun m ->
+      m "listening on %s:%d (%d workers, queue %d%s)" t.config.host
+        t.bound_port t.config.workers t.config.queue_capacity
+        (match t.config.store with
+        | Some dir -> ", store " ^ dir
+        | None -> ""));
+  let workers =
+    Array.init t.config.workers (fun _ -> Domain.spawn (worker_loop t))
+  in
+  accept_loop t;
+  (* graceful drain: stop admitting, finish everything admitted *)
+  Log.info (fun m -> m "draining: %d queued" (Job_queue.length t.queue));
+  count "server.drains";
+  Job_queue.close t.queue;
+  Array.iter Domain.join workers;
+  (try Unix.close t.listen_fd with Unix.Unix_error _ -> ());
+  (try Unix.close t.pipe_r with Unix.Unix_error _ -> ());
+  (try Unix.close t.pipe_w with Unix.Unix_error _ -> ());
+  Option.iter Run_store.close t.store;
+  Log.info (fun m -> m "drained, exiting")

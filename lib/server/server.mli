@@ -1,0 +1,65 @@
+(** The partitioning service daemon ([hypart serve]).
+
+    A single-binary HTTP/1.1 server over stdlib [Unix] sockets: an
+    accept loop admits connections into a bounded {!Job_queue}
+    (backpressure: a full queue is answered [503 Retry-After]
+    immediately, never queued invisibly), and a pool of worker domains
+    pops connections, parses requests with the incremental {!Http}
+    codec and runs partitioning jobs.
+
+    Served results are bit-identical to offline runs: a request with
+    [starts=1] executes [Engine.run engine (Rng.create seed)], exactly
+    the CLI's sequential path, and [starts=n] executes
+    [Engine.multistart_seeds] over seeds [seed .. seed+n-1], exactly
+    the CLI's [--domains] path — deterministic regardless of the
+    worker pool size.
+
+    Duplicate submissions are content-addressed through
+    {!Hypart_lab.Cache}: the key combines engine name, config
+    fingerprint, instance fingerprint and seed, so an identical
+    resubmission is answered from the cache with zero engine runs
+    (and, with [store], the cache is persistent across daemon
+    restarts — every fresh run appends a {!Hypart_lab.Run_store}
+    record).
+
+    Deadlines are cooperative: the worker installs a
+    {!Hypart_engine.Cancel} hook for the request, and the FM pass loop
+    and multistart combinators poll it; an expired request is answered
+    [504].  [SIGTERM] (wired in the CLI to {!shutdown}) drains
+    gracefully: admitted work completes, new work is refused, workers
+    join, and the process exits 0.
+
+    Protocol reference: [docs/SERVER.md]. *)
+
+type config = {
+  host : string;  (** bind address, e.g. ["127.0.0.1"] *)
+  port : int;  (** [0] picks an ephemeral port (see {!port}) *)
+  workers : int;  (** worker domains (>= 1) *)
+  queue_capacity : int;  (** bounded queue depth (>= 1) *)
+  max_body : int;  (** request bodies above this are 413 *)
+  store : string option;  (** lab run-store directory for persistence *)
+  retention : int;  (** jobs kept for [/jobs/<id>] *)
+}
+
+val default_config : config
+(** 127.0.0.1:8817, [Parallel.recommended_domains ()] workers, queue
+    64, 64 MiB bodies, no store, retention 1024. *)
+
+type t
+
+val create : config -> t
+(** Bind and listen (so {!port} is valid immediately), load the cache
+    (from [store] when given), and enable telemetry collection.
+    @raise Unix.Unix_error when the address cannot be bound. *)
+
+val port : t -> int
+(** The actually bound port — useful with [port = 0]. *)
+
+val run : t -> unit
+(** Spawn the worker pool and serve until {!shutdown}; returns after
+    the graceful drain completes.  Call at most once. *)
+
+val shutdown : t -> unit
+(** Initiate the drain from any thread or from a signal handler:
+    stop accepting, let queued and in-flight requests finish, then
+    make {!run} return.  Idempotent. *)

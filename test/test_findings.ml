@@ -121,7 +121,7 @@ let test_multistart_monotone () =
   let eval starts =
     let rng = Rng.create 5 in
     let (best, _), dt =
-      Hypart_harness.Machine.cpu_time (fun () ->
+      Hypart_engine.Machine.cpu_time (fun () ->
           Ml.multistart ~config:Ml.ml_clip rng p ~starts)
     in
     (best.Hypart_fm.Fm.cut, dt)
@@ -134,7 +134,7 @@ let test_multistart_monotone () =
    multilevel start — the basis of the flat-first regime. *)
 let test_flat_faster_than_ml () =
   let p = problem "ibm03" in
-  let time f = snd (Hypart_harness.Machine.cpu_time f) in
+  let time f = snd (Hypart_engine.Machine.cpu_time f) in
   let tf =
     time (fun () -> Fm.run_random_start ~config:Fm_config.strong_lifo (Rng.create 6) p)
   in

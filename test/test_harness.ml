@@ -1,4 +1,4 @@
-module Machine = Hypart_harness.Machine
+module Machine = Hypart_engine.Machine
 module Table = Hypart_harness.Table
 module Experiments = Hypart_harness.Experiments
 
@@ -56,7 +56,7 @@ let test_table_csv () =
 
 (* -- Parallel -- *)
 
-module Parallel = Hypart_harness.Parallel
+module Parallel = Hypart_engine.Parallel
 
 let test_parallel_matches_sequential () =
   let seeds = [ 1; 5; 9; 13; 2; 7 ] in

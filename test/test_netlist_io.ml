@@ -69,6 +69,55 @@ let test_hgr_errors () =
   check_fails "pin out of range" "1 2\n1 3\n";
   check_fails "garbage pin" "1 2\n1 z\n"
 
+(* hardening: files written on Windows (CRLF), with trailing blank
+   lines, interleaved '%' comments or tab-separated fields must parse
+   to the same hypergraph as their canonical form *)
+let test_hgr_crlf_and_blanks () =
+  let path = tmp "hypart_test_crlf.hgr" in
+  let oc = open_out_bin path in
+  output_string oc
+    "% CRLF file\r\n3 4 1\r\n5 1 2\r\n% interior comment\r\n1\t3\t4\r\n2 2 3\r\n\r\n   \r\n";
+  close_out oc;
+  let h = Io.read_hgr path in
+  Alcotest.(check int) "3 edges" 3 (H.num_edges h);
+  Alcotest.(check int) "4 vertices" 4 (H.num_vertices h);
+  Alcotest.(check int) "edge weight" 5 (H.edge_weight h 0);
+  Alcotest.(check (array int)) "tab-separated pins" [| 2; 3 |] (H.edge_pins h 1)
+
+let test_hgr_located_errors () =
+  let read content =
+    let path = tmp "hypart_test_loc.hgr" in
+    let oc = open_out path in
+    output_string oc content;
+    close_out oc;
+    Io.read_hgr path
+  in
+  (* every malformed input must surface as a located Parse_error
+     ("path:line: ..."), never a bare exception from Array.make or
+     int_of_string *)
+  let check_located name content expected_line =
+    match read content with
+    | exception Io.Parse_error msg ->
+      let needle = Printf.sprintf ":%d:" expected_line in
+      let located =
+        let n = String.length needle in
+        let rec scan i =
+          i + n <= String.length msg
+          && (String.sub msg i n = needle || scan (i + 1))
+        in
+        scan 0
+      in
+      Alcotest.(check bool) (name ^ " is located at line") true located
+    | exception e ->
+      Alcotest.failf "%s: expected Parse_error, got %s" name (Printexc.to_string e)
+    | _ -> Alcotest.failf "%s: expected Parse_error, parse succeeded" name
+  in
+  check_located "negative edge count" "-1 4\n" 1;
+  check_located "negative vertex count" "1 -4\n1 2\n" 1;
+  check_located "pin out of range" "2 4\n1 2\n3 9\n" 3;
+  check_located "pin not an integer" "2 4\n1 2\n3 x\n" 3;
+  check_located "comment lines keep numbering" "% c\n2 4\n% c\n1 2\n3 9\n" 5
+
 let test_are_roundtrip () =
   let h = sample () in
   let path = tmp "hypart_test.are" in
@@ -225,6 +274,8 @@ let () =
           Alcotest.test_case "roundtrip unweighted" `Quick test_hgr_roundtrip_unweighted;
           Alcotest.test_case "comments and fmt 1" `Quick test_hgr_comments_and_fmt1;
           Alcotest.test_case "malformed inputs" `Quick test_hgr_errors;
+          Alcotest.test_case "CRLF, blanks, tabs" `Quick test_hgr_crlf_and_blanks;
+          Alcotest.test_case "located errors" `Quick test_hgr_located_errors;
         ] );
       ( "are",
         [

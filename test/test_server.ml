@@ -1,0 +1,489 @@
+(* The lib/server daemon: HTTP codec robustness (partial reads, body
+   limits, malformed requests), bounded-queue semantics, client backoff
+   determinism, and live end-to-end behaviour — served results equal
+   offline runs, duplicate submissions hit the cache with zero engine
+   runs, a full queue answers 503 with Retry-After instead of hanging,
+   deadlines are answered 504, and SIGTERM-style shutdown drains
+   cleanly. *)
+
+module Http = Hypart_server.Http
+module Job_queue = Hypart_server.Job_queue
+module Job_table = Hypart_server.Job_table
+module Server = Hypart_server.Server
+module Client = Hypart_server.Client
+module Engine = Hypart_engine.Engine
+module Rng = Hypart_rng.Rng
+module Io = Hypart_hypergraph.Netlist_io
+module Problem = Hypart_partition.Problem
+module Bipartition = Hypart_partition.Bipartition
+module Initial = Hypart_partition.Initial
+
+(* ---------------- http codec ---------------- *)
+
+let simple_request =
+  "POST /partition?engine=flat&seed=7 HTTP/1.1\r\nHost: x\r\nContent-Length: 5\r\n\r\nhello"
+
+let feed_all parser chunks =
+  let rec go = function
+    | [] -> `More
+    | [ last ] -> Http.feed parser last
+    | c :: rest -> (
+      match Http.feed parser c with `More -> go rest | terminal -> terminal)
+  in
+  go chunks
+
+let check_simple = function
+  | `Request r ->
+    Alcotest.(check string) "meth" "POST" r.Http.meth;
+    Alcotest.(check string) "path" "/partition" r.Http.path;
+    Alcotest.(check (option string)) "engine" (Some "flat")
+      (Http.query_param r "engine");
+    Alcotest.(check (option string)) "seed" (Some "7")
+      (Http.query_param r "seed");
+    Alcotest.(check (option string)) "host" (Some "x") (Http.header r "Host");
+    Alcotest.(check string) "body" "hello" r.Http.body
+  | `More -> Alcotest.fail "request incomplete"
+  | `Error _ -> Alcotest.fail "request rejected"
+
+let test_http_whole () =
+  check_simple (Http.feed (Http.create_parser ()) simple_request)
+
+(* the parser must not care where [Unix.read] split the bytes: feeding
+   one byte at a time parses identically to one whole-buffer feed *)
+let test_http_byte_at_a_time () =
+  let chunks =
+    List.init (String.length simple_request) (fun i ->
+        String.make 1 simple_request.[i])
+  in
+  check_simple (feed_all (Http.create_parser ()) chunks)
+
+let test_http_split_everywhere () =
+  for cut = 1 to String.length simple_request - 1 do
+    let a = String.sub simple_request 0 cut in
+    let b =
+      String.sub simple_request cut (String.length simple_request - cut)
+    in
+    check_simple (feed_all (Http.create_parser ()) [ a; b ])
+  done
+
+let test_http_oversized_body () =
+  let parser = Http.create_parser ~max_body:10 () in
+  (* rejected the moment Content-Length is parsed — no body bytes fed *)
+  match
+    Http.feed parser "POST /x HTTP/1.1\r\nContent-Length: 11\r\n\r\n"
+  with
+  | `Error (Http.Body_too_large limit) ->
+    Alcotest.(check int) "limit reported" 10 limit
+  | `Error (Http.Bad_request msg) -> Alcotest.fail ("wrong error: " ^ msg)
+  | `More -> Alcotest.fail "oversized body not rejected"
+  | `Request _ -> Alcotest.fail "oversized body accepted"
+
+let test_http_at_limit_body () =
+  match
+    Http.feed
+      (Http.create_parser ~max_body:5 ())
+      "POST /x HTTP/1.1\r\nContent-Length: 5\r\n\r\nhello"
+  with
+  | `Request r -> Alcotest.(check string) "body" "hello" r.Http.body
+  | _ -> Alcotest.fail "body exactly at the limit must be accepted"
+
+let test_http_malformed () =
+  let expect_bad raw =
+    match Http.feed (Http.create_parser ()) raw with
+    | `Error (Http.Bad_request _) -> ()
+    | `More -> Alcotest.fail (Printf.sprintf "%S: incomplete, not rejected" raw)
+    | `Request _ -> Alcotest.fail (Printf.sprintf "%S: accepted" raw)
+    | `Error (Http.Body_too_large _) ->
+      Alcotest.fail (Printf.sprintf "%S: wrong error" raw)
+  in
+  expect_bad "not an http request line\r\n\r\n";
+  expect_bad "GET\r\n\r\n";
+  expect_bad "GET /x HTTP/1.1\r\nno colon here\r\n\r\n";
+  expect_bad "GET /x HTTP/1.1\r\nContent-Length: nope\r\n\r\n";
+  expect_bad "GET /x HTTP/1.1\r\nContent-Length: -4\r\n\r\n";
+  expect_bad "GET /x HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n"
+
+let test_http_response_round_trip () =
+  let rendered =
+    Http.render_response
+      ~headers:[ ("Retry-After", "1") ]
+      ~status:503 ~body:"busy" ()
+  in
+  match Http.parse_response rendered with
+  | Error msg -> Alcotest.fail msg
+  | Ok resp ->
+    Alcotest.(check int) "status" 503 resp.Http.status;
+    Alcotest.(check (option string)) "retry-after" (Some "1")
+      (Http.resp_header resp "Retry-After");
+    Alcotest.(check string) "body" "busy" resp.Http.resp_body
+
+(* ---------------- job queue ---------------- *)
+
+let test_queue_bounds () =
+  let q = Job_queue.create ~capacity:2 in
+  Alcotest.(check bool) "push 1" true (Job_queue.try_push q 1);
+  Alcotest.(check bool) "push 2" true (Job_queue.try_push q 2);
+  Alcotest.(check bool) "push 3 rejected" false (Job_queue.try_push q 3);
+  Alcotest.(check int) "length" 2 (Job_queue.length q);
+  Alcotest.(check (option int)) "pop 1" (Some 1) (Job_queue.pop q);
+  Alcotest.(check bool) "room again" true (Job_queue.try_push q 4)
+
+let test_queue_close_drains () =
+  let q = Job_queue.create ~capacity:4 in
+  ignore (Job_queue.try_push q 1);
+  ignore (Job_queue.try_push q 2);
+  Job_queue.close q;
+  Alcotest.(check bool) "closed rejects" false (Job_queue.try_push q 3);
+  Alcotest.(check (option int)) "drains 1" (Some 1) (Job_queue.pop q);
+  Alcotest.(check (option int)) "drains 2" (Some 2) (Job_queue.pop q);
+  Alcotest.(check (option int)) "then None" None (Job_queue.pop q)
+
+let test_queue_blocking_pop () =
+  let q = Job_queue.create ~capacity:1 in
+  let d = Domain.spawn (fun () -> Job_queue.pop q) in
+  Unix.sleepf 0.02;
+  ignore (Job_queue.try_push q 42);
+  Alcotest.(check (option int)) "woken with the item" (Some 42) (Domain.join d)
+
+(* ---------------- client backoff ---------------- *)
+
+let test_backoff_schedule () =
+  let d a j = Client.backoff_delay ~base:0.25 ~cap:8.0 ~attempt:a ~retry_after:None j in
+  (* jitter 0 gives the guaranteed half of the window *)
+  Alcotest.(check (float 1e-9)) "attempt 0 floor" 0.125 (d 0 0.);
+  Alcotest.(check (float 1e-9)) "attempt 1 floor" 0.25 (d 1 0.);
+  (* jitter 1 gives the full window, capped *)
+  Alcotest.(check (float 1e-9)) "attempt 2 full" 1.0 (d 2 1.);
+  Alcotest.(check (float 1e-9)) "cap reached" 8.0 (d 20 1.);
+  (* the server's Retry-After is a floor *)
+  Alcotest.(check (float 1e-9)) "retry-after floor" 3.0
+    (Client.backoff_delay ~attempt:0 ~retry_after:(Some 3.0) 0.);
+  (* monotone in the attempt for fixed jitter *)
+  let prev = ref 0. in
+  for a = 0 to 10 do
+    let v = d a 0.5 in
+    Alcotest.(check bool) "monotone" true (v >= !prev);
+    prev := v
+  done
+
+let test_with_retries_stops_on_success () =
+  let calls = ref 0 in
+  let slept = ref [] in
+  let outcome =
+    Client.with_retries ~attempts:5
+      ~sleep:(fun s -> slept := s :: !slept)
+      (fun () ->
+        incr calls;
+        if !calls < 3 then
+          Ok
+            {
+              Http.status = 503;
+              resp_headers = [ ("retry-after", "0.01") ];
+              resp_body = "";
+            }
+        else Ok { Http.status = 200; resp_headers = []; resp_body = "done" })
+  in
+  Alcotest.(check int) "two 503s then success" 3 !calls;
+  Alcotest.(check int) "slept between attempts" 2 (List.length !slept);
+  match outcome with
+  | Ok r -> Alcotest.(check int) "final status" 200 r.Http.status
+  | Error msg -> Alcotest.fail msg
+
+let test_with_retries_exhausts () =
+  let calls = ref 0 in
+  let outcome =
+    Client.with_retries ~attempts:3 ~sleep:(fun _ -> ()) (fun () ->
+        incr calls;
+        Error "connection refused")
+  in
+  Alcotest.(check int) "all attempts used" 3 !calls;
+  match outcome with
+  | Error msg -> Alcotest.(check string) "last error" "connection refused" msg
+  | Ok _ -> Alcotest.fail "cannot succeed"
+
+(* ---------------- live server ---------------- *)
+
+(* a 4-vertex instance small enough that every engine is instant *)
+let tiny_hgr = "2 4\n1 2\n3 4\n"
+
+(* test-only engines, registered once: [test-count] counts invocations
+   (for the zero-engine-runs dedup assertion), [test-gate] blocks until
+   released (to hold a worker busy deterministically), [test-poll]
+   spins on the cancellation hook (to exercise mid-run deadlines) *)
+let count_runs = Atomic.make 0
+let gate_open = Atomic.make false
+let gate_entered = Atomic.make 0
+
+let trivial_result problem rng =
+  let solution = Initial.random rng problem in
+  {
+    Engine.Result.solution;
+    cut = Bipartition.cut problem.Problem.hypergraph solution;
+    legal = Bipartition.is_legal solution problem.Problem.balance;
+    stats = [];
+  }
+
+let () =
+  Engine.register
+    (Engine.make ~name:"test-count" ~description:"counts runs"
+       (fun rng problem _ ->
+         Atomic.incr count_runs;
+         trivial_result problem rng));
+  Engine.register
+    (Engine.make ~name:"test-gate" ~description:"blocks until released"
+       (fun rng problem _ ->
+         Atomic.incr gate_entered;
+         while not (Atomic.get gate_open) do
+           Unix.sleepf 0.002
+         done;
+         trivial_result problem rng));
+  Engine.register
+    (Engine.make ~name:"test-poll" ~description:"spins on the cancel hook"
+       (fun rng problem _ ->
+         let deadline = Unix.gettimeofday () +. 5.0 in
+         while Unix.gettimeofday () < deadline do
+           Hypart_engine.Cancel.check ();
+           Unix.sleepf 0.002
+         done;
+         trivial_result problem rng))
+
+let with_server ?(workers = 2) ?(queue_capacity = 8) f =
+  let server =
+    Server.create
+      {
+        Server.default_config with
+        Server.port = 0;
+        workers;
+        queue_capacity;
+        retention = 64;
+      }
+  in
+  let port = Server.port server in
+  let d = Domain.spawn (fun () -> Server.run server) in
+  Fun.protect
+    ~finally:(fun () ->
+      Server.shutdown server;
+      Domain.join d)
+    (fun () -> f server port)
+
+let submit ?(query = "") ?(body = tiny_hgr) port =
+  match
+    Client.http_request ~host:"127.0.0.1" ~port ~meth:"POST"
+      ~path:("/partition?out=json" ^ query) ~body ()
+  with
+  | Ok resp -> resp
+  | Error msg -> Alcotest.fail ("transport: " ^ msg)
+
+let get port path =
+  match Client.http_request ~host:"127.0.0.1" ~port ~meth:"GET" ~path () with
+  | Ok resp -> resp
+  | Error msg -> Alcotest.fail ("transport: " ^ msg)
+
+let hdr resp name =
+  match Http.resp_header resp name with
+  | Some v -> v
+  | None -> Alcotest.fail ("missing header " ^ name)
+
+let test_serve_matches_offline () =
+  with_server (fun _server port ->
+      let resp = submit ~query:"&engine=flat&seed=9" port in
+      Alcotest.(check int) "status" 200 resp.Http.status;
+      Alcotest.(check string) "fresh" "false" (hdr resp "x-hypart-cached");
+      (* the daemon's determinism contract: same engine, same seed,
+         same bytes as the offline single-start path *)
+      let tmp = Filename.temp_file "hypart_test" ".hgr" in
+      let oc = open_out tmp in
+      output_string oc tiny_hgr;
+      close_out oc;
+      let h = Io.read_hgr tmp in
+      Sys.remove tmp;
+      let problem = Problem.make ~tolerance:0.02 h in
+      let offline =
+        Engine.run (Engine.find_exn "flat") (Rng.create 9) problem None
+      in
+      Alcotest.(check string) "served cut = offline cut"
+        (string_of_int offline.Engine.Result.cut)
+        (hdr resp "x-hypart-cut"))
+
+let test_serve_dedup_zero_runs () =
+  with_server (fun _server port ->
+      Atomic.set count_runs 0;
+      let first = submit ~query:"&engine=test-count&seed=4" port in
+      Alcotest.(check int) "first status" 200 first.Http.status;
+      Alcotest.(check string) "first fresh" "false"
+        (hdr first "x-hypart-cached");
+      Alcotest.(check int) "one engine run" 1 (Atomic.get count_runs);
+      let again = submit ~query:"&engine=test-count&seed=4" port in
+      Alcotest.(check int) "dup status" 200 again.Http.status;
+      Alcotest.(check string) "dup cached" "true" (hdr again "x-hypart-cached");
+      Alcotest.(check string) "same cut" (hdr first "x-hypart-cut")
+        (hdr again "x-hypart-cut");
+      (* the acceptance criterion: the duplicate ran no engine *)
+      Alcotest.(check int) "still one engine run" 1 (Atomic.get count_runs);
+      (* a different seed is a different key *)
+      let other = submit ~query:"&engine=test-count&seed=5" port in
+      Alcotest.(check string) "other fresh" "false"
+        (hdr other "x-hypart-cached");
+      Alcotest.(check int) "second engine run" 2 (Atomic.get count_runs))
+
+let test_serve_queue_full_503 () =
+  (* one worker, queue of one: A occupies the worker, B waits in the
+     queue, so C must be answered 503 Retry-After immediately *)
+  with_server ~workers:1 ~queue_capacity:1 (fun _server port ->
+      Atomic.set gate_open false;
+      Atomic.set gate_entered 0;
+      let a =
+        Domain.spawn (fun () -> submit ~query:"&engine=test-gate&seed=1" port)
+      in
+      (* the worker is provably inside the gated engine... *)
+      while Atomic.get gate_entered < 1 do
+        Unix.sleepf 0.002
+      done;
+      (* ...and B is provably in the queue (depth gauge is set by the
+         accept loop after a successful push) *)
+      let b = Domain.spawn (fun () -> get port "/healthz") in
+      while Hypart_telemetry.Metrics.gauge_value "server.queue_depth" < 1. do
+        Unix.sleepf 0.002
+      done;
+      let c = get port "/healthz" in
+      Alcotest.(check int) "C rejected" 503 c.Http.status;
+      Alcotest.(check string) "Retry-After present" "1" (hdr c "retry-after");
+      Atomic.set gate_open true;
+      let a = Domain.join a and b = Domain.join b in
+      Alcotest.(check int) "A completed" 200 a.Http.status;
+      Alcotest.(check int) "B completed" 200 b.Http.status)
+
+let test_serve_deadline_504 () =
+  with_server ~workers:1 (fun _server port ->
+      (* mid-run expiry: the engine polls the cancel hook *)
+      let resp =
+        submit ~query:"&engine=test-poll&seed=1&deadline_ms=60" port
+      in
+      Alcotest.(check int) "expired mid-run" 504 resp.Http.status;
+      (* queued expiry: the worker is gated while the deadline passes *)
+      Atomic.set gate_open false;
+      Atomic.set gate_entered 0;
+      let a =
+        Domain.spawn (fun () -> submit ~query:"&engine=test-gate&seed=2" port)
+      in
+      while Atomic.get gate_entered < 1 do
+        Unix.sleepf 0.002
+      done;
+      let b =
+        Domain.spawn (fun () ->
+            submit ~query:"&engine=flat&seed=3&deadline_ms=40" port)
+      in
+      Unix.sleepf 0.12;
+      Atomic.set gate_open true;
+      let a = Domain.join a and b = Domain.join b in
+      Alcotest.(check int) "gated job fine" 200 a.Http.status;
+      Alcotest.(check int) "queued job expired" 504 b.Http.status)
+
+let test_serve_survives_malformed () =
+  with_server (fun _server port ->
+      (* raw garbage must be answered 400 and must not take the worker
+         down *)
+      let fd = Unix.socket PF_INET SOCK_STREAM 0 in
+      Unix.connect fd (ADDR_INET (Unix.inet_addr_loopback, port));
+      let garbage = "this is not http\r\n\r\n" in
+      ignore (Unix.write_substring fd garbage 0 (String.length garbage));
+      let buf = Bytes.create 4096 in
+      let n = Unix.read fd buf 0 (Bytes.length buf) in
+      Unix.close fd;
+      let raw = Bytes.sub_string buf 0 n in
+      (match Http.parse_response raw with
+      | Ok resp -> Alcotest.(check int) "garbage is 400" 400 resp.Http.status
+      | Error msg -> Alcotest.fail msg);
+      (* the same worker pool still serves *)
+      let ok = get port "/healthz" in
+      Alcotest.(check int) "healthz after garbage" 200 ok.Http.status;
+      let oversized = submit ~body:(String.make (80 * 1024 * 1024) 'x') port in
+      Alcotest.(check int) "oversized is 413" 413 oversized.Http.status;
+      let bad = submit ~query:"&engine=no-such-engine" port in
+      Alcotest.(check int) "unknown engine is 400" 400 bad.Http.status;
+      let bad = submit ~body:"2 4\nbogus pins\n" ~query:"&engine=flat" port in
+      Alcotest.(check int) "bad netlist is 400" 400 bad.Http.status;
+      let missing = get port "/jobs/999999" in
+      Alcotest.(check int) "unknown job is 404" 404 missing.Http.status;
+      let nope = get port "/no-such-endpoint" in
+      Alcotest.(check int) "unknown path is 404" 404 nope.Http.status)
+
+let test_serve_jobs_and_metrics () =
+  with_server (fun _server port ->
+      let resp = submit ~query:"&engine=flat&seed=2" port in
+      let id = hdr resp "x-hypart-job" in
+      let job = get port ("/jobs/" ^ id) in
+      Alcotest.(check int) "job found" 200 job.Http.status;
+      let has needle hay =
+        let nl = String.length needle and hl = String.length hay in
+        let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
+        Alcotest.(check bool) (needle ^ " present") true (go 0)
+      in
+      has "\"status\":\"done\"" job.Http.resp_body;
+      has "\"engine\":\"flat\"" job.Http.resp_body;
+      let metrics = get port "/metrics" in
+      Alcotest.(check int) "metrics ok" 200 metrics.Http.status;
+      has "server.requests" metrics.Http.resp_body;
+      let health = get port "/healthz" in
+      has "\"status\":\"ok\"" health.Http.resp_body)
+
+let test_serve_shutdown_drains () =
+  let server =
+    Server.create
+      { Server.default_config with Server.port = 0; workers = 2 }
+  in
+  let port = Server.port server in
+  let d = Domain.spawn (fun () -> Server.run server) in
+  let resp = submit ~query:"&engine=flat&seed=1" port in
+  Alcotest.(check int) "served before shutdown" 200 resp.Http.status;
+  Server.shutdown server;
+  Server.shutdown server;
+  (* idempotent *)
+  Domain.join d;
+  (* run returned: the drain completed; the port no longer accepts *)
+  match
+    Client.http_request ~host:"127.0.0.1" ~port ~meth:"GET" ~path:"/healthz" ()
+  with
+  | Error _ -> ()
+  | Ok resp ->
+    Alcotest.failf "daemon still serving after drain (got %d)" resp.Http.status
+
+let () =
+  Alcotest.run "server"
+    [
+      ( "http",
+        [
+          Alcotest.test_case "whole request" `Quick test_http_whole;
+          Alcotest.test_case "byte at a time" `Quick test_http_byte_at_a_time;
+          Alcotest.test_case "split everywhere" `Quick test_http_split_everywhere;
+          Alcotest.test_case "oversized body" `Quick test_http_oversized_body;
+          Alcotest.test_case "body at limit" `Quick test_http_at_limit_body;
+          Alcotest.test_case "malformed requests" `Quick test_http_malformed;
+          Alcotest.test_case "response round trip" `Quick
+            test_http_response_round_trip;
+        ] );
+      ( "queue",
+        [
+          Alcotest.test_case "bounds" `Quick test_queue_bounds;
+          Alcotest.test_case "close drains" `Quick test_queue_close_drains;
+          Alcotest.test_case "blocking pop" `Quick test_queue_blocking_pop;
+        ] );
+      ( "client",
+        [
+          Alcotest.test_case "backoff schedule" `Quick test_backoff_schedule;
+          Alcotest.test_case "retries stop on success" `Quick
+            test_with_retries_stops_on_success;
+          Alcotest.test_case "retries exhaust" `Quick test_with_retries_exhausts;
+        ] );
+      ( "live",
+        [
+          Alcotest.test_case "served = offline" `Quick test_serve_matches_offline;
+          Alcotest.test_case "dedup zero runs" `Quick test_serve_dedup_zero_runs;
+          Alcotest.test_case "queue full 503" `Quick test_serve_queue_full_503;
+          Alcotest.test_case "deadline 504" `Quick test_serve_deadline_504;
+          Alcotest.test_case "survives malformed" `Quick
+            test_serve_survives_malformed;
+          Alcotest.test_case "jobs and metrics" `Quick test_serve_jobs_and_metrics;
+          Alcotest.test_case "shutdown drains" `Quick test_serve_shutdown_drains;
+        ] );
+    ]
