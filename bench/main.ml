@@ -384,6 +384,12 @@ let () =
       print_results rows;
       print_newline ())
     groups;
+  (* calibrate after the benchmarks so the spin loop doesn't heat the
+     machine under them; the factor makes the committed baseline
+     comparable across runner speeds (hypart bench-diff multiplies
+     each side by its own factor) *)
+  Hypart_engine.Machine.set_normalization_factor
+    (Hypart_engine.Machine.calibrate ());
   Metrics.set_gauge "bench.normalization_factor"
     (Hypart_engine.Machine.normalization_factor ());
   (* stamp the snapshot with the commit it measures, so trajectories

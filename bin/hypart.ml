@@ -20,6 +20,8 @@ module Engine = Hypart_engine.Engine
 module Telemetry = Hypart_telemetry.Telemetry
 module Metrics = Hypart_telemetry.Metrics
 module Trace = Hypart_telemetry.Trace
+module Event_log = Hypart_telemetry.Event_log
+module Bench_diff = Hypart_telemetry.Bench_diff
 module Reporter = Hypart_telemetry.Reporter
 module Server = Hypart_server.Server
 module Client = Hypart_server.Client
@@ -118,10 +120,21 @@ let emit csv table =
    telemetry sinks.  Output files are written at exit so a command only
    pays for collection when one of the flags is given. *)
 let common_t =
-  let setup verbose trace metrics profile =
+  let setup verbose trace metrics profile events =
     Reporter.setup
       ~level:(if verbose then Some Logs.Debug else Some Logs.Warning)
       ();
+    (* the flight recorder is independent of the metrics/trace switch:
+       recording is gated on the sink being installed *)
+    (match events with
+    | None -> ()
+    | Some path -> (
+      match Event_log.open_log path with
+      | log ->
+        Event_log.install log;
+        at_exit (fun () -> Event_log.close log)
+      | exception Sys_error msg ->
+        Printf.eprintf "hypart: cannot open events file: %s\n%!" msg));
     if trace <> None || metrics <> None || profile then begin
       Telemetry.enable ();
       let write_or_warn what f path =
@@ -174,7 +187,17 @@ let common_t =
       & info [ "profile" ]
           ~doc:"Print a phase-time summary table after the command completes.")
   in
-  Term.(const setup $ verbose_t $ trace_t $ metrics_t $ profile_t)
+  let events_t =
+    Arg.(
+      value
+      & opt (some out_path_conv) None
+      & info [ "events" ] ~docv:"FILE"
+          ~doc:
+            "Append lifecycle events (request admitted, pass improved, \
+             rollback, done/failed) to $(docv) as flushed JSONL — the flight \
+             recorder (docs/OBSERVABILITY.md).")
+  in
+  Term.(const setup $ verbose_t $ trace_t $ metrics_t $ profile_t $ events_t)
 
 (* ---------------- generate ---------------- *)
 
@@ -1044,9 +1067,14 @@ let submit_cmd =
         (if deadline_ms > 0 then Printf.sprintf "&deadline_ms=%d" deadline_ms
          else "")
     in
+    (* mint a request id so daemon-side spans and flight-recorder
+       events can be correlated with this submission *)
+    let rid = Client.mint_request_id () in
     match
       Client.with_retries ~attempts (fun () ->
-          Client.http_request ~host ~port ~meth:"POST" ~path ~body ())
+          Client.http_request ~host ~port ~meth:"POST" ~path
+            ~headers:[ ("X-Hypart-Request-Id", rid) ]
+            ~body ())
     with
     | Error msg ->
       Printf.eprintf "submit failed: %s\n" msg;
@@ -1068,6 +1096,9 @@ let submit_cmd =
         (if cached then " [cached]" else "");
       Printf.printf "server job %s, engine CPU %ss\n" (hdr "x-hypart-job")
         (hdr "x-hypart-seconds");
+      Printf.printf "request id: %s\n"
+        (Option.value ~default:rid
+           (Http.resp_header resp "x-hypart-request-id"));
       match out_file with
       | None -> ()
       | Some out ->
@@ -1140,6 +1171,55 @@ let submit_cmd =
       const run $ common_t $ input_t $ scale_t $ host_t $ port_t $ engine_t
       $ seed_t $ starts_t $ tol_t $ deadline_t $ attempts_t $ out_t)
 
+(* ---------------- bench-diff ---------------- *)
+
+let bench_diff_cmd =
+  let run () old_path new_path tolerance prefix =
+    match Bench_diff.diff_files ~prefix ~tolerance old_path new_path with
+    | Error msg ->
+      Printf.eprintf "bench-diff: %s\n" msg;
+      exit 2
+    | Ok report ->
+      print_string (Bench_diff.render ~tolerance report);
+      if report.Bench_diff.regressions <> [] then exit 1
+  in
+  let old_t =
+    Arg.(
+      required
+      & pos 0 (some non_dir_file) None
+      & info [] ~docv:"OLD" ~doc:"Baseline metrics snapshot (JSON).")
+  in
+  let new_t =
+    Arg.(
+      required
+      & pos 1 (some non_dir_file) None
+      & info [] ~docv:"NEW" ~doc:"Candidate metrics snapshot (JSON).")
+  in
+  let tolerance_t =
+    Arg.(
+      value
+      & opt (pos_float_conv "tolerance") 0.15
+      & info [ "tolerance" ] ~docv:"T"
+          ~doc:
+            "Allowed slowdown ratio: a benchmark whose normalized ns/run \
+             grows by more than $(docv) (e.g. 0.15 = +15%) is a regression.")
+  in
+  let prefix_t =
+    Arg.(
+      value
+      & opt string "bench."
+      & info [ "prefix" ] ~docv:"P" ~doc:"Gauge-name prefix to compare.")
+  in
+  Cmd.v
+    (Cmd.info "bench-diff"
+       ~doc:
+         "Compare bench.* gauges between two metrics snapshots (as written by \
+          the bench runner), print a per-benchmark delta table, and exit \
+          nonzero when any benchmark regressed beyond the tolerance.  Both \
+          sides are scaled by their recorded machine normalization factor \
+          before comparison.")
+    Term.(const run $ common_t $ old_t $ new_t $ tolerance_t $ prefix_t)
+
 let main_cmd =
   Cmd.group
     (Cmd.info "hypart" ~version:"1.0.0"
@@ -1151,7 +1231,7 @@ let main_cmd =
       engines_cmd; table1_cmd; table2_cmd; table3_cmd;
       tables45_cmd; bsf_cmd; pareto_cmd; ranking_cmd; corking_cmd;
       regime_cmd; fixed_cmd; ablation_cmd; placement_cmd; compare_cmd; all_cmd;
-      lab_cmd; serve_cmd; submit_cmd;
+      lab_cmd; serve_cmd; submit_cmd; bench_diff_cmd;
     ]
 
 let () = exit (Cmd.eval main_cmd)

@@ -12,6 +12,7 @@ module Log = (val Logs.src_log log_src)
 module Tel = Hypart_telemetry.Control
 module Metrics = Hypart_telemetry.Metrics
 module Trace = Hypart_telemetry.Trace
+module Event_log = Hypart_telemetry.Event_log
 
 type stats = {
   passes : int;
@@ -494,6 +495,24 @@ let run ?(config = Fm_config.default) ?workspace rng problem initial =
        if Tel.is_enabled () then begin
          Metrics.observe "fm.pass_cut" (float_of_int st.cur_cut);
          Metrics.observe "fm.rollback_depth" (float_of_int rollback)
+       end;
+       if Event_log.enabled () then begin
+         (* flight-recorder pass boundary; request/job ids arrive via
+            the recording domain's Trace context on the serving path *)
+         if pass_best < !best then
+           Event_log.record "run.pass_improved"
+             [
+               ("pass", Event_log.Int !n_passes);
+               ("cut", Event_log.Int pass_best);
+               ("moves", Event_log.Int pass_moves);
+             ];
+         if rollback > 0 then
+           Event_log.record "run.rolled_back"
+             [
+               ("pass", Event_log.Int !n_passes);
+               ("rollback", Event_log.Int rollback);
+               ("cut", Event_log.Int st.cur_cut);
+             ]
        end;
        Log.debug (fun m ->
            m "pass %d (%s): best cut %d, %d moves" !n_passes

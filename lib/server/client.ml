@@ -4,6 +4,20 @@ type response = Http.response = {
   resp_body : string;
 }
 
+(* Client-side request ids: decimal integers below 2^53, so the daemon
+   can stamp them into float-valued trace-span args exactly.  Wall-time
+   microseconds plus a pid/counter tag keeps concurrent clients apart. *)
+let rid_counter = Atomic.make 0
+
+let mint_request_id () =
+  let us = Int64.of_float (Unix.gettimeofday () *. 1e6) in
+  let c = Atomic.fetch_and_add rid_counter 1 in
+  let tag = (Unix.getpid () lxor (c * 131)) land 0x3ff in
+  Int64.to_string
+    (Int64.logand
+       (Int64.add (Int64.mul us 1024L) (Int64.of_int tag))
+       0x1F_FFFF_FFFF_FFFFL)
+
 let rec write_all fd s off len =
   if len > 0 then
     match Unix.write_substring fd s off len with

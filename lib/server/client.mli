@@ -15,6 +15,11 @@ type response = Http.response = {
   resp_body : string;
 }
 
+val mint_request_id : unit -> string
+(** A fresh request id for [X-Hypart-Request-Id]: a decimal integer
+    below 2{^53}, so the daemon can stamp it into float-valued trace
+    args without loss. *)
+
 val http_request :
   host:string ->
   port:int ->

@@ -21,12 +21,15 @@ let status_name = function
 
 type job = {
   id : int;
+  request_id : string;
   engine : string;
   key : string;
   seed : int;
   starts : int;
   submitted_s : float;
   mutable status : status;
+  mutable started_s : float option;
+  mutable finished_s : float option;
   mutable cut : int option;
   mutable legal : bool option;
   mutable seconds : float;
@@ -54,19 +57,22 @@ let with_lock t f =
   Mutex.lock t.lock;
   Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
 
-let add t ~engine ~key ~seed ~starts =
+let add t ~request_id ~engine ~key ~seed ~starts =
   with_lock t (fun () ->
       let id = t.next_id in
       t.next_id <- id + 1;
       let job =
         {
           id;
+          request_id;
           engine;
           key;
           seed;
           starts;
           submitted_s = Clock.now_s ();
           status = Queued;
+          started_s = None;
+          finished_s = None;
           cut = None;
           legal = None;
           seconds = 0.;
@@ -78,7 +84,20 @@ let add t ~engine ~key ~seed ~starts =
         Hashtbl.remove t.by_id (Queue.pop t.order);
       job)
 
-let update t job status = with_lock t (fun () -> job.status <- status)
+let is_terminal = function
+  | Done | Served_cached | Deadline_exceeded | Rejected _ | Failed _ -> true
+  | Queued | Running -> false
+
+let update t job status =
+  with_lock t (fun () ->
+      let now = Clock.now_s () in
+      (match status with
+      | Running -> if job.started_s = None then job.started_s <- Some now
+      | s when is_terminal s ->
+        if job.finished_s = None then job.finished_s <- Some now
+      | _ -> ());
+      job.status <- status)
+
 let find t id = with_lock t (fun () -> Hashtbl.find_opt t.by_id id)
 
 let count t status =
@@ -98,17 +117,38 @@ let job_json t job =
         | _ -> []
       in
       let opt name f = function Some v -> [ (name, f v) ] | None -> [] in
+      let now = Clock.now_s () in
+      (* queue wait: submission to start of execution (to termination
+         for jobs answered without running, e.g. cache hits; to "now"
+         while still queued).  exec: start to finish (to "now" while
+         running). *)
+      let queue_end =
+        match (job.started_s, job.finished_s) with
+        | Some s, _ -> s
+        | None, Some f -> f
+        | None, None -> now
+      in
+      let exec =
+        match job.started_s with
+        | None -> []
+        | Some s ->
+          let e = match job.finished_s with Some f -> f | None -> now in
+          [ ("exec_seconds", J.number (e -. s)) ]
+      in
       J.obj
         ([
            ("job", J.int job.id);
+           ("request_id", J.string job.request_id);
            ("status", J.string (status_name job.status));
            ("engine", J.string job.engine);
            ("key", J.string job.key);
            ("seed", J.int job.seed);
            ("starts", J.int job.starts);
-           ("age_seconds", J.number (Clock.now_s () -. job.submitted_s));
-           ("seconds", J.number job.seconds);
+           ("age_seconds", J.number (now -. job.submitted_s));
+           ("queue_seconds", J.number (queue_end -. job.submitted_s));
          ]
+        @ exec
+        @ [ ("seconds", J.number job.seconds) ]
         @ opt "cut" J.int job.cut
         @ opt "legal" (fun b -> if b then "true" else "false") job.legal
         @ detail))

@@ -19,12 +19,15 @@ val status_name : status -> string
 
 type job = {
   id : int;
+  request_id : string;  (** client-supplied or daemon-minted trace id *)
   engine : string;
   key : string;  (** {!Hypart_lab.Run_store.key} content address *)
   seed : int;
   starts : int;
   submitted_s : float;  (** monotonic clock, seconds *)
   mutable status : status;
+  mutable started_s : float option;  (** set on the [Running] transition *)
+  mutable finished_s : float option;  (** set on the first terminal transition *)
   mutable cut : int option;
   mutable legal : bool option;
   mutable seconds : float;  (** engine CPU seconds (0 until done) *)
@@ -33,13 +36,19 @@ type job = {
 type t
 
 val create : retention:int -> t
-val add : t -> engine:string -> key:string -> seed:int -> starts:int -> job
+
+val add :
+  t -> request_id:string -> engine:string -> key:string -> seed:int ->
+  starts:int -> job
 (** Register a new job as [Queued]; ids are monotonically increasing
     from 1. *)
 
 val update : t -> job -> status -> unit
 (** Transition a job's status (takes the table lock so concurrent
-    [/jobs] readers see consistent records). *)
+    [/jobs] readers see consistent records).  Stamps [started_s] on the
+    first [Running] transition and [finished_s] on the first terminal
+    one, from which {!job_json} derives [queue_seconds] and
+    [exec_seconds]. *)
 
 val find : t -> int -> job option
 val count : t -> status -> int

@@ -13,6 +13,8 @@ module Fingerprint = Hypart_lab.Fingerprint
 module Provenance = Hypart_lab.Provenance
 module Tel = Hypart_telemetry.Control
 module Metrics = Hypart_telemetry.Metrics
+module Trace = Hypart_telemetry.Trace
+module Event_log = Hypart_telemetry.Event_log
 module Clock = Hypart_telemetry.Clock
 module J = Hypart_telemetry.Json_out
 
@@ -56,6 +58,7 @@ type t = {
   store : Run_store.t option;
   stop : bool Atomic.t;
   in_flight : int Atomic.t;
+  started_s : float;  (* monotonic, for /healthz uptime *)
   (* self-pipe: [shutdown] writes a byte so the accept loop's select
      wakes even when no connection is pending *)
   pipe_r : Unix.file_descr;
@@ -101,6 +104,7 @@ let create config =
     store;
     stop = Atomic.make false;
     in_flight = Atomic.make 0;
+    started_s = Clock.now_s ();
     pipe_r;
     pipe_w;
   }
@@ -150,6 +154,43 @@ let read_request fd max_body =
 let error_body msg = J.obj [ ("error", J.string msg) ]
 
 let count m = if Tel.is_enabled () then Metrics.incr m
+
+(* ------------------------------------------------------------------ *)
+(* Request ids
+
+   The client mints one (X-Hypart-Request-Id) so it can correlate its
+   submission with daemon-side spans and events; the daemon mints one
+   for clients that send none.  Ids are decimal integers below 2^53 so
+   they survive the float-valued Trace args exactly. *)
+
+let request_id_header = "X-Hypart-Request-Id"
+let rid_counter = Atomic.make 0
+
+let mint_request_id () =
+  let us = Int64.of_float (Unix.gettimeofday () *. 1e6) in
+  let c = Atomic.fetch_and_add rid_counter 1 in
+  let tag = (Unix.getpid () lxor (c * 131)) land 0x3ff in
+  Int64.to_string
+    (Int64.logand
+       (Int64.add (Int64.mul us 1024L) (Int64.of_int tag))
+       0x1F_FFFF_FFFF_FFFFL)
+
+(* Trace args are numeric; non-numeric client ids are hashed (FNV-1a)
+   so they still tag spans deterministically. *)
+let request_id_arg rid =
+  match float_of_string_opt rid with
+  | Some f when Float.is_finite f && Float.abs f < 9e15 -> f
+  | _ ->
+    let h = ref 0x811c9dc5 in
+    String.iter
+      (fun ch -> h := (!h lxor Char.code ch) * 0x01000193 land 0xFFFFFFFF)
+      rid;
+    float_of_int !h
+
+let request_id_of req =
+  match Http.header req "x-hypart-request-id" with
+  | Some s when s <> "" && String.length s <= 128 -> s
+  | _ -> mint_request_id ()
 
 (* ------------------------------------------------------------------ *)
 (* Request parameter parsing                                           *)
@@ -309,6 +350,7 @@ let config_fingerprint p =
 let result_headers job ~cached ~(cut : int) ~(legal : bool) ~seconds =
   [
     ("Content-Type", "application/json");
+    (request_id_header, job.Job_table.request_id);
     ("X-Hypart-Job", string_of_int job.Job_table.id);
     ("X-Hypart-Cut", string_of_int cut);
     ("X-Hypart-Legal", if legal then "true" else "false");
@@ -376,19 +418,32 @@ let run_engine p problem =
   end
 
 let handle_partition t fd (req : Http.request) accepted_s =
+  let rid = request_id_of req in
+  let rid_headers =
+    [ ("Content-Type", "application/json"); (request_id_header, rid) ]
+  in
+  let event name fields =
+    Event_log.record name
+      (("request_id", Event_log.Str rid) :: fields)
+  in
   match parse_params req with
   | exception Bad_param msg ->
     count "server.bad_requests";
-    send_response fd ~status:400 ~body:(error_body msg) ()
+    event "request.rejected" [ ("error", Event_log.Str msg) ];
+    send_response fd ~headers:rid_headers ~status:400 ~body:(error_body msg) ()
   | p -> (
     let engine_name = Engine.name p.engine in
     match decode_netlist req.Http.body p.format with
     | exception Io.Parse_error msg | exception Bookshelf.Parse_error msg ->
       count "server.bad_requests";
-      send_response fd ~status:400 ~body:(error_body ("netlist: " ^ msg)) ()
+      event "request.rejected" [ ("error", Event_log.Str ("netlist: " ^ msg)) ];
+      send_response fd ~headers:rid_headers ~status:400
+        ~body:(error_body ("netlist: " ^ msg)) ()
     | exception Invalid_argument msg ->
       count "server.bad_requests";
-      send_response fd ~status:400 ~body:(error_body ("netlist: " ^ msg)) ()
+      event "request.rejected" [ ("error", Event_log.Str ("netlist: " ^ msg)) ];
+      send_response fd ~headers:rid_headers ~status:400
+        ~body:(error_body ("netlist: " ^ msg)) ()
     | h -> (
       let problem = Problem.make ~tolerance:p.tolerance h in
       let key =
@@ -396,9 +451,18 @@ let handle_partition t fd (req : Http.request) accepted_s =
           ~instance:(Fingerprint.of_instance h) ~seed:p.seed
       in
       let job =
-        Job_table.add t.jobs ~engine:engine_name ~key ~seed:p.seed
-          ~starts:p.starts
+        Job_table.add t.jobs ~request_id:rid ~engine:engine_name ~key
+          ~seed:p.seed ~starts:p.starts
       in
+      let jobf = [ ("job", Event_log.Int job.Job_table.id) ] in
+      event "request.admitted"
+        (jobf
+        @ [
+            ("engine", Event_log.Str engine_name);
+            ("seed", Event_log.Int p.seed);
+            ("starts", Event_log.Int p.starts);
+            ("key", Event_log.Str key);
+          ]);
       match Cache.find t.cache ~key with
       | Some record ->
         (* duplicate submission: answered from the content-addressed
@@ -408,6 +472,8 @@ let handle_partition t fd (req : Http.request) accepted_s =
         job.Job_table.legal <- Some record.Run_store.legal;
         job.Job_table.seconds <- record.Run_store.seconds;
         Job_table.update t.jobs job Job_table.Served_cached;
+        event "request.dedup_hit"
+          (jobf @ [ ("cut", Event_log.Int record.Run_store.cut) ]);
         respond_result fd p job ~cached:true ~cut:record.Run_store.cut
           ~legal:record.Run_store.legal ~seconds:record.Run_store.seconds
           ~assignment:None
@@ -423,13 +489,15 @@ let handle_partition t fd (req : Http.request) accepted_s =
              queue: refuse without burning engine time *)
           count "server.deadline_exceeded";
           Job_table.update t.jobs job Job_table.Deadline_exceeded;
-          send_response fd
-            ~status:504
+          event "request.deadline"
+            (jobf @ [ ("where", Event_log.Str "queued") ]);
+          send_response fd ~headers:rid_headers ~status:504
             ~body:(error_body "deadline exceeded while queued")
             ()
         end
         else begin
           Job_table.update t.jobs job Job_table.Running;
+          event "request.started" jobf;
           Atomic.incr t.in_flight;
           if Tel.is_enabled () then
             Metrics.set_gauge "server.in_flight"
@@ -441,8 +509,18 @@ let handle_partition t fd (req : Http.request) accepted_s =
                 (float_of_int (Atomic.get t.in_flight))
           in
           match
+            (* every span the engine emits below (fm.run, fm.pass,
+               engine multistart spans, ...) carries the request/job
+               ids in its args, and flight-recorder events emitted by
+               the engine inherit them from the same context *)
             Fun.protect ~finally:finish (fun () ->
-                Cancel.with_hook expired (fun () -> run_engine p problem))
+                Trace.with_context
+                  [
+                    ("request_id", request_id_arg rid);
+                    ("job_id", float_of_int job.Job_table.id);
+                  ]
+                  (fun () ->
+                    Cancel.with_hook expired (fun () -> run_engine p problem)))
           with
           | result, seconds ->
             let record =
@@ -467,6 +545,13 @@ let handle_partition t fd (req : Http.request) accepted_s =
             job.Job_table.legal <- Some result.Engine.Result.legal;
             job.Job_table.seconds <- seconds;
             Job_table.update t.jobs job Job_table.Done;
+            event "request.done"
+              (jobf
+              @ [
+                  ("cut", Event_log.Int result.Engine.Result.cut);
+                  ("legal", Event_log.Bool result.Engine.Result.legal);
+                  ("seconds", Event_log.Num seconds);
+                ]);
             respond_result fd p job ~cached:false
               ~cut:result.Engine.Result.cut ~legal:result.Engine.Result.legal
               ~seconds
@@ -475,7 +560,8 @@ let handle_partition t fd (req : Http.request) accepted_s =
           | exception Cancel.Cancelled ->
             count "server.deadline_exceeded";
             Job_table.update t.jobs job Job_table.Deadline_exceeded;
-            send_response fd ~status:504
+            event "request.deadline" (jobf @ [ ("where", Event_log.Str "run") ]);
+            send_response fd ~headers:rid_headers ~status:504
               ~body:(error_body "deadline exceeded during the run")
               ()
           | exception e ->
@@ -483,7 +569,8 @@ let handle_partition t fd (req : Http.request) accepted_s =
             let msg = Printexc.to_string e in
             Log.err (fun m -> m "job %d failed: %s" job.Job_table.id msg);
             Job_table.update t.jobs job (Job_table.Failed msg);
-            send_response fd ~status:500
+            event "request.failed" (jobf @ [ ("error", Event_log.Str msg) ]);
+            send_response fd ~headers:rid_headers ~status:500
               ~body:(error_body ("engine failed: " ^ msg))
               ()
         end)))
@@ -496,16 +583,44 @@ let healthz_body t =
     [
       ( "status",
         J.string (if Atomic.get t.stop then "draining" else "ok") );
+      ("uptime_seconds", J.number (Clock.now_s () -. t.started_s));
       ("queue_depth", J.int (Job_queue.length t.queue));
       ("queue_capacity", J.int t.config.queue_capacity);
       ("in_flight", J.int (Atomic.get t.in_flight));
       ("workers", J.int t.config.workers);
       ("jobs_total", J.int (Job_table.total t.jobs));
       ("cache_size", J.int (Cache.size t.cache));
+      (* instrumentation self-check: nonzero means some code path has
+         mismatched begin/end spans and the trace is incomplete *)
+      ("unbalanced_spans", J.int (Trace.unbalanced_spans ()));
+      ("events_dropped",
+        J.int (match Event_log.installed () with
+          | Some l -> Event_log.dropped l
+          | None -> 0));
       ("store", match t.config.store with
         | Some dir -> J.string dir
         | None -> "null");
     ]
+
+(* /metrics content negotiation: a standard scraper announces
+   text/plain (the exposition format media type); everything else keeps
+   the original JSON document. *)
+let wants_prometheus req =
+  match Http.header req "accept" with
+  | None -> false
+  | Some accept ->
+    let accept = String.lowercase_ascii accept in
+    let contains needle =
+      let n = String.length needle and m = String.length accept in
+      let rec scan i =
+        if i + n > m then false
+        else String.sub accept i n = needle || scan (i + 1)
+      in
+      scan 0
+    in
+    contains "text/plain" || contains "openmetrics"
+
+let prometheus_content_type = "text/plain; version=0.0.4; charset=utf-8"
 
 let handle_request t fd (req : Http.request) accepted_s =
   count "server.requests";
@@ -514,7 +629,12 @@ let handle_request t fd (req : Http.request) accepted_s =
   | "GET", "/healthz" ->
     send_response fd ~headers:json ~status:200 ~body:(healthz_body t) ()
   | "GET", "/metrics" ->
-    send_response fd ~headers:json ~status:200 ~body:(Metrics.to_json ()) ()
+    if wants_prometheus req then
+      send_response fd
+        ~headers:[ ("Content-Type", prometheus_content_type) ]
+        ~status:200 ~body:(Metrics.to_prometheus ()) ()
+    else
+      send_response fd ~headers:json ~status:200 ~body:(Metrics.to_json ()) ()
   | "GET", path
     when String.length path > 6 && String.sub path 0 6 = "/jobs/" -> (
     let id = String.sub path 6 (String.length path - 6) in

@@ -1,0 +1,144 @@
+(* Bench regression gate: compare [bench.*] gauges between two metric
+   snapshots (as written by bench/main.ml) and flag benchmarks whose
+   normalized time grew beyond a tolerance.
+
+   Snapshots carry the machine normalization factor the repo records
+   per the DAC'99 reporting discipline ([bench.normalization_factor]);
+   both sides are multiplied by their own factor before comparing, so a
+   baseline recorded on one machine remains meaningful on another to
+   the extent the factor captures the speed difference. *)
+
+let factor_gauge = "bench.normalization_factor"
+
+type row = {
+  name : string;
+  old_ns : float;  (* raw ns/run in the old snapshot *)
+  new_ns : float;  (* raw ns/run in the new snapshot *)
+  ratio : float;   (* normalized new / normalized old *)
+}
+
+type report = {
+  rows : row list;         (* benchmarks present in both, sorted by name *)
+  regressions : row list;  (* ratio > 1 + tolerance *)
+  improvements : row list; (* ratio < 1 - tolerance *)
+  only_old : string list;  (* present only in the old snapshot *)
+  only_new : string list;
+  old_factor : float;
+  new_factor : float;
+}
+
+let gauges_of_json label json =
+  match Json_in.parse_result json with
+  | Error e -> Error (Printf.sprintf "%s: %s" label e)
+  | Ok doc -> (
+    match Json_in.member "gauges" doc with
+    | Some (Json_in.Obj kvs) ->
+      Ok
+        (List.filter_map
+           (fun (k, v) ->
+             match v with Json_in.Num f -> Some (k, f) | _ -> None)
+           kvs)
+    | _ -> Error (Printf.sprintf "%s: no \"gauges\" object" label))
+
+let diff ?(prefix = "bench.") ~tolerance ~old_json ~new_json () =
+  match
+    (gauges_of_json "old snapshot" old_json, gauges_of_json "new snapshot" new_json)
+  with
+  | Error e, _ | _, Error e -> Error e
+  | Ok old_g, Ok new_g ->
+    let factor g = match List.assoc_opt factor_gauge g with
+      | Some f when f > 0.0 -> f
+      | _ -> 1.0
+    in
+    let old_factor = factor old_g and new_factor = factor new_g in
+    let bench g =
+      List.filter
+        (fun (k, _) ->
+          String.starts_with ~prefix k && k <> factor_gauge)
+        g
+      |> List.sort (fun (a, _) (b, _) -> compare a b)
+    in
+    let old_b = bench old_g and new_b = bench new_g in
+    let rows =
+      List.filter_map
+        (fun (name, old_ns) ->
+          match List.assoc_opt name new_b with
+          | None -> None
+          | Some new_ns ->
+            let ratio =
+              if old_ns *. old_factor > 0.0 then
+                new_ns *. new_factor /. (old_ns *. old_factor)
+              else nan
+            in
+            Some { name; old_ns; new_ns; ratio })
+        old_b
+    in
+    let only_old =
+      List.filter_map
+        (fun (k, _) -> if List.mem_assoc k new_b then None else Some k)
+        old_b
+    and only_new =
+      List.filter_map
+        (fun (k, _) -> if List.mem_assoc k old_b then None else Some k)
+        new_b
+    in
+    Ok
+      {
+        rows;
+        regressions =
+          List.filter (fun r -> r.ratio > 1.0 +. tolerance) rows;
+        improvements =
+          List.filter (fun r -> r.ratio < 1.0 -. tolerance) rows;
+        only_old;
+        only_new;
+        old_factor;
+        new_factor;
+      }
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let diff_files ?prefix ~tolerance old_path new_path =
+  match (read_file old_path, read_file new_path) with
+  | exception Sys_error e -> Error e
+  | old_json, new_json -> diff ?prefix ~tolerance ~old_json ~new_json ()
+
+let render ~tolerance r =
+  let b = Buffer.create 512 in
+  let line fmt = Printf.ksprintf (fun s -> Buffer.add_string b (s ^ "\n")) fmt in
+  let width =
+    List.fold_left (fun acc row -> Stdlib.max acc (String.length row.name)) 24
+      r.rows
+  in
+  line "%-*s %14s %14s %8s  %s" width "benchmark" "old (ns/run)" "new (ns/run)"
+    "delta" "status";
+  line "%s" (String.make (width + 14 + 14 + 8 + 12) '-');
+  List.iter
+    (fun row ->
+      let delta = (row.ratio -. 1.0) *. 100.0 in
+      let status =
+        if row.ratio > 1.0 +. tolerance then "REGRESSION"
+        else if row.ratio < 1.0 -. tolerance then "improved"
+        else "ok"
+      in
+      line "%-*s %14.0f %14.0f %+7.1f%%  %s" width row.name row.old_ns
+        row.new_ns delta status)
+    r.rows;
+  List.iter (fun n -> line "%-*s %14s %14s %8s  %s" width n "-" "-" "-" "missing")
+    r.only_old;
+  List.iter (fun n -> line "%-*s %14s %14s %8s  %s" width n "-" "-" "-" "new")
+    r.only_new;
+  line "tolerance \xc2\xb1%.0f%%; normalization factors: old %.3f, new %.3f"
+    (tolerance *. 100.0) r.old_factor r.new_factor;
+  (match r.regressions with
+  | [] -> line "no regressions (%d compared)" (List.length r.rows)
+  | regs ->
+    line "%d regression(s) beyond +%.0f%%:" (List.length regs)
+      (tolerance *. 100.0);
+    List.iter
+      (fun row -> line "  %s: %+.1f%%" row.name ((row.ratio -. 1.0) *. 100.0))
+      regs);
+  Buffer.contents b

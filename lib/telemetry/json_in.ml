@@ -1,0 +1,178 @@
+(* Minimal recursive-descent JSON parser (the container ships no
+   yojson).  Parses the full grammar; numbers become floats, and a
+   malformed document raises [Failure].  Counterpart to [Json_out];
+   used by [Bench_diff] to read metric snapshots back, and re-exported
+   to the test suite. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | Arr of t list
+  | Obj of (string * t) list
+
+let parse (s : string) : t =
+  let n = String.length s in
+  let pos = ref 0 in
+  let fail msg = failwith (Printf.sprintf "json: %s at offset %d" msg !pos) in
+  let peek () = if !pos < n then Some s.[!pos] else None in
+  let advance () = incr pos in
+  let rec skip_ws () =
+    match peek () with
+    | Some (' ' | '\t' | '\n' | '\r') ->
+      advance ();
+      skip_ws ()
+    | _ -> ()
+  in
+  let expect c =
+    match peek () with
+    | Some c' when c' = c -> advance ()
+    | _ -> fail (Printf.sprintf "expected %C" c)
+  in
+  let literal word v =
+    let l = String.length word in
+    if !pos + l <= n && String.sub s !pos l = word then begin
+      pos := !pos + l;
+      v
+    end
+    else fail (Printf.sprintf "expected %s" word)
+  in
+  let parse_string () =
+    expect '"';
+    let b = Buffer.create 16 in
+    let rec go () =
+      match peek () with
+      | None -> fail "unterminated string"
+      | Some '"' -> advance ()
+      | Some '\\' -> (
+        advance ();
+        match peek () with
+        | Some 'n' ->
+          advance ();
+          Buffer.add_char b '\n';
+          go ()
+        | Some 't' ->
+          advance ();
+          Buffer.add_char b '\t';
+          go ()
+        | Some 'r' ->
+          advance ();
+          Buffer.add_char b '\r';
+          go ()
+        | Some 'b' ->
+          advance ();
+          Buffer.add_char b '\b';
+          go ()
+        | Some 'f' ->
+          advance ();
+          Buffer.add_char b '\012';
+          go ()
+        | Some 'u' ->
+          advance ();
+          if !pos + 4 > n then fail "bad \\u escape";
+          let hex = String.sub s !pos 4 in
+          pos := !pos + 4;
+          let code = int_of_string ("0x" ^ hex) in
+          (* callers only need ASCII round-trips; wider code points are
+             replaced rather than UTF-8 encoded *)
+          Buffer.add_char b (if code < 128 then Char.chr code else '?');
+          go ()
+        | Some c ->
+          advance ();
+          Buffer.add_char b c;
+          go ()
+        | None -> fail "unterminated escape")
+      | Some c ->
+        advance ();
+        Buffer.add_char b c;
+        go ()
+    in
+    go ();
+    Buffer.contents b
+  in
+  let parse_number () =
+    let start = !pos in
+    let is_num_char = function
+      | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+      | _ -> false
+    in
+    while (match peek () with Some c -> is_num_char c | None -> false) do
+      advance ()
+    done;
+    if !pos = start then fail "expected number";
+    match float_of_string_opt (String.sub s start (!pos - start)) with
+    | Some f -> f
+    | None -> fail "bad number"
+  in
+  let rec parse_value () =
+    skip_ws ();
+    match peek () with
+    | Some '"' -> Str (parse_string ())
+    | Some '{' -> parse_obj ()
+    | Some '[' -> parse_arr ()
+    | Some 't' -> literal "true" (Bool true)
+    | Some 'f' -> literal "false" (Bool false)
+    | Some 'n' -> literal "null" Null
+    | Some _ -> Num (parse_number ())
+    | None -> fail "unexpected end of input"
+  and parse_obj () =
+    expect '{';
+    skip_ws ();
+    if peek () = Some '}' then begin
+      advance ();
+      Obj []
+    end
+    else begin
+      let rec members acc =
+        skip_ws ();
+        let k = parse_string () in
+        skip_ws ();
+        expect ':';
+        let v = parse_value () in
+        skip_ws ();
+        match peek () with
+        | Some ',' ->
+          advance ();
+          members ((k, v) :: acc)
+        | Some '}' ->
+          advance ();
+          Obj (List.rev ((k, v) :: acc))
+        | _ -> fail "expected ',' or '}'"
+      in
+      members []
+    end
+  and parse_arr () =
+    expect '[';
+    skip_ws ();
+    if peek () = Some ']' then begin
+      advance ();
+      Arr []
+    end
+    else begin
+      let rec items acc =
+        let v = parse_value () in
+        skip_ws ();
+        match peek () with
+        | Some ',' ->
+          advance ();
+          items (v :: acc)
+        | Some ']' ->
+          advance ();
+          Arr (List.rev (v :: acc))
+        | _ -> fail "expected ',' or ']'"
+      in
+      items []
+    end
+  in
+  let v = parse_value () in
+  skip_ws ();
+  if !pos <> n then fail "trailing garbage";
+  v
+
+let parse_result s =
+  match parse s with v -> Ok v | exception Failure msg -> Error msg
+
+let member key = function
+  | Obj kvs -> List.assoc_opt key kvs
+  | _ -> None

@@ -1,0 +1,18 @@
+(** Minimal JSON parser, counterpart to {!Json_out} (no external JSON
+    dependency).  Numbers become floats; [\u] escapes outside ASCII are
+    replaced with [?]. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | Arr of t list
+  | Obj of (string * t) list
+
+val parse : string -> t
+(** @raise Failure on a malformed document (with an offset). *)
+
+val parse_result : string -> (t, string) result
+val member : string -> t -> t option
+(** Object field lookup; [None] on non-objects or missing keys. *)

@@ -44,6 +44,24 @@ let dls_key =
 
 let my_buffer () = Domain.DLS.get dls_key
 
+(* -- request context --
+
+   Domain-local key/value pairs appended to the args of every span the
+   domain completes while the context is installed (same DLS pattern as
+   [Engine.Cancel]).  The server wraps each engine run in
+   [with_context [("request_id", ...); ("job_id", ...)]] so a Perfetto
+   file shows which spans served which request. *)
+
+let context_key : (string * float) list Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> [])
+
+let context () = Domain.DLS.get context_key
+
+let with_context kvs f =
+  let prev = Domain.DLS.get context_key in
+  Domain.DLS.set context_key (kvs @ prev);
+  Fun.protect ~finally:(fun () -> Domain.DLS.set context_key prev) f
+
 let begin_span ?(cat = "hypart") name =
   if Control.is_enabled () then begin
     let b = my_buffer () in
@@ -57,6 +75,11 @@ let end_span ?(args = []) name =
     | (n, cat, t0) :: rest when n = name ->
       b.stack <- rest;
       let now = Clock.now_us () in
+      let args =
+        match Domain.DLS.get context_key with
+        | [] -> args
+        | ctx -> args @ ctx
+      in
       b.events <-
         { name; cat; ts_us = t0; dur_us = now -. t0; tid = b.tid; args }
         :: b.events;
@@ -161,3 +184,11 @@ let to_json () =
     ]
 
 let write path = Json_out.write_file path (to_json ())
+
+(* Instrumentation failures must themselves be observable: publish the
+   unbalanced/open span counts as snapshot-time gauges. *)
+let () =
+  Metrics.register_probe "telemetry.unbalanced_spans" (fun () ->
+      float_of_int (unbalanced_spans ()));
+  Metrics.register_probe "telemetry.open_spans" (fun () ->
+      float_of_int (open_spans ()))

@@ -21,6 +21,17 @@ type event = {
   args : (string * float) list;
 }
 
+val with_context : (string * float) list -> (unit -> 'a) -> 'a
+(** [with_context kvs f] appends [kvs] to the args of every span this
+    domain completes during [f] (exception-safe, nestable; inner
+    contexts shadow nothing — args accumulate).  Domain-local, like
+    [Engine.Cancel]: spawned domains do not inherit it.  Used to stamp
+    engine spans with [request_id]/[job_id] on the serving path. *)
+
+val context : unit -> (string * float) list
+(** The calling domain's current context ([[]] outside
+    {!with_context}). *)
+
 val begin_span : ?cat:string -> string -> unit
 val end_span : ?args:(string * float) list -> string -> unit
 (** [args] attach numeric details (cut, moves, vertices, ...) to the

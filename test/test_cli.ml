@@ -143,6 +143,213 @@ let test_lab_cli () =
     (run_cmd (Printf.sprintf "lab gc --store %s" (Filename.quote store)))
     [ "kept 2" ]
 
+(* bench-diff: the regression gate compares bench.* gauges between two
+   metric snapshots and exits nonzero on regression *)
+let test_bench_diff () =
+  let write path gauges =
+    let oc = open_out path in
+    output_string oc
+      (Printf.sprintf "{\"gauges\":{%s}}"
+         (String.concat ","
+            (List.map (fun (k, v) -> Printf.sprintf "%S:%g" k v) gauges)));
+    close_out oc
+  in
+  let old_path = Filename.concat tmpdir "hypart_cli_bench_old.json" in
+  let ok_path = Filename.concat tmpdir "hypart_cli_bench_ok.json" in
+  let bad_path = Filename.concat tmpdir "hypart_cli_bench_bad.json" in
+  write old_path
+    [
+      ("bench.normalization_factor", 1.0);
+      ("bench.fm_pass", 1000.0);
+      ("bench.gain_update", 200.0);
+    ];
+  (* +8% and -5%: inside the 15% tolerance *)
+  write ok_path
+    [
+      ("bench.normalization_factor", 1.0);
+      ("bench.fm_pass", 1080.0);
+      ("bench.gain_update", 190.0);
+    ];
+  (* +30%: a regression *)
+  write bad_path
+    [
+      ("bench.normalization_factor", 1.0);
+      ("bench.fm_pass", 1300.0);
+      ("bench.gain_update", 200.0);
+    ];
+  check_ok "bench-diff within tolerance"
+    (run_cmd
+       (Printf.sprintf "bench-diff %s %s --tolerance 0.15"
+          (Filename.quote old_path) (Filename.quote ok_path)))
+    [ "no regressions (2 compared)"; "bench.fm_pass"; "ok" ];
+  let code, out =
+    run_cmd
+      (Printf.sprintf "bench-diff %s %s --tolerance 0.15"
+         (Filename.quote old_path) (Filename.quote bad_path))
+  in
+  Alcotest.(check int) "regression exits 1" 1 code;
+  Alcotest.(check bool) "regression flagged" true (contains out "REGRESSION");
+  Alcotest.(check bool) "regression named" true
+    (contains out "bench.fm_pass: +30.0%");
+  (* a machine twice as fast (factor 0.5) makes the same raw +30% pass *)
+  write bad_path
+    [
+      ("bench.normalization_factor", 0.5);
+      ("bench.fm_pass", 1300.0);
+      ("bench.gain_update", 200.0);
+    ];
+  let code, _ =
+    run_cmd
+      (Printf.sprintf "bench-diff %s %s --tolerance 0.15"
+         (Filename.quote old_path) (Filename.quote bad_path))
+  in
+  Alcotest.(check int) "normalized away" 0 code;
+  let code, _ = run_cmd "bench-diff /no/such/old.json /no/such/new.json" in
+  Alcotest.(check bool) "missing file is an error" true (code <> 0)
+
+(* the ISSUE acceptance test: a real `hypart serve` process, a real
+   `hypart submit`, and the daemon-side trace/event files must carry
+   the client-observed request id on engine spans *)
+let test_daemon_round_trip () =
+  let trace = Filename.concat tmpdir "hypart_cli_daemon_trace.json" in
+  let events = Filename.concat tmpdir "hypart_cli_daemon_events.jsonl" in
+  let serve_out = Filename.concat tmpdir "hypart_cli_daemon_serve.txt" in
+  List.iter
+    (fun f -> try Sys.remove f with Sys_error _ -> ())
+    [ trace; events; serve_out ];
+  let out_fd =
+    Unix.openfile serve_out [ O_WRONLY; O_CREAT; O_TRUNC ] 0o644
+  in
+  let pid =
+    Unix.create_process exe
+      [|
+        exe; "serve"; "--port"; "0"; "--workers"; "2"; "--trace"; trace;
+        "--events"; events;
+      |]
+      Unix.stdin out_fd out_fd
+  in
+  Unix.close out_fd;
+  let body () =
+    (* wait for the listening banner and parse the ephemeral port *)
+    let deadline = Unix.gettimeofday () +. 15.0 in
+    let port = ref 0 in
+    while !port = 0 && Unix.gettimeofday () < deadline do
+      (try
+         let ic = open_in serve_out in
+         (try
+            Scanf.sscanf (input_line ic) "hypart daemon listening on %s@:%d"
+              (fun _ p -> port := p)
+          with Scanf.Scan_failure _ | End_of_file | Failure _ -> ());
+         close_in ic
+       with Sys_error _ -> ());
+      if !port = 0 then Unix.sleepf 0.05
+    done;
+    if !port = 0 then Alcotest.fail "daemon never announced its port";
+    let port = !port in
+    let code, out =
+      run_cmd
+        (Printf.sprintf "submit ibm01 --scale 64 --engine flat --port %d" port)
+    in
+    Alcotest.(check int) "submit exit" 0 code;
+    Alcotest.(check bool) "submit printed a cut" true (contains out "best cut:");
+    (* the id the client observed *)
+    let rid =
+      let marker = "request id: " in
+      let rec find i =
+        if i + String.length marker > String.length out then
+          Alcotest.fail ("no request id in submit output:\n" ^ out)
+        else if String.sub out i (String.length marker) = marker then
+          let start = i + String.length marker in
+          let stop =
+            match String.index_from_opt out start '\n' with
+            | Some j -> j
+            | None -> String.length out
+          in
+          String.trim (String.sub out start (stop - start))
+        else find (i + 1)
+      in
+      find 0
+    in
+    Alcotest.(check bool) "request id numeric" true
+      (float_of_string_opt rid <> None);
+    (* scrape the Prometheus encoding off the live daemon *)
+    let prom =
+      match
+        Hypart_server.Client.http_request ~host:"127.0.0.1" ~port ~meth:"GET"
+          ~path:"/metrics"
+          ~headers:[ ("Accept", "text/plain") ]
+          ()
+      with
+      | Ok r -> r
+      | Error m -> Alcotest.fail ("metrics scrape: " ^ m)
+    in
+    Alcotest.(check int) "prometheus 200" 200 prom.Hypart_server.Http.status;
+    let requests_total =
+      String.split_on_char '\n' prom.Hypart_server.Http.resp_body
+      |> List.find_map (fun line ->
+             match String.index_opt line ' ' with
+             | Some i when String.sub line 0 i = "server_requests_total" ->
+               float_of_string_opt
+                 (String.sub line (i + 1) (String.length line - i - 1))
+             | _ -> None)
+    in
+    (match requests_total with
+    | Some v -> Alcotest.(check bool) "server_requests_total >= 1" true (v >= 1.)
+    | None -> Alcotest.fail "no server_requests_total sample in scrape");
+    rid
+  in
+  (* run the interaction, then stop the daemon either way so the trace
+     and event files are flushed by its at_exit hooks *)
+  let outcome = try Ok (body ()) with e -> Error e in
+  (try Unix.kill pid Sys.sigterm with Unix.Unix_error _ -> ());
+  let _, status = Unix.waitpid [] pid in
+  let rid = match outcome with Ok rid -> rid | Error e -> raise e in
+  Alcotest.(check bool) "daemon drained cleanly (exit 0)" true
+    (status = Unix.WEXITED 0);
+  (* the daemon-side trace carries engine spans tagged with the
+     client-observed request id *)
+  let slurp path =
+    let ic = open_in path in
+    let s = really_input_string ic (in_channel_length ic) in
+    close_in ic;
+    s
+  in
+  let trace_doc = Mini_json.parse (slurp trace) in
+  let span_tagged name =
+    match Mini_json.member "traceEvents" trace_doc with
+    | Some (Mini_json.Arr evs) ->
+      List.exists
+        (fun ev ->
+          Mini_json.member "name" ev = Some (Mini_json.Str name)
+          &&
+          match Mini_json.member "args" ev with
+          | Some args ->
+            Mini_json.member "request_id" args
+            = Some (Mini_json.Num (float_of_string rid))
+          | None -> false)
+        evs
+    | _ -> Alcotest.fail "trace file has no traceEvents array"
+  in
+  Alcotest.(check bool) "fm.pass span carries the request id" true
+    (span_tagged "fm.pass");
+  Alcotest.(check bool) "fm.run span carries the request id" true
+    (span_tagged "fm.run");
+  (* ...and the flight recorder saw the same id through its lifecycle *)
+  let lifecycle =
+    String.trim (slurp events) |> String.split_on_char '\n'
+    |> List.filter_map (fun l ->
+           let j = Mini_json.parse l in
+           if Mini_json.member "request_id" j = Some (Mini_json.Str rid) then
+             match Mini_json.member "event" j with
+             | Some (Mini_json.Str n) -> Some n
+             | _ -> None
+           else None)
+  in
+  List.iter
+    (fun n ->
+      Alcotest.(check bool) (n ^ " recorded") true (List.mem n lifecycle))
+    [ "request.admitted"; "request.started"; "request.done" ]
+
 let () =
   Alcotest.run "cli"
     [
@@ -158,5 +365,7 @@ let () =
           Alcotest.test_case "help" `Quick test_help;
           Alcotest.test_case "argument validation" `Quick test_validation;
           Alcotest.test_case "lab round trip" `Quick test_lab_cli;
+          Alcotest.test_case "bench-diff gate" `Quick test_bench_diff;
+          Alcotest.test_case "daemon round trip" `Quick test_daemon_round_trip;
         ] );
     ]

@@ -427,6 +427,190 @@ let test_serve_jobs_and_metrics () =
       let health = get port "/healthz" in
       has "\"status\":\"ok\"" health.Http.resp_body)
 
+let body_has ?(expect = true) needle hay =
+  let nl = String.length needle and hl = String.length hay in
+  let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
+  Alcotest.(check bool)
+    (Printf.sprintf "%s %s" needle (if expect then "present" else "absent"))
+    expect (go 0)
+
+let test_serve_request_id_propagation () =
+  (* the tentpole contract: a client-supplied X-Hypart-Request-Id is
+     echoed on the response, stamped into the job ledger, and carried
+     as an arg on every engine span the worker domain records *)
+  Hypart_telemetry.Trace.reset ();
+  Hypart_telemetry.Control.enable ();
+  Fun.protect ~finally:Hypart_telemetry.Control.disable (fun () ->
+      with_server (fun _server port ->
+          let rid = "4242" in
+          let resp =
+            match
+              Client.http_request ~host:"127.0.0.1" ~port ~meth:"POST"
+                ~path:"/partition?out=json&engine=flat&seed=11"
+                ~headers:[ ("X-Hypart-Request-Id", rid) ]
+                ~body:tiny_hgr ()
+            with
+            | Ok resp -> resp
+            | Error msg -> Alcotest.fail ("transport: " ^ msg)
+          in
+          Alcotest.(check int) "status" 200 resp.Http.status;
+          Alcotest.(check string) "request id echoed" rid
+            (hdr resp "x-hypart-request-id");
+          let job = get port ("/jobs/" ^ hdr resp "x-hypart-job") in
+          body_has (Printf.sprintf "\"request_id\":%S" rid)
+            job.Http.resp_body;
+          (* a minted id appears when the client sends none *)
+          let anon = submit ~query:"&engine=flat&seed=12" port in
+          let minted = hdr anon "x-hypart-request-id" in
+          Alcotest.(check bool) "minted id nonempty" true
+            (String.length minted > 0);
+          (* engine spans from the worker domain carry the id *)
+          let spans = Hypart_telemetry.Trace.events () in
+          let tagged name =
+            List.exists
+              (fun e ->
+                e.Hypart_telemetry.Trace.name = name
+                && List.assoc_opt "request_id" e.Hypart_telemetry.Trace.args
+                   = Some 4242.)
+              spans
+          in
+          Alcotest.(check bool) "fm.run span carries request_id" true
+            (tagged "fm.run");
+          Alcotest.(check bool) "fm.pass span carries request_id" true
+            (tagged "fm.pass");
+          (* ...and a job_id arg alongside it *)
+          Alcotest.(check bool) "fm.run span carries job_id" true
+            (List.exists
+               (fun e ->
+                 e.Hypart_telemetry.Trace.name = "fm.run"
+                 && List.mem_assoc "job_id" e.Hypart_telemetry.Trace.args)
+               spans)))
+
+let test_serve_prometheus_negotiation () =
+  with_server (fun _server port ->
+      let (_ : Http.response) = submit ~query:"&engine=flat&seed=21" port in
+      (* default encoding stays JSON *)
+      let json = get port "/metrics" in
+      Alcotest.(check int) "json ok" 200 json.Http.status;
+      body_has "application/json" (hdr json "content-type");
+      body_has "server.requests" json.Http.resp_body;
+      (* Accept: text/plain negotiates the 0.0.4 text exposition *)
+      let prom =
+        match
+          Client.http_request ~host:"127.0.0.1" ~port ~meth:"GET"
+            ~path:"/metrics"
+            ~headers:[ ("Accept", "text/plain") ]
+            ()
+        with
+        | Ok resp -> resp
+        | Error msg -> Alcotest.fail ("transport: " ^ msg)
+      in
+      Alcotest.(check int) "prom ok" 200 prom.Http.status;
+      Alcotest.(check string) "prom content type"
+        "text/plain; version=0.0.4; charset=utf-8" (hdr prom "content-type");
+      body_has "# TYPE server_requests_total counter" prom.Http.resp_body;
+      body_has "server_requests_total" prom.Http.resp_body;
+      body_has "{" ~expect:false (String.sub prom.Http.resp_body 0 1);
+      (* every sample line is NAME[{labels}] VALUE with a float value *)
+      String.split_on_char '\n' prom.Http.resp_body
+      |> List.iter (fun line ->
+             if line <> "" && line.[0] <> '#' then
+               match String.rindex_opt line ' ' with
+               | None -> Alcotest.failf "unparseable sample: %s" line
+               | Some i ->
+                 let v =
+                   String.sub line (i + 1) (String.length line - i - 1)
+                 in
+                 if
+                   float_of_string_opt v = None
+                   && v <> "NaN" && v <> "+Inf" && v <> "-Inf"
+                 then Alcotest.failf "bad sample value %S in: %s" v line))
+
+let test_serve_job_durations () =
+  with_server (fun _server port ->
+      let resp = submit ~query:"&engine=flat&seed=31" port in
+      let job = get port ("/jobs/" ^ hdr resp "x-hypart-job") in
+      Alcotest.(check int) "job found" 200 job.Http.status;
+      body_has "\"queue_seconds\":" job.Http.resp_body;
+      body_has "\"exec_seconds\":" job.Http.resp_body;
+      (* dedup hits never execute, so exec_seconds must stay absent *)
+      let dup = submit ~query:"&engine=flat&seed=31" port in
+      Alcotest.(check string) "dup cached" "true" (hdr dup "x-hypart-cached");
+      let dup_job = get port ("/jobs/" ^ hdr dup "x-hypart-job") in
+      body_has "\"queue_seconds\":" dup_job.Http.resp_body;
+      body_has "\"exec_seconds\":" ~expect:false dup_job.Http.resp_body)
+
+let test_serve_event_lifecycle () =
+  (* the flight recorder sees the whole request lifecycle, with the
+     client's request id on every line *)
+  let module Event_log = Hypart_telemetry.Event_log in
+  let module Mini_json = Hypart_telemetry.Json_in in
+  let path =
+    Filename.concat (Filename.get_temp_dir_name ()) "hypart_server_events.jsonl"
+  in
+  (try Sys.remove path with Sys_error _ -> ());
+  let log = Event_log.open_log path in
+  Event_log.install log;
+  Fun.protect
+    ~finally:(fun () -> Event_log.close log)
+    (fun () ->
+      with_server (fun _server port ->
+          let rid = "555001" in
+          let go () =
+            match
+              Client.http_request ~host:"127.0.0.1" ~port ~meth:"POST"
+                ~path:"/partition?out=json&engine=flat&seed=41"
+                ~headers:[ ("X-Hypart-Request-Id", rid) ]
+                ~body:tiny_hgr ()
+            with
+            | Ok resp -> resp
+            | Error msg -> Alcotest.fail ("transport: " ^ msg)
+          in
+          let fresh = go () in
+          Alcotest.(check string) "fresh" "false" (hdr fresh "x-hypart-cached");
+          let dup = go () in
+          Alcotest.(check string) "dup cached" "true"
+            (hdr dup "x-hypart-cached")));
+  let ic = open_in path in
+  let lines = ref [] in
+  (try
+     while true do
+       lines := input_line ic :: !lines
+     done
+   with End_of_file -> close_in ic);
+  let events =
+    List.rev_map
+      (fun l ->
+        let j = Mini_json.parse l in
+        let name =
+          match Mini_json.member "event" j with
+          | Some (Mini_json.Str s) -> s
+          | _ -> Alcotest.failf "event line without name: %s" l
+        in
+        (name, j))
+      !lines
+  in
+  let of_rid =
+    List.filter
+      (fun (_, j) ->
+        Mini_json.member "request_id" j = Some (Mini_json.Str "555001"))
+      events
+  in
+  let count name =
+    List.length (List.filter (fun (n, _) -> n = name) of_rid)
+  in
+  Alcotest.(check int) "two admissions" 2 (count "request.admitted");
+  Alcotest.(check int) "one start" 1 (count "request.started");
+  Alcotest.(check int) "one done" 1 (count "request.done");
+  Alcotest.(check int) "one dedup hit" 1 (count "request.dedup_hit");
+  (* every line is timestamped *)
+  List.iter
+    (fun (n, j) ->
+      match Mini_json.member "ts_us" j with
+      | Some (Mini_json.Num _) -> ()
+      | _ -> Alcotest.failf "event %s without ts_us" n)
+    events
+
 let test_serve_shutdown_drains () =
   let server =
     Server.create
@@ -484,6 +668,13 @@ let () =
           Alcotest.test_case "survives malformed" `Quick
             test_serve_survives_malformed;
           Alcotest.test_case "jobs and metrics" `Quick test_serve_jobs_and_metrics;
+          Alcotest.test_case "request id propagation" `Quick
+            test_serve_request_id_propagation;
+          Alcotest.test_case "prometheus negotiation" `Quick
+            test_serve_prometheus_negotiation;
+          Alcotest.test_case "job durations" `Quick test_serve_job_durations;
+          Alcotest.test_case "event lifecycle" `Quick
+            test_serve_event_lifecycle;
           Alcotest.test_case "shutdown drains" `Quick test_serve_shutdown_drains;
         ] );
     ]

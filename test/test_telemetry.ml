@@ -11,6 +11,13 @@ let contains s needle =
   let rec scan i = i + nl <= sl && (String.sub s i nl = needle || scan (i + 1)) in
   scan 0
 
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
 let fresh () =
   Telemetry.reset ();
   Telemetry.enable ()
@@ -99,7 +106,7 @@ let test_snapshot_and_json () =
   Metrics.incr ~by:3 "t.c";
   Metrics.set_gauge "t.g" 2.5;
   Metrics.observe "t.h" 1.0;
-  let names =
+  let all_names =
     List.map
       (function
         | Metrics.E_counter (n, _) -> n
@@ -107,7 +114,15 @@ let test_snapshot_and_json () =
         | Metrics.E_histogram (n, _) -> n)
       (Metrics.snapshot ())
   in
+  (* self-metric probes ride along in every snapshot *)
+  let names, probe_names =
+    List.partition
+      (fun n -> not (String.starts_with ~prefix:"telemetry." n))
+      all_names
+  in
   Alcotest.(check (list string)) "sorted names" [ "t.c"; "t.g"; "t.h" ] names;
+  Alcotest.(check bool) "probes present" true
+    (List.mem "telemetry.unbalanced_spans" probe_names);
   let json = Metrics.to_json () in
   List.iter
     (fun needle ->
@@ -116,6 +131,120 @@ let test_snapshot_and_json () =
     [ {|"t.c":3|}; {|"t.g":2.5|}; {|"counters"|}; {|"histograms"|} ];
   let csv = Metrics.to_csv () in
   Alcotest.(check bool) "csv header" true (contains csv "metric,kind,count,value")
+
+let test_reservoir_cap () =
+  with_fresh @@ fun () ->
+  (* far beyond the cap: retention is bounded, aggregates stay exact *)
+  let n = Metrics.reservoir_cap + 5000 in
+  for i = 1 to n do
+    Metrics.observe "t.res" (float_of_int i)
+  done;
+  Alcotest.(check int) "retained capped" Metrics.reservoir_cap
+    (Metrics.histogram_retained "t.res");
+  let s = Option.get (Metrics.histogram_stats "t.res") in
+  Alcotest.(check int) "count exact" n s.Metrics.count;
+  Alcotest.(check (float 1e-9)) "min exact" 1.0 s.Metrics.min;
+  Alcotest.(check (float 1e-9)) "max exact" (float_of_int n) s.Metrics.max;
+  Alcotest.(check (float 1e-6)) "sum exact"
+    (float_of_int n *. float_of_int (n + 1) /. 2.)
+    s.Metrics.sum;
+  Alcotest.(check (float 1e-6)) "mean exact"
+    (float_of_int (n + 1) /. 2.)
+    s.Metrics.mean;
+  (* the reservoir is a uniform sample: p50 of 1..n lands well inside
+     the range (a generous band, not a distributional assertion) *)
+  Alcotest.(check bool) "p50 plausible" true
+    (s.Metrics.p50 > 0.2 *. float_of_int n && s.Metrics.p50 < 0.8 *. float_of_int n);
+  (* below the cap quantiles stay exact *)
+  for i = 1 to 100 do
+    Metrics.observe "t.exact" (float_of_int i)
+  done;
+  Alcotest.(check (float 1e-9)) "exact p90 below cap" 90.0
+    (Option.get (Metrics.quantile "t.exact" 0.9))
+
+let test_reservoir_deterministic () =
+  (* the replacement stream is seeded from the metric name, so two runs
+     over the same data retain identical samples *)
+  let sample () =
+    with_fresh @@ fun () ->
+    for i = 1 to Metrics.reservoir_cap + 1000 do
+      Metrics.observe "t.det" (float_of_int i)
+    done;
+    Option.get (Metrics.histogram_stats "t.det")
+  in
+  let a = sample () and b = sample () in
+  Alcotest.(check (float 1e-9)) "same p50" a.Metrics.p50 b.Metrics.p50;
+  Alcotest.(check (float 1e-9)) "same p99" a.Metrics.p99 b.Metrics.p99
+
+let test_prometheus_export () =
+  with_fresh @@ fun () ->
+  Metrics.incr ~by:7 "t.requests";
+  Metrics.set_gauge "t.depth" 2.5;
+  for i = 1 to 100 do
+    Metrics.observe "t.lat" (float_of_int i)
+  done;
+  let prom = Metrics.to_prometheus () in
+  List.iter
+    (fun needle ->
+      if not (contains prom needle) then
+        Alcotest.failf "missing %S in:\n%s" needle prom)
+    [
+      "# TYPE t_requests_total counter";
+      "t_requests_total 7";
+      "# TYPE t_depth gauge";
+      "t_depth 2.5";
+      "# TYPE t_lat summary";
+      "t_lat{quantile=\"0.5\"} 50";
+      "t_lat{quantile=\"0.99\"} 99";
+      "t_lat_sum 5050";
+      "t_lat_count 100";
+    ];
+  (* every non-comment line is "name[{labels}] value" *)
+  String.split_on_char '\n' prom
+  |> List.iter (fun line ->
+         if line <> "" && line.[0] <> '#' then
+           match String.split_on_char ' ' line with
+           | [ name; value ] ->
+             Alcotest.(check bool)
+               (Printf.sprintf "parsable value in %S" line)
+               true
+               (float_of_string_opt value <> None || value = "NaN");
+             String.iter
+               (fun c ->
+                 match c with
+                 | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | ':' | '{' | '}'
+                 | '"' | '=' | '.' -> ()
+                 | c -> Alcotest.failf "bad char %C in metric name %S" c name)
+               name
+           | _ -> Alcotest.failf "unparsable exposition line %S" line)
+
+let test_prometheus_json_consistency () =
+  with_fresh @@ fun () ->
+  Metrics.incr ~by:3 "t.alpha";
+  Metrics.incr ~by:11 "t.beta.gamma";
+  let json = Mini_json.parse (Metrics.to_json ()) in
+  let prom = Metrics.to_prometheus () in
+  let counters =
+    match Mini_json.member "counters" json with
+    | Some (Mini_json.Obj kvs) -> kvs
+    | _ -> Alcotest.fail "counters object missing"
+  in
+  (* every JSON counter appears in the Prometheus encoding under its
+     sanitised name with the same value *)
+  List.iter
+    (fun (name, v) ->
+      let v = match v with Mini_json.Num f -> f | _ -> nan in
+      let line =
+        Printf.sprintf "%s_total %.0f" (Metrics.prometheus_name name) v
+      in
+      if not (contains prom line) then
+        Alcotest.failf "JSON counter %s=%g not in Prometheus output:\n%s" name
+          v prom)
+    counters;
+  Alcotest.(check string) "name sanitisation" "t_beta_gamma"
+    (Metrics.prometheus_name "t.beta.gamma");
+  Alcotest.(check string) "leading digit guarded" "_9lives"
+    (Metrics.prometheus_name "9lives")
 
 let test_gain_removes_equals_fm_moves () =
   (* invariant of the engine instrumentation: [Gain_container.remove]
@@ -204,6 +333,118 @@ let test_spans_across_domains () =
   in
   Alcotest.(check int) "two distinct tracks" 2 (List.length tids)
 
+let test_with_context () =
+  with_fresh @@ fun () ->
+  Trace.span "outside_before" (fun () -> ());
+  Trace.with_context
+    [ ("request_id", 42.0) ]
+    (fun () ->
+      Trace.span "ctx_outer" (fun () ->
+          Trace.with_context
+            [ ("job_id", 7.0) ]
+            (fun () -> Trace.span ~args:[ ("cut", 3.0) ] "ctx_inner" (fun () -> ()))));
+  Trace.span "outside_after" (fun () -> ());
+  let find name = List.find (fun e -> e.Trace.name = name) (Trace.events ()) in
+  let args name = (find name).Trace.args in
+  Alcotest.(check bool) "no context before" true (args "outside_before" = []);
+  Alcotest.(check bool) "no context after" true (args "outside_after" = []);
+  Alcotest.(check (option (float 1e-9))) "outer has request_id" (Some 42.0)
+    (List.assoc_opt "request_id" (args "ctx_outer"));
+  Alcotest.(check bool) "outer has no job_id" true
+    (List.assoc_opt "job_id" (args "ctx_outer") = None);
+  let inner = args "ctx_inner" in
+  Alcotest.(check (option (float 1e-9))) "inner keeps explicit args" (Some 3.0)
+    (List.assoc_opt "cut" inner);
+  Alcotest.(check (option (float 1e-9))) "inner inherits request_id" (Some 42.0)
+    (List.assoc_opt "request_id" inner);
+  Alcotest.(check (option (float 1e-9))) "inner nested job_id" (Some 7.0)
+    (List.assoc_opt "job_id" inner)
+
+let test_context_exception_safety () =
+  with_fresh @@ fun () ->
+  (try
+     Trace.with_context [ ("request_id", 1.0) ] (fun () -> failwith "boom")
+   with Failure _ -> ());
+  Alcotest.(check bool) "context restored on raise" true (Trace.context () = []);
+  Trace.span "after_raise" (fun () -> ());
+  match Trace.events () with
+  | [ e ] -> Alcotest.(check bool) "no leaked args" true (e.Trace.args = [])
+  | _ -> Alcotest.fail "expected one event"
+
+(* -- flight recorder -- *)
+
+module Event_log = Hypart_telemetry.Event_log
+
+let test_event_log_roundtrip () =
+  with_fresh @@ fun () ->
+  let path = Filename.temp_file "hypart_events" ".jsonl" in
+  Fun.protect ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+  @@ fun () ->
+  let log = Event_log.open_log path in
+  Event_log.install log;
+  Fun.protect ~finally:(fun () -> Event_log.close log) (fun () ->
+      Alcotest.(check bool) "sink installed" true (Event_log.enabled ());
+      Event_log.record "request.admitted"
+        [ ("request_id", Event_log.Str "12345"); ("job", Event_log.Int 1) ];
+      Trace.with_context
+        [ ("request_id", 12345.0); ("job_id", 1.0) ]
+        (fun () ->
+          Event_log.record "run.pass_improved"
+            [ ("pass", Event_log.Int 1); ("cut", Event_log.Int 40) ]));
+  Alcotest.(check bool) "sink uninstalled by close" true
+    (not (Event_log.enabled ()));
+  let lines =
+    read_file path |> String.trim |> String.split_on_char '\n'
+  in
+  Alcotest.(check int) "two lines" 2 (List.length lines);
+  let parsed = List.map Mini_json.parse lines in
+  List.iter
+    (fun j ->
+      match Mini_json.member "ts_us" j with
+      | Some (Mini_json.Num _) -> ()
+      | _ -> Alcotest.fail "event missing numeric ts_us")
+    parsed;
+  (match parsed with
+  | [ admitted; improved ] ->
+    Alcotest.(check bool) "event name" true
+      (Mini_json.member "event" admitted = Some (Mini_json.Str "request.admitted"));
+    Alcotest.(check bool) "string field" true
+      (Mini_json.member "request_id" admitted = Some (Mini_json.Str "12345"));
+    (* the second event carries the ids from the trace context *)
+    Alcotest.(check bool) "context merged" true
+      (Mini_json.member "request_id" improved = Some (Mini_json.Num 12345.0));
+    Alcotest.(check bool) "job id merged" true
+      (Mini_json.member "job_id" improved = Some (Mini_json.Num 1.0));
+    Alcotest.(check bool) "explicit field kept" true
+      (Mini_json.member "cut" improved = Some (Mini_json.Num 40.0))
+  | _ -> Alcotest.fail "expected two parsed events");
+  Alcotest.(check int) "written counted" 2 (Event_log.written log)
+
+let test_event_log_bounded () =
+  with_fresh @@ fun () ->
+  let path = Filename.temp_file "hypart_events" ".jsonl" in
+  Fun.protect ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+  @@ fun () ->
+  let log = Event_log.open_log ~max_events:2 path in
+  for i = 1 to 5 do
+    Event_log.emit log "tick" [ ("i", Event_log.Int i) ]
+  done;
+  Event_log.close log;
+  Alcotest.(check int) "cap respected" 2 (Event_log.written log);
+  Alcotest.(check int) "overflow counted" 3 (Event_log.dropped log);
+  let lines = read_file path |> String.trim |> String.split_on_char '\n' in
+  Alcotest.(check int) "file bounded" 2 (List.length lines);
+  (* the drop total is observable as a self-metric *)
+  let dropped_gauge =
+    List.find_map
+      (function
+        | Metrics.E_gauge ("telemetry.events_dropped", v) -> Some v
+        | _ -> None)
+      (Metrics.snapshot ())
+  in
+  Alcotest.(check bool) "drops visible in snapshot" true
+    (match dropped_gauge with Some v -> v >= 3.0 | None -> false)
+
 (* -- phase summary -- *)
 
 let test_phase_summary () =
@@ -233,13 +474,6 @@ let run_cmd args =
       (Filename.quote out)
   in
   Sys.command cmd
-
-let read_file path =
-  let ic = open_in_bin path in
-  let n = in_channel_length ic in
-  let s = really_input_string ic n in
-  close_in ic;
-  s
 
 let test_cli_trace_json () =
   let trace = Filename.concat tmpdir "hypart_test_trace.json" in
@@ -298,6 +532,55 @@ let test_cli_trace_json () =
       (List.exists (fun (k, _) -> k = "engine.start_cut") kvs)
   | _ -> Alcotest.fail "histograms object missing"
 
+let test_cli_metrics_csv () =
+  let csv_path = Filename.concat tmpdir "hypart_test_metrics.csv" in
+  let code =
+    run_cmd
+      (Printf.sprintf "partition ibm01 --scale 64 --engine clip --metrics %s"
+         (Filename.quote csv_path))
+  in
+  Alcotest.(check int) "exit code" 0 code;
+  let csv = read_file csv_path in
+  let lines = String.trim csv |> String.split_on_char '\n' in
+  Alcotest.(check string) "csv header"
+    "metric,kind,count,value,min,max,mean,p50,p90,p99" (List.hd lines);
+  Alcotest.(check bool) "fm.moves counter row" true
+    (List.exists (fun l -> String.starts_with ~prefix:"fm.moves,counter," l)
+       (List.tl lines));
+  Alcotest.(check bool) "histogram row has stats" true
+    (List.exists (fun l -> String.starts_with ~prefix:"fm.pass_cut,histogram," l)
+       (List.tl lines));
+  (* every row has exactly the header's 10 columns *)
+  List.iter
+    (fun l ->
+      Alcotest.(check int)
+        (Printf.sprintf "10 columns in %S" l)
+        10
+        (List.length (String.split_on_char ',' l)))
+    lines
+
+let test_cli_events_jsonl () =
+  let events_path = Filename.concat tmpdir "hypart_test_events.jsonl" in
+  (try Sys.remove events_path with Sys_error _ -> ());
+  let code =
+    run_cmd
+      (Printf.sprintf "partition ibm01 --scale 64 --engine clip --events %s"
+         (Filename.quote events_path))
+  in
+  Alcotest.(check int) "exit code" 0 code;
+  let lines = read_file events_path |> String.trim |> String.split_on_char '\n' in
+  Alcotest.(check bool) "events recorded" true (List.length lines > 0);
+  let names =
+    List.map
+      (fun l ->
+        match Mini_json.member "event" (Mini_json.parse l) with
+        | Some (Mini_json.Str s) -> s
+        | _ -> Alcotest.failf "event line without name: %s" l)
+      lines
+  in
+  Alcotest.(check bool) "pass improvements recorded" true
+    (List.mem "run.pass_improved" names)
+
 let () =
   Alcotest.run "telemetry"
     [
@@ -317,8 +600,22 @@ let () =
             test_counter_aggregation_across_domains;
           Alcotest.test_case "snapshot and export" `Quick
             test_snapshot_and_json;
+          Alcotest.test_case "reservoir cap" `Quick test_reservoir_cap;
+          Alcotest.test_case "reservoir deterministic" `Quick
+            test_reservoir_deterministic;
+          Alcotest.test_case "prometheus exposition" `Quick
+            test_prometheus_export;
+          Alcotest.test_case "prometheus/json consistency" `Quick
+            test_prometheus_json_consistency;
           Alcotest.test_case "gain.removes = fm.moves" `Quick
             test_gain_removes_equals_fm_moves;
+        ] );
+      ( "events",
+        [
+          Alcotest.test_case "jsonl round-trip + context merge" `Quick
+            test_event_log_roundtrip;
+          Alcotest.test_case "bounded with counted drops" `Quick
+            test_event_log_bounded;
         ] );
       ( "trace",
         [
@@ -329,8 +626,15 @@ let () =
             test_span_args_and_exception_safety;
           Alcotest.test_case "spans across domains" `Quick
             test_spans_across_domains;
+          Alcotest.test_case "request context" `Quick test_with_context;
+          Alcotest.test_case "context exception safety" `Quick
+            test_context_exception_safety;
           Alcotest.test_case "phase summary" `Quick test_phase_summary;
         ] );
       ( "cli",
-        [ Alcotest.test_case "--trace/--metrics JSON" `Quick test_cli_trace_json ] );
+        [
+          Alcotest.test_case "--trace/--metrics JSON" `Quick test_cli_trace_json;
+          Alcotest.test_case "--metrics CSV export" `Quick test_cli_metrics_csv;
+          Alcotest.test_case "--events JSONL" `Quick test_cli_events_jsonl;
+        ] );
     ]
