@@ -290,6 +290,65 @@ let micro_benches =
              Ml.run (Rng.create 3) (Lazy.force micro_problem)));
     ]
 
+(* ------------- ingest benches (streaming parse, pack, mmap load) ------------- *)
+
+module Io = Hypart_hypergraph.Netlist_io
+module Store = Hypart_hypergraph.Instance_store
+module Fingerprint = Hypart_lab.Fingerprint
+
+let file_size path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  close_in ic;
+  n
+
+(* one instance written once in both formats; sizes and pin count feed
+   the throughput gauges below.  The fixture scale is fixed (not
+   HYPART_BENCH_SCALE): at CI's heavily reduced scale the files are so
+   small that open/mmap syscall jitter dominates and the regression
+   gate flaps; ~1.6k cells keeps parse and load work-dominated while
+   still finishing in microseconds *)
+let ingest_fixture =
+  lazy
+    (let dir = Filename.get_temp_dir_name () in
+     let hgr = Filename.concat dir "hypart_bench_ingest.hgr" in
+     let hgrb = Filename.concat dir "hypart_bench_ingest.hgrb" in
+     let h = Suite.instance ~scale:8.0 "ibm01" in
+     Io.write_hgr hgr h;
+     Store.save hgrb ~fingerprint:(Hypart_lab.Fingerprint.of_instance h) h;
+     (h, hgr, hgrb, file_size hgr, file_size hgrb))
+
+let ingest_edges =
+  lazy
+    (let h, _, _, _, _ = Lazy.force ingest_fixture in
+     Array.init (H.num_edges h) (fun e -> H.edge_pins h e))
+
+let ingest_benches =
+  Test.make_grouped ~name:"ingest"
+    [
+      Test.make ~name:"text_parse"
+        (ignore1 (fun () ->
+             let _, hgr, _, _, _ = Lazy.force ingest_fixture in
+             Io.read_hgr hgr));
+      Test.make ~name:"binary_load"
+        (ignore1 (fun () ->
+             let _, _, hgrb, _, _ = Lazy.force ingest_fixture in
+             Store.load hgrb));
+      Test.make ~name:"binary_save"
+        (ignore1 (fun () ->
+             let h, _, hgrb, _, _ = Lazy.force ingest_fixture in
+             Store.save (hgrb ^ ".save") ~fingerprint:"0123456789abcdef" h));
+      Test.make ~name:"csr_build"
+        (ignore1 (fun () ->
+             let h, _, _, _, _ = Lazy.force ingest_fixture in
+             H.create ~num_vertices:(H.num_vertices h)
+               ~edges:(Lazy.force ingest_edges) ()));
+      Test.make ~name:"fingerprint"
+        (ignore1 (fun () ->
+             let h, _, _, _, _ = Lazy.force ingest_fixture in
+             Fingerprint.of_instance h));
+    ]
+
 (* ------------- driver ------------- *)
 
 let benchmark tests =
@@ -348,6 +407,7 @@ let all_groups =
     ("ablations", ablation_benches);
     ("substrate", substrate_benches);
     ("micro", micro_benches);
+    ("ingest", ingest_benches);
   ]
 
 let selected_groups =
@@ -384,6 +444,24 @@ let () =
       print_results rows;
       print_newline ())
     groups;
+  (* throughput gauges derived from the ingest timings.  Deliberately
+     NOT under the gated "bench." prefix: these grow when ingest gets
+     faster, and hypart bench-diff treats growth of gated gauges as a
+     regression *)
+  (let text_ns = Metrics.gauge_value "bench.ingest/text_parse" in
+   if text_ns > 0. then begin
+     let h, _, _, hgr_bytes, hgrb_bytes = Lazy.force ingest_fixture in
+     let pins = float_of_int (H.num_pins h) in
+     let mb_s bytes ns = float_of_int bytes /. 1048576. /. (ns /. 1e9) in
+     let per_s count ns = count /. (ns /. 1e9) in
+     Metrics.set_gauge "ingest.text_parse_mb_s" (mb_s hgr_bytes text_ns);
+     Metrics.set_gauge "ingest.text_parse_pins_s" (per_s pins text_ns);
+     let load_ns = Metrics.gauge_value "bench.ingest/binary_load" in
+     if load_ns > 0. then begin
+       Metrics.set_gauge "ingest.binary_load_mb_s" (mb_s hgrb_bytes load_ns);
+       Metrics.set_gauge "ingest.binary_load_pins_s" (per_s pins load_ns)
+     end
+   end);
   (* calibrate after the benchmarks so the spin loop doesn't heat the
      machine under them; the factor makes the committed baseline
      comparable across runner speeds (hypart bench-diff multiplies

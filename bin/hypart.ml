@@ -202,13 +202,25 @@ let common_t =
 (* ---------------- generate ---------------- *)
 
 let generate_cmd =
-  let run () name scale seed out =
-    let h = Suite.instance ~scale ~seed name in
+  let run () name scale seed out stream =
     let base = match out with Some o -> o | None -> name in
-    Io.write_hgr (base ^ ".hgr") h;
-    Io.write_are (base ^ ".are") h;
-    Format.printf "%a@." H.pp h;
-    Printf.printf "wrote %s.hgr and %s.are\n" base base
+    if stream then begin
+      (* bounded-memory path: the weighted .hgr (which carries the
+         areas as fmt-11 vertex weights) is emitted net by net without
+         materializing the instance *)
+      let oc = open_out (base ^ ".hgr") in
+      Fun.protect
+        ~finally:(fun () -> close_out_noerr oc)
+        (fun () -> Suite.emit_instance ~scale ~seed name oc);
+      Printf.printf "wrote %s.hgr (streamed)\n" base
+    end
+    else begin
+      let h = Suite.instance ~scale ~seed name in
+      Io.write_hgr (base ^ ".hgr") h;
+      Io.write_are (base ^ ".are") h;
+      Format.printf "%a@." H.pp h;
+      Printf.printf "wrote %s.hgr and %s.are\n" base base
+    end
   in
   let name_t =
     Arg.(required & pos 0 (some string) None & info [] ~docv:"INSTANCE")
@@ -216,18 +228,37 @@ let generate_cmd =
   let out_t =
     Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"BASE")
   in
+  let stream_t =
+    Arg.(
+      value & flag
+      & info [ "stream" ]
+          ~doc:
+            "Emit the .hgr in bounded memory (O(cells)) instead of building \
+             the instance first — required for million-vertex scales.  Writes \
+             only the weighted .hgr (areas ride along as fmt-11 vertex \
+             weights), byte-identical to the non-streamed file.")
+  in
   Cmd.v
     (Cmd.info "generate" ~doc:"Generate a synthetic ISPD98 twin as .hgr/.are files.")
-    Term.(const run $ common_t $ name_t $ scale_t $ seed_t $ out_t)
+    Term.(const run $ common_t $ name_t $ scale_t $ seed_t $ out_t $ stream_t)
 
 (* ---------------- partition ---------------- *)
 
+let load_instance input scale =
+  if Filename.check_suffix input ".hgr" then Io.read_hgr input
+  else if Filename.check_suffix input ".hgrb" then
+    fst (Hypart_hypergraph.Instance_store.load input)
+  else if Filename.check_suffix input ".netD" || Filename.check_suffix input ".netd"
+  then fst (Io.read_netd input)
+  else if Filename.check_suffix input ".nodes" then
+    fst
+      (Hypart_hypergraph.Bookshelf.read
+         ~basename:(Filename.remove_extension input))
+  else Suite.instance ~scale input
+
 let partition_cmd =
   let run () input scale seed tolerance engine starts domains =
-    let h =
-      if Filename.check_suffix input ".hgr" then Io.read_hgr input
-      else Suite.instance ~scale input
-    in
+    let h = load_instance input scale in
     let problem = Problem.make ~tolerance h in
     let (result, records), dt =
       Machine.cpu_time (fun () ->
@@ -292,17 +323,51 @@ let partition_cmd =
       const run $ common_t $ input_t $ scale_t $ seed_t $ tol_t $ engine_t
       $ starts_t $ domains_t)
 
-(* ---------------- evaluate ---------------- *)
+(* ---------------- pack ---------------- *)
 
-let load_instance input scale =
-  if Filename.check_suffix input ".hgr" then Io.read_hgr input
-  else if Filename.check_suffix input ".netD" || Filename.check_suffix input ".netd"
-  then fst (Io.read_netd input)
-  else if Filename.check_suffix input ".nodes" then
-    fst
-      (Hypart_hypergraph.Bookshelf.read
-         ~basename:(Filename.remove_extension input))
-  else Suite.instance ~scale input
+let pack_cmd =
+  let run () input scale out =
+    let h = load_instance input scale in
+    let out =
+      match out with
+      | Some o -> o
+      | None ->
+        if Filename.check_suffix input ".hgr" then
+          Filename.remove_extension input ^ ".hgrb"
+        else input ^ ".hgrb"
+    in
+    let fingerprint = Hypart_lab.Fingerprint.of_instance h in
+    Hypart_hypergraph.Instance_store.save out ~fingerprint h;
+    Format.printf "%a@." H.pp h;
+    Printf.printf "fingerprint: %s\n" fingerprint;
+    Printf.printf "wrote %s (%d bytes, mmap-loadable)\n" out
+      (Unix.stat out).Unix.st_size
+  in
+  let input_t =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"INPUT"
+          ~doc:
+            "An instance name (ibm01..ibm18), an .hgr/.netD/.nodes file to \
+             convert.")
+  in
+  let out_t =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "o"; "output" ] ~docv:"OUT.hgrb"
+          ~doc:"Output path; defaults to the input basename + .hgrb.")
+  in
+  Cmd.v
+    (Cmd.info "pack"
+       ~doc:
+         "Pack an instance into the versioned binary .hgrb format (raw int32 \
+          CSR sections behind a fingerprinted header) that loads by mmap with \
+          zero parsing — see docs/FORMATS.md.")
+    Term.(const run $ common_t $ input_t $ scale_t $ out_t)
+
+(* ---------------- evaluate ---------------- *)
 
 let evaluate_cmd =
   let run () input part_file scale tolerance =
@@ -960,7 +1025,8 @@ let port_t =
     & info [ "port" ] ~docv:"PORT" ~doc:"Daemon port (serve: 0 = ephemeral).")
 
 let serve_cmd =
-  let run () host port workers queue_capacity max_body_mb store retention =
+  let run () host port workers queue_capacity max_body_mb store retention
+      instance_cache_mb =
     let config =
       {
         Server.host;
@@ -970,6 +1036,7 @@ let serve_cmd =
         max_body = max_body_mb * 1024 * 1024;
         store;
         retention;
+        instance_cache_bytes = instance_cache_mb * 1024 * 1024;
       }
     in
     let server = Server.create config in
@@ -1022,6 +1089,15 @@ let serve_cmd =
       & info [ "retention" ] ~docv:"N"
           ~doc:"Finished jobs kept queryable at /jobs/<id>.")
   in
+  let instance_cache_t =
+    Arg.(
+      value
+      & opt (pos_int_conv "instance-cache-mb") 512
+      & info [ "instance-cache-mb" ] ~docv:"MB"
+          ~doc:
+            "Byte bound of the parsed-instance cache: repeat submissions of \
+             the same netlist body skip reparsing (LRU eviction beyond this).")
+  in
   Cmd.v
     (Cmd.info "serve"
        ~doc:
@@ -1030,7 +1106,7 @@ let serve_cmd =
           (docs/SERVER.md).")
     Term.(
       const run $ common_t $ host_t $ port_t $ workers_t $ queue_t $ max_body_t
-      $ store_t $ retention_t)
+      $ store_t $ retention_t $ instance_cache_t)
 
 let submit_cmd =
   let read_file path =
@@ -1043,6 +1119,7 @@ let submit_cmd =
       attempts out_file =
     let body, format =
       if Filename.check_suffix input ".hgr" then (read_file input, "hgr")
+      else if Filename.check_suffix input ".hgrb" then (read_file input, "hgrb")
       else if
         Filename.check_suffix input ".netD" || Filename.check_suffix input ".netd"
       then (read_file input, "netd")
@@ -1119,8 +1196,8 @@ let submit_cmd =
       & pos 0 (some string) None
       & info [] ~docv:"INPUT"
           ~doc:
-            "An instance name (ibm01..ibm18), an .hgr or .netD file, or a \
-             Bookshelf .nodes file.")
+            "An instance name (ibm01..ibm18), an .hgr, .hgrb (packed binary) \
+             or .netD file, or a Bookshelf .nodes file.")
   in
   let tol_t =
     Arg.(
@@ -1227,7 +1304,7 @@ let main_cmd =
          "Hypergraph partitioning for VLSI CAD: FM/CLIP/multilevel engines and \
           the DAC'99 methodology experiments.")
     [
-      generate_cmd; partition_cmd; evaluate_cmd; kway_cmd; place_cmd;
+      generate_cmd; pack_cmd; partition_cmd; evaluate_cmd; kway_cmd; place_cmd;
       engines_cmd; table1_cmd; table2_cmd; table3_cmd;
       tables45_cmd; bsf_cmd; pareto_cmd; ranking_cmd; corking_cmd;
       regime_cmd; fixed_cmd; ablation_cmd; placement_cmd; compare_cmd; all_cmd;

@@ -52,11 +52,11 @@ type state = {
   config : Fm_config.t;
   sol : Bipartition.t;
   ws : Fm_workspace.t;
-  eoff : int array;
-  epins : int array;
-  voff : int array;
-  vedges : int array;
-  ew : int array;
+  eoff : H.i32;
+  epins : H.i32;
+  voff : H.i32;
+  vedges : H.i32;
+  ew : H.i32;
   count0 : int array;
   count1 : int array;
   gain : int array;
@@ -72,6 +72,10 @@ type state = {
 
 let max_weighted_degree = Fm_workspace.max_weighted_degree
 
+(* One int32 CSR element as int.  The intermediate [Int32.t] is unboxed
+   by the compiler, so the flat loops below stay allocation-free. *)
+let[@inline] ba (a : H.i32) i = Int32.to_int (Bigarray.Array1.unsafe_get a i)
+
 let recompute_counts st =
   let ne = H.num_edges st.h in
   Array.fill st.count0 0 ne 0;
@@ -79,8 +83,8 @@ let recompute_counts st =
   let voff = st.voff and vedges = st.vedges in
   for v = 0 to H.num_vertices st.h - 1 do
     let cnt = if Bipartition.side st.sol v = 0 then st.count0 else st.count1 in
-    for i = voff.(v) to voff.(v + 1) - 1 do
-      let e = Array.unsafe_get vedges i in
+    for i = ba voff v to ba voff (v + 1) - 1 do
+      let e = ba vedges i in
       Array.unsafe_set cnt e (Array.unsafe_get cnt e + 1)
     done
   done
@@ -98,13 +102,11 @@ let compute_gain st v =
   in
   let voff = st.voff and vedges = st.vedges and ew = st.ew in
   let acc = ref 0 in
-  for i = voff.(v) to voff.(v + 1) - 1 do
-    let e = Array.unsafe_get vedges i in
+  for i = ba voff v to ba voff (v + 1) - 1 do
+    let e = ba vedges i in
     acc :=
       !acc
-      + contrib (Array.unsafe_get ew e)
-          (Array.unsafe_get cs_arr e)
-          (Array.unsafe_get co_arr e)
+      + contrib (ba ew e) (Array.unsafe_get cs_arr e) (Array.unsafe_get co_arr e)
   done;
   !acc
 
@@ -113,10 +115,10 @@ let compute_gain st v =
    at least one cut net. *)
 let on_boundary st v =
   let vedges = st.vedges in
-  let stop = st.voff.(v + 1) in
-  let i = ref st.voff.(v) and found = ref false in
+  let stop = ba st.voff (v + 1) in
+  let i = ref (ba st.voff v) and found = ref false in
   while (not !found) && !i < stop do
-    let e = Array.unsafe_get vedges !i in
+    let e = ba vedges !i in
     if Array.unsafe_get st.count0 e > 0 && Array.unsafe_get st.count1 e > 0
     then found := true;
     incr i
@@ -186,8 +188,8 @@ let populate st =
     let eoff = st.eoff and epins = st.epins in
     for i = 0 to ws.Fm_workspace.n_touched - 1 do
       let e = touched.(i) in
-      for j = eoff.(e) to eoff.(e + 1) - 1 do
-        let u = Array.unsafe_get epins j in
+      for j = ba eoff e to ba eoff (e + 1) - 1 do
+        let u = ba epins j in
         if vstamp.(u) <> gen then begin
           vstamp.(u) <- gen;
           if insertable st u then st.gain.(u) <- compute_gain st u
@@ -255,14 +257,14 @@ let apply_move st v =
     st.config.Fm_config.update = Fm_config.Nonzero_only && !zero_delta_fast_path
   in
   let eoff = st.eoff and epins = st.epins and ew = st.ew in
-  for i = st.voff.(v) to st.voff.(v + 1) - 1 do
-    let e = Array.unsafe_get st.vedges i in
+  for i = ba st.voff v to ba st.voff (v + 1) - 1 do
+    let e = ba st.vedges i in
     if estamp.(e) <> gen then begin
       estamp.(e) <- gen;
       touched.(ws.Fm_workspace.n_touched) <- e;
       ws.Fm_workspace.n_touched <- ws.Fm_workspace.n_touched + 1
     end;
-    let w = Array.unsafe_get ew e in
+    let w = ba ew e in
     let cb_f = Array.unsafe_get count_f e and cb_t = Array.unsafe_get count_t e in
     let ca_f = cb_f - 1 and ca_t = cb_t + 1 in
     (* when both sides stay at >= 2 pins (source at >= 3 before the
@@ -275,8 +277,8 @@ let apply_move st v =
       Array.unsafe_set count_t e ca_t
     end
     else begin
-      for j = eoff.(e) to eoff.(e + 1) - 1 do
-        let u = Array.unsafe_get epins j in
+      for j = ba eoff e to ba eoff (e + 1) - 1 do
+        let u = ba epins j in
         if u <> v && (not (Array.unsafe_get st.locked u))
            && Gain_container.mem st.container u
         then begin
@@ -335,7 +337,7 @@ let select_side st side =
 let cut_from_counts st =
   let total = ref 0 in
   for e = 0 to H.num_edges st.h - 1 do
-    if st.count0.(e) > 0 && st.count1.(e) > 0 then total := !total + st.ew.(e)
+    if st.count0.(e) > 0 && st.count1.(e) > 0 then total := !total + ba st.ew e
   done;
   !total
 
@@ -417,8 +419,8 @@ let pass st =
       if Bipartition.side st.sol v = 0 then (st.count0, st.count1)
       else (st.count1, st.count0)
     in
-    for j = st.voff.(v) to st.voff.(v + 1) - 1 do
-      let e = Array.unsafe_get st.vedges j in
+    for j = ba st.voff v to ba st.voff (v + 1) - 1 do
+      let e = ba st.vedges j in
       Array.unsafe_set cs e (Array.unsafe_get cs e - 1);
       Array.unsafe_set co e (Array.unsafe_get co e + 1)
     done;

@@ -53,7 +53,17 @@ let small_area rng =
   let w = [| 48.; 26.; 14.; 8.; 4. |] in
   1 lsl Rng.choose_weighted rng w
 
-let generate rng p =
+(* Derived sampling parameters, shared by the in-memory and streaming
+   paths so both consume identical RNG draw sequences. *)
+type layout = {
+  mega : int;
+  normal : int;
+  mega_size : int;
+  prob : float;  (* geometric parameter for normal-net sizes *)
+  depth_weight : float array;
+}
+
+let layout_of p =
   if p.num_cells < 2 then invalid_arg "Generator.generate: need >= 2 cells";
   if p.num_nets < 1 then invalid_arg "Generator.generate: need >= 1 net";
   let n = p.num_cells in
@@ -67,20 +77,6 @@ let generate rng p =
   let budget = max (2 * normal) (p.num_pins - mega_pins) in
   let mean = float_of_int budget /. float_of_int (max 1 normal) in
   let prob = if mean <= 2.0 then 1.0 else 1.0 /. (mean -. 1.0) in
-  let edges = Array.make p.num_nets [||] in
-  let degree = Array.make n 0 in
-  let some_net_of = Array.make n (-1) in
-  let add_net i pins =
-    edges.(i) <- pins;
-    Array.iter
-      (fun v ->
-        degree.(v) <- degree.(v) + 1;
-        some_net_of.(v) <- i)
-      pins
-  in
-  for i = 0 to mega - 1 do
-    add_net i (Rng.sample_distinct rng ~n:mega_size ~universe:n)
-  done;
   (* Rent-rule depth distribution: the number of nets at depth d is
      proportional to 2^(d (1 - p_rent)), so a block of g cells sees
      ~g^p_rent nets crossing its internal cutline. *)
@@ -88,19 +84,32 @@ let generate rng p =
     Array.init (depth + 1) (fun d ->
         Float.exp (float_of_int d *. (1.0 -. p.rent_exponent) *. Float.log 2.0))
   in
-  for i = mega to p.num_nets - 1 do
+  { mega; normal; mega_size; prob; depth_weight }
+
+(* Base pins of net [i], consuming the draw sequence of one net. *)
+let draw_net rng p lay i =
+  let n = p.num_cells in
+  if i < lay.mega then Rng.sample_distinct rng ~n:lay.mega_size ~universe:n
+  else begin
     let c = Rng.int rng n in
-    let d = Rng.choose_weighted rng depth_weight in
+    let d = Rng.choose_weighted rng lay.depth_weight in
     let lo, hi = block_at ~num_cells:n ~depth:d c in
     (* the trailing block of a level can truncate to < 2 cells; widen it
        leftward so every net has room for two pins *)
     let lo = if hi - lo < 2 then max 0 (hi - 2) else lo in
     let span = hi - lo in
-    let size = min span (1 + Rng.geometric rng ~p:prob) in
+    let size = min span (1 + Rng.geometric rng ~p:lay.prob) in
     let size = max 2 size in
     let pins = Rng.sample_distinct rng ~n:size ~universe:span in
-    add_net i (Array.map (fun v -> lo + v) pins)
-  done;
+    Array.map (fun v -> lo + v) pins
+  end
+
+(* Isolated-cell fixup and area/macro overlay.  [append e v] adds pin
+   [v] to net [e]; the caller decides whether that mutates an in-memory
+   edge array or records the append for a later streaming pass.
+   Consumes the post-net RNG draw sequence; returns the areas. *)
+let overlay rng p lay ~degree ~some_net_of ~append =
+  let n = p.num_cells in
   (* Tie isolated cells into the design by appending each as a pin to a
      net incident to a hierarchy neighbour; preserves the net count and
      cannot isolate anyone else. *)
@@ -117,7 +126,7 @@ let generate rng p =
       done;
       let net = some_net_of.(!u) in
       (* mega nets qualify too; appending one pin to any net is safe *)
-      edges.(net) <- Array.append edges.(net) [| v |];
+      append net v;
       degree.(v) <- 1;
       some_net_of.(v) <- net
     end
@@ -139,13 +148,101 @@ let generate rng p =
       in
       areas.(v) <- max 1 (int_of_float (pct /. 100.0 *. float_of_int base_total));
       (* pin-count boost proportional to area: append the macro to many
-         normal nets (duplicates are merged by Hypergraph.create) *)
-      if normal > 0 then begin
-        let boost = min (normal / 8) (15 + int_of_float (pct *. 8.0)) in
+         normal nets (duplicates are merged downstream) *)
+      if lay.normal > 0 then begin
+        let boost = min (lay.normal / 8) (15 + int_of_float (pct *. 8.0)) in
         for _ = 1 to boost do
-          let e = mega + Rng.int rng normal in
-          edges.(e) <- Array.append edges.(e) [| v |]
+          let e = lay.mega + Rng.int rng lay.normal in
+          append e v
         done
       end)
     macro_cells;
+  areas
+
+let generate rng p =
+  let lay = layout_of p in
+  let n = p.num_cells in
+  let edges = Array.make p.num_nets [||] in
+  let degree = Array.make n 0 in
+  let some_net_of = Array.make n (-1) in
+  for i = 0 to p.num_nets - 1 do
+    let pins = draw_net rng p lay i in
+    edges.(i) <- pins;
+    Array.iter
+      (fun v ->
+        degree.(v) <- degree.(v) + 1;
+        some_net_of.(v) <- i)
+      pins
+  done;
+  let append e v = edges.(e) <- Array.append edges.(e) [| v |] in
+  let areas = overlay rng p lay ~degree ~some_net_of ~append in
   Hypergraph.create ~vertex_weights:areas ~num_vertices:n ~edges ()
+
+(* Streaming emission: writes the weighted .hgr (fmt 11) that
+   [Netlist_io.write_hgr] would produce for [generate rng p],
+   byte-identical, without ever materializing the pin arrays.  Two
+   passes over the same draw sequence via [Rng.copy]: pass A replays
+   the net draws to learn degrees (for the isolated-cell fixup) and
+   collects only the appended extra pins; pass B re-draws each net's
+   base pins and writes it immediately, deduplicated against the
+   extras exactly as [Hypergraph.create] would.  Peak memory is
+   O(cells + extras + one net), independent of the pin count. *)
+let emit_hgr rng p oc =
+  let lay = layout_of p in
+  let n = p.num_cells in
+  let replay = Rng.copy rng in
+  (* pass A: degrees and appended pins, base pins discarded *)
+  let degree = Array.make n 0 in
+  let some_net_of = Array.make n (-1) in
+  for i = 0 to p.num_nets - 1 do
+    Array.iter
+      (fun v ->
+        degree.(v) <- degree.(v) + 1;
+        some_net_of.(v) <- i)
+      (draw_net rng p lay i)
+  done;
+  let extras : (int, int list ref) Hashtbl.t = Hashtbl.create 64 in
+  let append e v =
+    match Hashtbl.find_opt extras e with
+    | Some l -> l := v :: !l
+    | None -> Hashtbl.add extras e (ref [ v ])
+  in
+  let areas = overlay rng p lay ~degree ~some_net_of ~append in
+  (* pass B: re-draw base pins and stream each net line out *)
+  let buf = Buffer.create 65536 in
+  let flush_if_full () =
+    if Buffer.length buf > 60000 then begin
+      Buffer.output_buffer oc buf;
+      Buffer.clear buf
+    end
+  in
+  Buffer.add_string buf (string_of_int p.num_nets);
+  Buffer.add_char buf ' ';
+  Buffer.add_string buf (string_of_int n);
+  Buffer.add_string buf " 11\n";
+  (* timestamped per-net dedup, first-occurrence order as in
+     Hypergraph.create *)
+  let mark = Array.make n (-1) in
+  for e = 0 to p.num_nets - 1 do
+    let base = draw_net replay p lay e in
+    Buffer.add_char buf '1';
+    let emit_pin v =
+      if mark.(v) <> e then begin
+        mark.(v) <- e;
+        Buffer.add_char buf ' ';
+        Buffer.add_string buf (string_of_int (v + 1))
+      end
+    in
+    Array.iter emit_pin base;
+    (match Hashtbl.find_opt extras e with
+     | Some l -> List.iter emit_pin (List.rev !l)
+     | None -> ());
+    Buffer.add_char buf '\n';
+    flush_if_full ()
+  done;
+  for v = 0 to n - 1 do
+    Buffer.add_string buf (string_of_int areas.(v));
+    Buffer.add_char buf '\n';
+    flush_if_full ()
+  done;
+  Buffer.output_buffer oc buf

@@ -45,3 +45,13 @@ val generate : Hypart_rng.Rng.t -> params -> Hypart_hypergraph.Hypergraph.t
     Every cell is guaranteed to have degree at least 1 (isolated cells
     are tied to a hierarchy neighbour with 2-pin nets, inside the net
     budget). *)
+
+val emit_hgr : Hypart_rng.Rng.t -> params -> out_channel -> unit
+(** [emit_hgr rng p oc] writes the weighted [.hgr] (fmt 11) that
+    [Netlist_io.write_hgr] would produce for [generate rng p] —
+    byte-identical — in bounded memory: O(cells) plus one net, never
+    the full pin set.  The mechanism is a two-pass replay of the same
+    RNG draw sequence ([Rng.copy]), so [rng] ends in the same state as
+    after [generate].  This is the path for ibm18s-×100-class
+    million-vertex instances that do not fit as [int array array]
+    edges. *)

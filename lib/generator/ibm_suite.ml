@@ -42,7 +42,7 @@ let seed_of_name name =
   String.iter (fun c -> h := (!h * 33) lxor Char.code c) name;
   !h land max_int
 
-let instance ?(scale = 1.0) ?seed name =
+let params_of ?(scale = 1.0) ?seed name =
   if scale <= 0.0 then invalid_arg "Ibm_suite.instance: scale must be positive";
   let p = find name in
   let seed = match seed with Some s -> s | None -> seed_of_name p.name in
@@ -51,7 +51,15 @@ let instance ?(scale = 1.0) ?seed name =
     Generator.default_params ~num_cells:(shrink p.cells) ~num_nets:(shrink p.nets)
       ~num_pins:(shrink p.pins)
   in
+  (seed, params)
+
+let instance ?scale ?seed name =
+  let seed, params = params_of ?scale ?seed name in
   Generator.generate (Rng.create seed) params
+
+let emit_instance ?scale ?seed name oc =
+  let seed, params = params_of ?scale ?seed name in
+  Generator.emit_hgr (Rng.create seed) params oc
 
 let names_small = [ "ibm01"; "ibm02"; "ibm03" ]
 

@@ -31,6 +31,14 @@ val instance :
     [~scale:0.2] delivers that).  [seed] (default derived from [name])
     varies the instance while keeping the statistics. *)
 
+val emit_instance : ?scale:float -> ?seed:int -> string -> out_channel -> unit
+(** [emit_instance ~scale name oc] streams the weighted [.hgr] of
+    [instance ~scale name] to [oc] in bounded memory (O(cells), never
+    the full pin set) — byte-identical to
+    [Netlist_io.write_hgr path (instance ~scale name)].  This is how
+    million-vertex instances (e.g. ibm18 at [~scale:0.2]) are
+    materialized without first building them in memory. *)
+
 val names_small : string list
 (** ["ibm01"; "ibm02"; "ibm03"] — the Table 1-3 test cases. *)
 

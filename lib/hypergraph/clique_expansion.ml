@@ -2,22 +2,28 @@ let adjacency ?(skip_nets_above = 64) h =
   let n = Hypergraph.num_vertices h in
   let adj = Array.make n [] in
   let tbl = Hashtbl.create (4 * n) in
+  (* flat index loops over the CSR view: no per-net pin array copies *)
+  let eoff = Hypergraph.Csr.edge_offset h
+  and epins = Hypergraph.Csr.edge_pins h in
+  let[@inline] ba (a : Hypergraph.i32) i =
+    Int32.to_int (Bigarray.Array1.unsafe_get a i)
+  in
   for e = 0 to Hypergraph.num_edges h - 1 do
-    let size = Hypergraph.edge_size h e in
+    let lo = ba eoff e and hi = ba eoff (e + 1) in
+    let size = hi - lo in
     if size >= 2 && size <= skip_nets_above then begin
       let w = float_of_int (Hypergraph.edge_weight h e) /. float_of_int (size - 1) in
-      let pins = Hypergraph.edge_pins h e in
-      Array.iter
-        (fun a ->
-          Array.iter
-            (fun b ->
-              if a < b then begin
-                let key = (a * n) + b in
-                let cur = try Hashtbl.find tbl key with Not_found -> 0.0 in
-                Hashtbl.replace tbl key (cur +. w)
-              end)
-            pins)
-        pins
+      for i = lo to hi - 1 do
+        let a = ba epins i in
+        for j = lo to hi - 1 do
+          let b = ba epins j in
+          if a < b then begin
+            let key = (a * n) + b in
+            let cur = try Hashtbl.find tbl key with Not_found -> 0.0 in
+            Hashtbl.replace tbl key (cur +. w)
+          end
+        done
+      done
     end
   done;
   Hashtbl.iter

@@ -1,12 +1,36 @@
+(* CSR storage lives in (int32, c_layout) Bigarray-1 vectors: half the
+   footprint of boxed int arrays at million-vertex scale, contiguous and
+   GC-opaque (no marking cost), and the exact on-disk representation of
+   the binary instance format — Instance_store maps a packed file and
+   wraps these views with zero copies. *)
+
+type i32 = (int32, Bigarray.int32_elt, Bigarray.c_layout) Bigarray.Array1.t
+
+let i32_create n : i32 = Bigarray.Array1.create Bigarray.Int32 Bigarray.c_layout n
+
+let i32_of_array a =
+  let n = Array.length a in
+  let b = i32_create n in
+  for i = 0 to n - 1 do
+    Bigarray.Array1.unsafe_set b i (Int32.of_int (Array.unsafe_get a i))
+  done;
+  b
+
+(* unchecked element access for internal loops whose indices are known
+   in range; public accessors bounds-check through Array1.get *)
+let[@inline] ug (a : i32) i = Int32.to_int (Bigarray.Array1.unsafe_get a i)
+let[@inline] get (a : i32) i = Int32.to_int (Bigarray.Array1.get a i)
+let[@inline] dim (a : i32) = Bigarray.Array1.dim a
+
 type t = {
   num_vertices : int;
   num_edges : int;
-  edge_offset : int array;   (* length num_edges + 1 *)
-  edge_pins : int array;     (* pins of edge e at [edge_offset.(e), edge_offset.(e+1)) *)
-  vertex_offset : int array; (* length num_vertices + 1 *)
-  vertex_edges : int array;
-  vertex_weight : int array;
-  edge_weight : int array;
+  edge_offset : i32;   (* length num_edges + 1 *)
+  edge_pins : i32;     (* pins of edge e at [edge_offset.(e), edge_offset.(e+1)) *)
+  vertex_offset : i32; (* length num_vertices + 1 *)
+  vertex_edges : i32;
+  vertex_weight : i32;
+  edge_weight : i32;
   total_vertex_weight : int;
   max_vertex_weight : int;
   max_vertex_degree : int;
@@ -15,24 +39,24 @@ type t = {
 
 let num_vertices h = h.num_vertices
 let num_edges h = h.num_edges
-let num_pins h = Array.length h.edge_pins
-let edge_size h e = h.edge_offset.(e + 1) - h.edge_offset.(e)
-let vertex_degree h v = h.vertex_offset.(v + 1) - h.vertex_offset.(v)
-let vertex_weight h v = h.vertex_weight.(v)
-let edge_weight h e = h.edge_weight.(e)
+let num_pins h = dim h.edge_pins
+let edge_size h e = get h.edge_offset (e + 1) - get h.edge_offset e
+let vertex_degree h v = get h.vertex_offset (v + 1) - get h.vertex_offset v
+let vertex_weight h v = get h.vertex_weight v
+let edge_weight h e = get h.edge_weight e
 let total_vertex_weight h = h.total_vertex_weight
 let max_vertex_weight h = h.max_vertex_weight
 let max_vertex_degree h = h.max_vertex_degree
 let max_edge_weight h = h.max_edge_weight
 
 let iter_pins h e f =
-  for i = h.edge_offset.(e) to h.edge_offset.(e + 1) - 1 do
-    f h.edge_pins.(i)
+  for i = get h.edge_offset e to get h.edge_offset (e + 1) - 1 do
+    f (ug h.edge_pins i)
   done
 
 let iter_edges h v f =
-  for i = h.vertex_offset.(v) to h.vertex_offset.(v + 1) - 1 do
-    f h.vertex_edges.(i)
+  for i = get h.vertex_offset v to get h.vertex_offset (v + 1) - 1 do
+    f (ug h.vertex_edges i)
   done
 
 let fold_pins h e ~init ~f =
@@ -45,14 +69,18 @@ let fold_edges h v ~init ~f =
   iter_edges h v (fun e -> acc := f !acc e);
   !acc
 
+(* Copying accessors: compatibility shims for tests and cold paths only.
+   Hot paths use iter_pins/iter_edges or the Csr view. *)
 let edge_pins h e =
-  Array.sub h.edge_pins h.edge_offset.(e) (edge_size h e)
+  let lo = get h.edge_offset e in
+  Array.init (edge_size h e) (fun i -> ug h.edge_pins (lo + i))
 
 let vertex_edges h v =
-  Array.sub h.vertex_edges h.vertex_offset.(v) (vertex_degree h v)
+  let lo = get h.vertex_offset v in
+  Array.init (vertex_degree h v) (fun i -> ug h.vertex_edges (lo + i))
 
-(* Zero-copy access to the underlying CSR arrays for flat index loops
-   in engine hot paths.  The arrays are the hypergraph's own storage:
+(* Zero-copy access to the underlying CSR vectors for flat index loops
+   in engine hot paths.  The vectors are the hypergraph's own storage:
    callers must treat them as read-only. *)
 module Csr = struct
   let edge_offset h = h.edge_offset
@@ -63,29 +91,30 @@ module Csr = struct
   let edge_weight h = h.edge_weight
 end
 
-(* Build the vertex -> edges CSR from the edge -> pins CSR by counting
-   sort.  Shared by [create], [contract] and [induce]. *)
-let of_csr ~num_vertices ~edge_offset ~edge_pins ~vertex_weight ~edge_weight =
-  let num_edges = Array.length edge_offset - 1 in
-  let degree = Array.make num_vertices 0 in
-  Array.iter (fun v -> degree.(v) <- degree.(v) + 1) edge_pins;
-  let vertex_offset = Array.make (num_vertices + 1) 0 in
+let memory_bytes h =
+  4
+  * (dim h.edge_offset + dim h.edge_pins + dim h.vertex_offset
+    + dim h.vertex_edges + dim h.vertex_weight + dim h.edge_weight)
+
+(* Derived statistics shared by every construction path. *)
+let finish ~num_vertices ~num_edges ~edge_offset ~edge_pins ~vertex_offset
+    ~vertex_edges ~vertex_weight ~edge_weight =
+  let total = ref 0 and max_w = ref 0 in
   for v = 0 to num_vertices - 1 do
-    vertex_offset.(v + 1) <- vertex_offset.(v) + degree.(v)
+    let w = ug vertex_weight v in
+    total := !total + w;
+    if w > !max_w then max_w := w
   done;
-  let vertex_edges = Array.make (Array.length edge_pins) 0 in
-  let cursor = Array.copy vertex_offset in
+  let max_d = ref 0 in
+  for v = 0 to num_vertices - 1 do
+    let d = ug vertex_offset (v + 1) - ug vertex_offset v in
+    if d > !max_d then max_d := d
+  done;
+  let max_ew = ref 0 in
   for e = 0 to num_edges - 1 do
-    for i = edge_offset.(e) to edge_offset.(e + 1) - 1 do
-      let v = edge_pins.(i) in
-      vertex_edges.(cursor.(v)) <- e;
-      cursor.(v) <- cursor.(v) + 1
-    done
+    let w = ug edge_weight e in
+    if w > !max_ew then max_ew := w
   done;
-  let total = Array.fold_left ( + ) 0 vertex_weight in
-  let max_w = Array.fold_left max 0 vertex_weight in
-  let max_d = Array.fold_left max 0 degree in
-  let max_ew = Array.fold_left max 0 edge_weight in
   {
     num_vertices;
     num_edges;
@@ -95,11 +124,132 @@ let of_csr ~num_vertices ~edge_offset ~edge_pins ~vertex_weight ~edge_weight =
     vertex_edges;
     vertex_weight;
     edge_weight;
-    total_vertex_weight = total;
-    max_vertex_weight = max_w;
-    max_vertex_degree = max_d;
-    max_edge_weight = max_ew;
+    total_vertex_weight = !total;
+    max_vertex_weight = !max_w;
+    max_vertex_degree = !max_d;
+    max_edge_weight = !max_ew;
   }
+
+(* Build the vertex -> edges CSR from the edge -> pins CSR by counting
+   sort.  Shared by every constructor that arrives without one. *)
+let transpose ~num_vertices ~edge_offset ~edge_pins =
+  let num_edges = dim edge_offset - 1 in
+  let num_pins = dim edge_pins in
+  let degree = Array.make (max num_vertices 1) 0 in
+  for i = 0 to num_pins - 1 do
+    let v = ug edge_pins i in
+    degree.(v) <- degree.(v) + 1
+  done;
+  let vertex_offset = i32_create (num_vertices + 1) in
+  Bigarray.Array1.set vertex_offset 0 0l;
+  for v = 0 to num_vertices - 1 do
+    Bigarray.Array1.unsafe_set vertex_offset (v + 1)
+      (Int32.of_int (ug vertex_offset v + degree.(v)))
+  done;
+  let vertex_edges = i32_create num_pins in
+  let cursor = Array.init num_vertices (fun v -> ug vertex_offset v) in
+  for e = 0 to num_edges - 1 do
+    for i = ug edge_offset e to ug edge_offset (e + 1) - 1 do
+      let v = ug edge_pins i in
+      Bigarray.Array1.unsafe_set vertex_edges cursor.(v) (Int32.of_int e);
+      cursor.(v) <- cursor.(v) + 1
+    done
+  done;
+  (vertex_offset, vertex_edges)
+
+let of_csr32 ~num_vertices ~edge_offset ~edge_pins ~vertex_weight ~edge_weight =
+  let num_edges = dim edge_offset - 1 in
+  let vertex_offset, vertex_edges =
+    transpose ~num_vertices ~edge_offset ~edge_pins
+  in
+  finish ~num_vertices ~num_edges ~edge_offset ~edge_pins ~vertex_offset
+    ~vertex_edges ~vertex_weight ~edge_weight
+
+(* int-array entry point kept for the in-memory constructors below *)
+let of_csr ~num_vertices ~edge_offset ~edge_pins ~vertex_weight ~edge_weight =
+  of_csr32 ~num_vertices
+    ~edge_offset:(i32_of_array edge_offset)
+    ~edge_pins:(i32_of_array edge_pins)
+    ~vertex_weight:(i32_of_array vertex_weight)
+    ~edge_weight:(i32_of_array edge_weight)
+
+(* Validation for externally supplied CSR (streaming reader, binary
+   loader): cheap linear scans, located errors via Invalid_argument. *)
+let validate_csr ~what ~num_vertices ~edge_offset ~edge_pins ~vertex_weight
+    ~edge_weight =
+  let fail fmt = Printf.ksprintf invalid_arg fmt in
+  let num_edges = dim edge_offset - 1 in
+  if num_vertices < 0 then fail "%s: negative vertex count" what;
+  if num_edges < 0 then fail "%s: empty edge_offset" what;
+  if dim vertex_weight <> num_vertices then
+    fail "%s: vertex_weight length mismatch" what;
+  if dim edge_weight <> num_edges then fail "%s: edge_weight length mismatch" what;
+  if get edge_offset 0 <> 0 then fail "%s: edge_offset must start at 0" what;
+  for e = 0 to num_edges - 1 do
+    if ug edge_offset (e + 1) < ug edge_offset e then
+      fail "%s: edge_offset not monotone at edge %d" what e
+  done;
+  if get edge_offset num_edges <> dim edge_pins then
+    fail "%s: edge_offset end %d does not match %d pins" what
+      (get edge_offset num_edges) (dim edge_pins);
+  (* pins in range and distinct within each edge (FM pin counting and
+     contraction both assume a vertex appears at most once per net) *)
+  let mark = Array.make (max num_vertices 1) (-1) in
+  for e = 0 to num_edges - 1 do
+    for i = ug edge_offset e to ug edge_offset (e + 1) - 1 do
+      let v = ug edge_pins i in
+      if v < 0 || v >= num_vertices then
+        fail "%s: pin %d of edge %d out of range" what v e;
+      if mark.(v) = e then fail "%s: duplicate pin %d in edge %d" what v e;
+      mark.(v) <- e
+    done
+  done;
+  for v = 0 to num_vertices - 1 do
+    if ug vertex_weight v <= 0 then
+      fail "%s: non-positive weight of vertex %d" what v
+  done;
+  for e = 0 to num_edges - 1 do
+    if ug edge_weight e <= 0 then fail "%s: non-positive weight of edge %d" what e
+  done
+
+let of_int32_csr ~num_vertices ~edge_offset ~edge_pins ~vertex_weight
+    ~edge_weight =
+  validate_csr ~what:"Hypergraph.of_int32_csr" ~num_vertices ~edge_offset
+    ~edge_pins ~vertex_weight ~edge_weight;
+  of_csr32 ~num_vertices ~edge_offset ~edge_pins ~vertex_weight ~edge_weight
+
+let of_mapped_csr ~num_vertices ~edge_offset ~edge_pins ~vertex_offset
+    ~vertex_edges ~vertex_weight ~edge_weight =
+  validate_csr ~what:"Hypergraph.of_mapped_csr" ~num_vertices ~edge_offset
+    ~edge_pins ~vertex_weight ~edge_weight;
+  let fail fmt = Printf.ksprintf invalid_arg fmt in
+  let what = "Hypergraph.of_mapped_csr" in
+  let num_edges = dim edge_offset - 1 in
+  (* the vertex CSR arrives precomputed (it is part of the packed file
+     so loading is pure mmap); cross-check it against the edge CSR *)
+  if dim vertex_offset <> num_vertices + 1 then
+    fail "%s: vertex_offset length mismatch" what;
+  if dim vertex_edges <> dim edge_pins then
+    fail "%s: vertex_edges length mismatch" what;
+  if get vertex_offset 0 <> 0 then fail "%s: vertex_offset must start at 0" what;
+  let degree = Array.make (max num_vertices 1) 0 in
+  for i = 0 to dim edge_pins - 1 do
+    let v = ug edge_pins i in
+    degree.(v) <- degree.(v) + 1
+  done;
+  for v = 0 to num_vertices - 1 do
+    if ug vertex_offset (v + 1) - ug vertex_offset v <> degree.(v) then
+      fail "%s: vertex_offset disagrees with pin degrees at vertex %d" what v
+  done;
+  for i = 0 to dim vertex_edges - 1 do
+    let e = ug vertex_edges i in
+    if e < 0 || e >= num_edges then
+      fail "%s: vertex_edges entry %d out of range" what e
+  done;
+  finish ~num_vertices ~num_edges ~edge_offset ~edge_pins ~vertex_offset
+    ~vertex_edges ~vertex_weight ~edge_weight
+
+let max_i32 = 0x7FFFFFFF
 
 let create ?vertex_weights ?edge_weights ~num_vertices ~edges () =
   if num_vertices < 0 then invalid_arg "Hypergraph.create: negative vertex count";
@@ -110,7 +260,11 @@ let create ?vertex_weights ?edge_weights ~num_vertices ~edges () =
     | Some w ->
       if Array.length w <> num_vertices then
         invalid_arg "Hypergraph.create: vertex_weights length mismatch";
-      Array.iter (fun x -> if x <= 0 then invalid_arg "Hypergraph.create: non-positive vertex weight") w;
+      Array.iter
+        (fun x ->
+          if x <= 0 then invalid_arg "Hypergraph.create: non-positive vertex weight";
+          if x > max_i32 then invalid_arg "Hypergraph.create: weight exceeds int32")
+        w;
       Array.copy w
   in
   let edge_weight =
@@ -119,7 +273,11 @@ let create ?vertex_weights ?edge_weights ~num_vertices ~edges () =
     | Some w ->
       if Array.length w <> num_edges then
         invalid_arg "Hypergraph.create: edge_weights length mismatch";
-      Array.iter (fun x -> if x <= 0 then invalid_arg "Hypergraph.create: non-positive edge weight") w;
+      Array.iter
+        (fun x ->
+          if x <= 0 then invalid_arg "Hypergraph.create: non-positive edge weight";
+          if x > max_i32 then invalid_arg "Hypergraph.create: weight exceeds int32")
+        w;
       Array.copy w
   in
   (* Deduplicate pins within each edge, preserving first-occurrence
@@ -149,6 +307,8 @@ let create ?vertex_weights ?edge_weights ~num_vertices ~edges () =
   for e = 0 to num_edges - 1 do
     edge_offset.(e + 1) <- edge_offset.(e) + Array.length deduped.(e)
   done;
+  if edge_offset.(num_edges) > max_i32 then
+    invalid_arg "Hypergraph.create: pin count exceeds int32";
   let edge_pins = Array.make edge_offset.(num_edges) 0 in
   Array.iteri
     (fun e pins -> Array.blit pins 0 edge_pins edge_offset.(e) (Array.length pins))
@@ -187,7 +347,11 @@ let stats h =
     if s > !max_size then max_size := s;
     if s > 50 then incr big
   done;
-  let min_area = Array.fold_left min max_int h.vertex_weight in
+  let min_area = ref max_int in
+  for v = 0 to nv - 1 do
+    let w = ug h.vertex_weight v in
+    if w < !min_area then min_area := w
+  done;
   {
     Stats_summary.num_vertices = nv;
     num_edges = ne;
@@ -198,7 +362,7 @@ let stats h =
     max_vertex_degree = h.max_vertex_degree;
     total_area = h.total_vertex_weight;
     max_area = h.max_vertex_weight;
-    min_area = (if nv = 0 then 0 else min_area);
+    min_area = (if nv = 0 then 0 else !min_area);
     edges_over_50_pins = !big;
   }
 
@@ -221,7 +385,7 @@ let contract h ~cluster_of ~num_clusters =
   let vertex_weight = Array.make num_clusters 0 in
   for v = 0 to h.num_vertices - 1 do
     let c = cluster_of.(v) in
-    vertex_weight.(c) <- vertex_weight.(c) + h.vertex_weight.(v)
+    vertex_weight.(c) <- vertex_weight.(c) + ug h.vertex_weight v
   done;
   (* Pass 1: translate and deduplicate each net's pins; drop size-1 nets. *)
   let mark = Array.make (max num_clusters 1) (-1) in
@@ -242,7 +406,7 @@ let contract h ~cluster_of ~num_clusters =
       let pins = Array.sub tmp 0 !n in
       Array.sort compare pins;
       kept_pins := pins :: !kept_pins;
-      kept_meta := (e, !n, h.edge_weight.(e)) :: !kept_meta;
+      kept_meta := (e, !n, ug h.edge_weight e) :: !kept_meta;
       total_pins := !total_pins + !n
     end
   done;
@@ -328,8 +492,22 @@ let reweight_edges h ~weights =
     weights;
   {
     h with
-    edge_weight = Array.copy weights;
+    edge_weight = i32_of_array weights;
     max_edge_weight = Array.fold_left max 0 weights;
+  }
+
+let with_vertex_weights h ~weights =
+  if Array.length weights <> h.num_vertices then
+    invalid_arg "Hypergraph.with_vertex_weights: weights length mismatch";
+  Array.iter
+    (fun w ->
+      if w <= 0 then invalid_arg "Hypergraph.with_vertex_weights: non-positive weight")
+    weights;
+  {
+    h with
+    vertex_weight = i32_of_array weights;
+    total_vertex_weight = Array.fold_left ( + ) 0 weights;
+    max_vertex_weight = Array.fold_left max 0 weights;
   }
 
 let induce h ~keep =
@@ -346,7 +524,7 @@ let induce h ~keep =
   let nv = !n in
   let vertex_weight = Array.make nv 0 in
   for v = 0 to h.num_vertices - 1 do
-    if vmap.(v) >= 0 then vertex_weight.(vmap.(v)) <- h.vertex_weight.(v)
+    if vmap.(v) >= 0 then vertex_weight.(vmap.(v)) <- ug h.vertex_weight v
   done;
   let pins_acc = ref [] and w_acc = ref [] and total = ref 0 in
   for e = 0 to h.num_edges - 1 do
@@ -359,7 +537,7 @@ let induce h ~keep =
     | _ ->
       let a = Array.of_list (List.rev pins) in
       pins_acc := a :: !pins_acc;
-      w_acc := h.edge_weight.(e) :: !w_acc;
+      w_acc := ug h.edge_weight e :: !w_acc;
       total := !total + Array.length a
   done;
   let kept = Array.of_list (List.rev !pins_acc) in

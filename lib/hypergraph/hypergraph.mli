@@ -5,9 +5,18 @@
     directions are stored: edge -> pins and vertex -> incident edges, so
     that gain updates in FM-style partitioners touch contiguous memory.
 
+    Storage is [(int32, c_layout)] Bigarray-1 vectors: half the memory
+    of boxed [int array]s at million-vertex scale, GC-opaque, and
+    byte-compatible with the packed on-disk instance format
+    ({!Instance_store}), which maps files and wraps these views with
+    zero copies.
+
     Values of type {!t} are immutable once built. *)
 
 type t
+
+type i32 = (int32, Bigarray.int32_elt, Bigarray.c_layout) Bigarray.Array1.t
+(** The storage type of every CSR vector. *)
 
 (** {1 Construction} *)
 
@@ -24,7 +33,42 @@ val create :
     1 (unit areas); edge weights default to 1.
 
     @raise Invalid_argument if a pin is out of range, a weight is
-    non-positive, or a weight array has the wrong length. *)
+    non-positive or exceeds int32 range, or a weight array has the wrong
+    length. *)
+
+val of_int32_csr :
+  num_vertices:int ->
+  edge_offset:i32 ->
+  edge_pins:i32 ->
+  vertex_weight:i32 ->
+  edge_weight:i32 ->
+  t
+(** [of_int32_csr] adopts already-built CSR vectors without copying —
+    the constructor behind the streaming [.hgr] reader.  The vectors
+    become the hypergraph's storage: the caller must not mutate them
+    afterwards.  Requirements (checked, O(pins)): [edge_offset] has
+    length [num_edges + 1], starts at 0, is monotone and ends at
+    [dim edge_pins]; pins are in range and distinct within each edge;
+    weights are positive.  The vertex -> edges CSR is built here.
+
+    @raise Invalid_argument when a requirement fails. *)
+
+val of_mapped_csr :
+  num_vertices:int ->
+  edge_offset:i32 ->
+  edge_pins:i32 ->
+  vertex_offset:i32 ->
+  vertex_edges:i32 ->
+  vertex_weight:i32 ->
+  edge_weight:i32 ->
+  t
+(** Like {!of_int32_csr} but with the vertex -> edges CSR supplied as
+    well (it is part of the packed binary format, so loading a mapped
+    instance performs no CSR construction at all).  In addition to the
+    {!of_int32_csr} checks, the vertex CSR is cross-checked against pin
+    degrees and range-checked.
+
+    @raise Invalid_argument when a check fails. *)
 
 (** {1 Sizes} *)
 
@@ -33,38 +77,47 @@ val num_edges : t -> int
 val num_pins : t -> int
 (** Total pin count: sum of edge sizes. *)
 
+val memory_bytes : t -> int
+(** Resident bytes of the six CSR vectors (excludes the record itself). *)
+
 (** {1 Incidence} *)
 
 val edge_size : t -> int -> int
 val vertex_degree : t -> int -> int
 
 val edge_pins : t -> int -> int array
-(** Fresh array of the pins of an edge (for convenience / tests). *)
+(** Fresh array of the pins of an edge.  Compatibility shim: allocates
+    O(edge size) per call — tests and cold paths only; hot paths use
+    {!iter_pins} or the {!Csr} view. *)
 
 val vertex_edges : t -> int -> int array
-(** Fresh array of the edges incident to a vertex. *)
+(** Fresh array of the edges incident to a vertex.  Compatibility shim,
+    same caveat as {!edge_pins}. *)
 
-(** Zero-copy view of the underlying CSR arrays, for flat index loops
+(** Zero-copy view of the underlying CSR vectors, for flat index loops
     in engine hot paths (FM gain updates walk pin slices millions of
-    times per run; going through the raw arrays avoids the closure call
+    times per run; going through the raw vectors avoids the closure call
     per element of {!iter_pins}/{!fold_edges}).
 
-    The returned arrays are the hypergraph's own storage, {b not}
+    The returned vectors are the hypergraph's own storage, {b not}
     copies: treat them as read-only.  Mutating them breaks the
     immutability contract of {!t} and every cached statistic.  The pins
-    of edge [e] occupy [edge_pins.(edge_offset.(e)
-    .. edge_offset.(e+1) - 1)]; the edges of vertex [v] occupy
-    [vertex_edges.(vertex_offset.(v) .. vertex_offset.(v+1) - 1)];
-    [vertex_weight]/[edge_weight] are indexed directly. *)
+    of edge [e] occupy [edge_pins.{edge_offset.{e}
+    .. edge_offset.{e+1} - 1}]; the edges of vertex [v] occupy
+    [vertex_edges.{vertex_offset.{v} .. vertex_offset.{v+1} - 1}];
+    [vertex_weight]/[edge_weight] are indexed directly.  Elements are
+    [int32]; hot loops read them as
+    [Int32.to_int (Bigarray.Array1.unsafe_get a i)], which the compiler
+    unboxes. *)
 module Csr : sig
   type h := t
 
-  val edge_offset : h -> int array
-  val edge_pins : h -> int array
-  val vertex_offset : h -> int array
-  val vertex_edges : h -> int array
-  val vertex_weight : h -> int array
-  val edge_weight : h -> int array
+  val edge_offset : h -> i32
+  val edge_pins : h -> i32
+  val vertex_offset : h -> i32
+  val vertex_edges : h -> i32
+  val vertex_weight : h -> i32
+  val edge_weight : h -> i32
 end
 
 val iter_pins : t -> int -> (int -> unit) -> unit
@@ -114,6 +167,12 @@ val reweight_edges : t -> weights:int array -> t
     the mechanism behind timing- or congestion-driven partitioning,
     where critical nets get boosted weights so min-cut avoids cutting
     them.  Structure is shared where possible.
+    @raise Invalid_argument on wrong length or non-positive weights. *)
+
+val with_vertex_weights : t -> weights:int array -> t
+(** [with_vertex_weights h ~weights] is [h] with new vertex weights
+    (cell areas), sharing all incidence structure — the mechanism behind
+    [.are] actual-area overlays.
     @raise Invalid_argument on wrong length or non-positive weights. *)
 
 val induce : t -> keep:bool array -> t * int array

@@ -44,6 +44,65 @@ let ints_of_line path lineno l =
          | Some v -> v
          | None -> parse_error path lineno "expected integer, got %S" s)
 
+(* ---------------- streaming .hgr ingest ---------------- *)
+
+(* The .hgr reader below is single-pass and keeps only the current line
+   plus the growing CSR in memory (the old reader materialized the
+   whole file as a line list first).  Blank/comment/CRLF handling and
+   the located diagnostics match [read_lines] exactly: [String.trim]
+   strips '\r', blank and '%' lines are skipped but still counted, so
+   line numbers in errors are unchanged. *)
+
+let is_blank c = c = ' ' || c = '\t'
+
+(* Apply [f] to each integer token of a data line, left to right,
+   without building the intermediate string list of [ints_of_line]. *)
+let iter_ints path lineno line f =
+  let n = String.length line in
+  let i = ref 0 in
+  while !i < n do
+    while !i < n && is_blank line.[!i] do
+      incr i
+    done;
+    if !i < n then begin
+      let start = !i in
+      while !i < n && not (is_blank line.[!i]) do
+        incr i
+      done;
+      let tok = String.sub line start (!i - start) in
+      match int_of_string_opt tok with
+      | Some v -> f v
+      | None -> parse_error path lineno "expected integer, got %S" tok
+    end
+  done
+
+(* Growable int32 vector: doubling push, zero-copy view of the filled
+   prefix at the end. *)
+module Buf32 = struct
+  type t = { mutable data : Hypergraph.i32; mutable len : int }
+
+  let create capacity =
+    {
+      data =
+        Bigarray.Array1.create Bigarray.Int32 Bigarray.c_layout (max capacity 16);
+      len = 0;
+    }
+
+  let push b x =
+    let cap = Bigarray.Array1.dim b.data in
+    if b.len = cap then begin
+      let grown = Bigarray.Array1.create Bigarray.Int32 Bigarray.c_layout (2 * cap) in
+      Bigarray.Array1.blit b.data (Bigarray.Array1.sub grown 0 cap);
+      b.data <- grown
+    end;
+    Bigarray.Array1.unsafe_set b.data b.len (Int32.of_int x);
+    b.len <- b.len + 1
+
+  let contents b = Bigarray.Array1.sub b.data 0 b.len
+end
+
+let max_i32 = 0x7FFFFFFF
+
 let write_hgr ?(with_weights = true) path h =
   with_out path (fun oc ->
       let ne = Hypergraph.num_edges h and nv = Hypergraph.num_vertices h in
@@ -66,63 +125,100 @@ let write_hgr ?(with_weights = true) path h =
         done)
 
 let read_hgr path =
-  match read_lines path with
-  | [] -> raise (Parse_error (path ^ ": empty file"))
-  | (lineno, header) :: rest ->
+  let ic = open_in path in
+  Fun.protect ~finally:(fun () -> close_in_noerr ic) @@ fun () ->
+  let lineno = ref 0 in
+  let rec next_data_line () =
+    match input_line ic with
+    | exception End_of_file -> None
+    | l ->
+      incr lineno;
+      let l = String.trim l in
+      if l = "" || l.[0] = '%' then next_data_line () else Some (!lineno, l)
+  in
+  match next_data_line () with
+  | None -> raise (Parse_error (path ^ ": empty file"))
+  | Some (hline, header) ->
     let ne, nv, fmt =
-      match ints_of_line path lineno header with
+      match ints_of_line path hline header with
       | [ ne; nv ] -> (ne, nv, 0)
       | [ ne; nv; fmt ] -> (ne, nv, fmt)
-      | _ -> parse_error path lineno "bad header"
+      | _ -> parse_error path hline "bad header"
     in
     (* validate the counts here, with a location, rather than letting a
        negative value escape as a bare Invalid_argument from Array.make *)
-    if ne < 0 then parse_error path lineno "negative edge count %d" ne;
-    if nv < 0 then parse_error path lineno "negative vertex count %d" nv;
+    if ne < 0 then parse_error path hline "negative edge count %d" ne;
+    if nv < 0 then parse_error path hline "negative vertex count %d" nv;
     if fmt <> 0 && fmt <> 1 && fmt <> 10 && fmt <> 11 then
-      parse_error path lineno "unsupported fmt %d" fmt;
+      parse_error path hline "unsupported fmt %d" fmt;
     let has_ew = fmt = 1 || fmt = 11 in
     let has_vw = fmt = 10 || fmt = 11 in
-    let rest = Array.of_list rest in
     let expected = ne + if has_vw then nv else 0 in
-    if Array.length rest < expected then
+    let missing found =
       raise
         (Parse_error
            (Printf.sprintf "%s: expected %d data lines, found %d" path expected
-              (Array.length rest)));
-    let edges = Array.make ne [||] in
-    let edge_weights = Array.make ne 1 in
-    for e = 0 to ne - 1 do
-      let lineno, l = rest.(e) in
-      let vals = ints_of_line path lineno l in
-      let w, pins =
-        if has_ew then
-          match vals with
-          | w :: pins -> (w, pins)
-          | [] -> parse_error path lineno "empty edge line"
-        else (1, vals)
-      in
-      if pins = [] then parse_error path lineno "edge with no pins";
-      edge_weights.(e) <- w;
-      edges.(e) <-
-        Array.of_list
-          (List.map
-             (fun p ->
-               if p < 1 || p > nv then parse_error path lineno "pin %d out of range" p;
-               p - 1)
-             pins)
-    done;
-    let vertex_weights =
-      if has_vw then
-        Some
-          (Array.init nv (fun v ->
-               let lineno, l = rest.(ne + v) in
-               match ints_of_line path lineno l with
-               | [ w ] -> w
-               | _ -> parse_error path lineno "expected one vertex weight"))
-      else None
+              found))
     in
-    Hypergraph.create ?vertex_weights ~edge_weights ~num_vertices:nv ~edges ()
+    let edge_offset =
+      Bigarray.Array1.create Bigarray.Int32 Bigarray.c_layout (ne + 1)
+    in
+    Bigarray.Array1.set edge_offset 0 0l;
+    let edge_weight = Bigarray.Array1.create Bigarray.Int32 Bigarray.c_layout ne in
+    (* VLSI netlists average ~4 pins per net; the buffer doubles if the
+       guess is short *)
+    let pins = Buf32.create (4 * ne) in
+    (* timestamped per-edge pin dedup, same first-occurrence semantics
+       as Hypergraph.create *)
+    let mark = Array.make (max nv 1) (-1) in
+    for e = 0 to ne - 1 do
+      match next_data_line () with
+      | None -> missing e
+      | Some (lineno, l) ->
+        let w = ref 1 and want_weight = ref has_ew and npins = ref 0 in
+        iter_ints path lineno l (fun x ->
+            if !want_weight then begin
+              w := x;
+              want_weight := false
+            end
+            else begin
+              if x < 1 || x > nv then
+                parse_error path lineno "pin %d out of range" x;
+              let v = x - 1 in
+              if mark.(v) <> e then begin
+                mark.(v) <- e;
+                Buf32.push pins v;
+                incr npins
+              end
+            end);
+        if !want_weight then parse_error path lineno "empty edge line";
+        if !npins = 0 then parse_error path lineno "edge with no pins";
+        if !w <= 0 then parse_error path lineno "non-positive weight of edge %d" e;
+        if !w > max_i32 then parse_error path lineno "edge weight exceeds int32";
+        Bigarray.Array1.set edge_weight e (Int32.of_int !w);
+        Bigarray.Array1.set edge_offset (e + 1) (Int32.of_int pins.Buf32.len)
+    done;
+    let vertex_weight =
+      Bigarray.Array1.create Bigarray.Int32 Bigarray.c_layout nv
+    in
+    Bigarray.Array1.fill vertex_weight 1l;
+    if has_vw then
+      for v = 0 to nv - 1 do
+        match next_data_line () with
+        | None -> missing (ne + v)
+        | Some (lineno, l) ->
+          let count = ref 0 and w = ref 1 in
+          iter_ints path lineno l (fun x ->
+              incr count;
+              w := x);
+          if !count <> 1 then parse_error path lineno "expected one vertex weight";
+          if !w <= 0 then
+            parse_error path lineno "non-positive weight of vertex %d" v;
+          if !w > max_i32 then parse_error path lineno "vertex weight exceeds int32";
+          Bigarray.Array1.set vertex_weight v (Int32.of_int !w)
+      done;
+    Hypergraph.of_int32_csr ~num_vertices:nv ~edge_offset
+      ~edge_pins:(Buf32.contents pins) ~vertex_weight ~edge_weight
 
 let write_are path h =
   with_out path (fun oc ->
@@ -161,9 +257,9 @@ let read_hgr_with_are ~hgr ~are =
   let h = read_hgr hgr in
   let nv = Hypergraph.num_vertices h in
   let areas = read_are are ~num_vertices:nv in
-  let edges = Array.init (Hypergraph.num_edges h) (fun e -> Hypergraph.edge_pins h e) in
-  let edge_weights = Array.init (Hypergraph.num_edges h) (fun e -> Hypergraph.edge_weight h e) in
-  Hypergraph.create ~vertex_weights:areas ~edge_weights ~num_vertices:nv ~edges ()
+  (* overlay the areas on the shared incidence structure instead of
+     rebuilding the CSR from copied pin arrays *)
+  Hypergraph.with_vertex_weights h ~weights:areas
 
 (* ---------------- ISPD98 .netD ---------------- *)
 

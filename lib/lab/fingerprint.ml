@@ -41,11 +41,18 @@ let of_instance hg =
   let h = ref (add_int fnv_offset (H.num_vertices hg)) in
   h := add_int !h (H.num_edges hg);
   h := add_int !h (H.num_pins hg);
-  let fold_array a = Array.iter (fun x -> h := add_int !h x) a in
-  fold_array (H.Csr.vertex_weight hg);
-  fold_array (H.Csr.edge_weight hg);
-  fold_array (H.Csr.edge_offset hg);
-  fold_array (H.Csr.edge_pins hg);
+  (* element values fold as ints, exactly as when CSR storage was
+     [int array] — fingerprints are bit-identical across the int32
+     Bigarray migration *)
+  let fold_i32 (a : H.i32) =
+    for i = 0 to Bigarray.Array1.dim a - 1 do
+      h := add_int !h (Int32.to_int (Bigarray.Array1.unsafe_get a i))
+    done
+  in
+  fold_i32 (H.Csr.vertex_weight hg);
+  fold_i32 (H.Csr.edge_weight hg);
+  fold_i32 (H.Csr.edge_offset hg);
+  fold_i32 (H.Csr.edge_pins hg);
   to_hex !h
 
 let mix_seed ~base parts =

@@ -1,0 +1,99 @@
+module H = Hypart_hypergraph.Hypergraph
+
+type entry = {
+  hypergraph : H.t;
+  fingerprint : string;
+  bytes : int;
+  mutable last_used : int;
+}
+
+type t = {
+  mutex : Mutex.t;
+  table : (string, entry) Hashtbl.t;
+  max_bytes : int;
+  mutable resident_bytes : int;
+  mutable tick : int;
+}
+
+let create ?(max_bytes = 512 * 1024 * 1024) () =
+  if max_bytes < 1 then
+    invalid_arg "Instance_cache.create: max_bytes must be >= 1";
+  {
+    mutex = Mutex.create ();
+    table = Hashtbl.create 16;
+    max_bytes;
+    resident_bytes = 0;
+    tick = 0;
+  }
+
+(* FNV-1a 64 over the format tag and the raw request body.  The body is
+   hashed as transmitted — before parsing — so a repeat submission is
+   recognized without touching the parser at all. *)
+let key ~format ~body =
+  let h = ref 0xcbf29ce484222325L in
+  let fold c =
+    h := Int64.mul (Int64.logxor !h (Int64.of_int (Char.code c))) 0x100000001b3L
+  in
+  String.iter fold format;
+  fold '\x00';
+  String.iter fold body;
+  Printf.sprintf "%016Lx" !h
+
+let locked t f =
+  Mutex.lock t.mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mutex) f
+
+let find t k =
+  locked t (fun () ->
+      match Hashtbl.find_opt t.table k with
+      | None -> None
+      | Some e ->
+        t.tick <- t.tick + 1;
+        e.last_used <- t.tick;
+        Some (e.hypergraph, e.fingerprint))
+
+(* the caller holds the lock; evict least-recently-used entries until
+   [need] bytes fit under the bound *)
+let rec make_room t need =
+  if t.resident_bytes + need > t.max_bytes && Hashtbl.length t.table > 0 then begin
+    let victim =
+      Hashtbl.fold
+        (fun k e acc ->
+          match acc with
+          | Some (_, best) when best.last_used <= e.last_used -> acc
+          | _ -> Some (k, e))
+        t.table None
+    in
+    match victim with
+    | None -> ()
+    | Some (k, e) ->
+      Hashtbl.remove t.table k;
+      t.resident_bytes <- t.resident_bytes - e.bytes;
+      make_room t need
+  end
+
+let entry_overhead = 128
+
+let add t k hypergraph ~fingerprint =
+  let bytes =
+    H.memory_bytes hypergraph + String.length fingerprint + String.length k
+    + entry_overhead
+  in
+  locked t (fun () ->
+      (* an instance too large for the whole cache is served but never
+         retained — caching it would just evict everything else *)
+      if bytes <= t.max_bytes then begin
+        (match Hashtbl.find_opt t.table k with
+        | Some old ->
+          Hashtbl.remove t.table k;
+          t.resident_bytes <- t.resident_bytes - old.bytes
+        | None -> ());
+        make_room t bytes;
+        t.tick <- t.tick + 1;
+        Hashtbl.replace t.table k
+          { hypergraph; fingerprint; bytes; last_used = t.tick };
+        t.resident_bytes <- t.resident_bytes + bytes
+      end)
+
+let resident t = locked t (fun () -> Hashtbl.length t.table)
+let bytes t = locked t (fun () -> t.resident_bytes)

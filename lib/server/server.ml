@@ -1,6 +1,7 @@
 module Rng = Hypart_rng.Rng
 module Io = Hypart_hypergraph.Netlist_io
 module Bookshelf = Hypart_hypergraph.Bookshelf
+module Instance_store = Hypart_hypergraph.Instance_store
 module Problem = Hypart_partition.Problem
 module Bipartition = Hypart_partition.Bipartition
 module Engine = Hypart_engine.Engine
@@ -30,6 +31,7 @@ type config = {
   max_body : int;
   store : string option;
   retention : int;
+  instance_cache_bytes : int;
 }
 
 let default_config =
@@ -41,6 +43,7 @@ let default_config =
     max_body = 64 * 1024 * 1024;
     store = None;
     retention = 1024;
+    instance_cache_bytes = 512 * 1024 * 1024;
   }
 
 (* a queued element: the accepted socket and its admission time — the
@@ -55,6 +58,7 @@ type t = {
   queue : conn Job_queue.t;
   jobs : Job_table.t;
   cache : Cache.t;
+  instances : Instance_cache.t;
   store : Run_store.t option;
   stop : bool Atomic.t;
   in_flight : int Atomic.t;
@@ -101,6 +105,7 @@ let create config =
     queue = Job_queue.create ~capacity:config.queue_capacity;
     jobs = Job_table.create ~retention:config.retention;
     cache;
+    instances = Instance_cache.create ~max_bytes:config.instance_cache_bytes ();
     store;
     stop = Atomic.make false;
     in_flight = Atomic.make 0;
@@ -225,7 +230,7 @@ let with_temp_files body format parse =
   let base = Filename.temp_file "hypart_serve" "" in
   let written = ref [ base ] in
   let write_file path contents =
-    let oc = open_out path in
+    let oc = open_out_bin path in
     output_string oc contents;
     close_out oc;
     if path <> base then written := path :: !written
@@ -237,6 +242,10 @@ let with_temp_files body format parse =
       match format with
       | `Hgr ->
         let path = base ^ ".hgr" in
+        write_file path body;
+        parse (`File path)
+      | `Hgrb ->
+        let path = base ^ ".hgrb" in
         write_file path body;
         parse (`File path)
       | `Netd ->
@@ -267,13 +276,46 @@ let with_temp_files body format parse =
           write_file (base ^ ".nets") (String.sub body i (String.length body - i));
           parse (`Bookshelf base)))
 
+(* yields the hypergraph together with its lab fingerprint: text
+   formats are fingerprinted after parsing; the packed binary format
+   carries its fingerprint in the header (written by [hypart pack],
+   where it was computed from the same pin arrays), so a mmap-loaded
+   instance skips the refingerprint entirely *)
 let decode_netlist body format =
+  let fingerprinted h = (h, Fingerprint.of_instance h) in
   let parse = function
-    | `File path when Filename.check_suffix path ".hgr" -> Io.read_hgr path
-    | `File path -> fst (Io.read_netd path)
-    | `Bookshelf base -> fst (Bookshelf.read ~basename:base)
+    | `File path when Filename.check_suffix path ".hgr" ->
+      fingerprinted (Io.read_hgr path)
+    | `File path when Filename.check_suffix path ".hgrb" ->
+      Instance_store.load path
+    | `File path -> fingerprinted (fst (Io.read_netd path))
+    | `Bookshelf base -> fingerprinted (fst (Bookshelf.read ~basename:base))
   in
   with_temp_files body format parse
+
+(* request-body content cache: a repeat submission of the same bytes
+   (common when a campaign resubmits one huge instance under many
+   seeds) reuses the parsed hypergraph and fingerprint *)
+let format_tag = function
+  | `Hgr -> "hgr"
+  | `Hgrb -> "hgrb"
+  | `Netd -> "netd"
+  | `Bookshelf -> "bookshelf"
+
+let load_instance t body format =
+  let ckey = Instance_cache.key ~format:(format_tag format) ~body in
+  match Instance_cache.find t.instances ckey with
+  | Some (h, fp) ->
+    count "server.instance_cache_hits";
+    (h, fp, `Cache)
+  | None ->
+    let h, fp = decode_netlist body format in
+    count "server.instance_cache_misses";
+    Instance_cache.add t.instances ckey h ~fingerprint:fp;
+    if Tel.is_enabled () then
+      Metrics.set_gauge "server.instance_cache_bytes"
+        (float_of_int (Instance_cache.bytes t.instances));
+    (h, fp, `Parse)
 
 (* ------------------------------------------------------------------ *)
 (* POST /partition                                                     *)
@@ -284,7 +326,7 @@ type partition_params = {
   starts : int;
   tolerance : float;
   deadline_s : float option;  (** relative, seconds *)
-  format : [ `Hgr | `Netd | `Bookshelf ];
+  format : [ `Hgr | `Hgrb | `Netd | `Bookshelf ];
   out : [ `Json | `Plain ];
   want_assignment : bool;
 }
@@ -313,10 +355,14 @@ let parse_params req =
   let format =
     match param_string req "format" "hgr" with
     | "hgr" -> `Hgr
+    | "hgrb" -> `Hgrb
     | "netd" -> `Netd
     | "bookshelf" -> `Bookshelf
     | other ->
-      raise (Bad_param (Printf.sprintf "unknown format %s (hgr | netd | bookshelf)" other))
+      raise
+        (Bad_param
+           (Printf.sprintf "unknown format %s (hgr | hgrb | netd | bookshelf)"
+              other))
   in
   let out =
     match param_string req "out" "json" with
@@ -433,8 +479,10 @@ let handle_partition t fd (req : Http.request) accepted_s =
     send_response fd ~headers:rid_headers ~status:400 ~body:(error_body msg) ()
   | p -> (
     let engine_name = Engine.name p.engine in
-    match decode_netlist req.Http.body p.format with
-    | exception Io.Parse_error msg | exception Bookshelf.Parse_error msg ->
+    match load_instance t req.Http.body p.format with
+    | exception Io.Parse_error msg
+    | exception Bookshelf.Parse_error msg
+    | exception Instance_store.Format_error msg ->
       count "server.bad_requests";
       event "request.rejected" [ ("error", Event_log.Str ("netlist: " ^ msg)) ];
       send_response fd ~headers:rid_headers ~status:400
@@ -444,11 +492,22 @@ let handle_partition t fd (req : Http.request) accepted_s =
       event "request.rejected" [ ("error", Event_log.Str ("netlist: " ^ msg)) ];
       send_response fd ~headers:rid_headers ~status:400
         ~body:(error_body ("netlist: " ^ msg)) ()
-    | h -> (
+    | h, instance_fp, source -> (
+      event "request.instance_loaded"
+        [
+          ( "source",
+            Event_log.Str
+              (match source with `Cache -> "cache" | `Parse -> "parse") );
+          ("format", Event_log.Str (format_tag p.format));
+          ("instance", Event_log.Str instance_fp);
+          ("vertices", Event_log.Int (Hypart_hypergraph.Hypergraph.num_vertices h));
+          ("edges", Event_log.Int (Hypart_hypergraph.Hypergraph.num_edges h));
+          ("pins", Event_log.Int (Hypart_hypergraph.Hypergraph.num_pins h));
+        ];
       let problem = Problem.make ~tolerance:p.tolerance h in
       let key =
         Run_store.key ~engine:engine_name ~config:(config_fingerprint p)
-          ~instance:(Fingerprint.of_instance h) ~seed:p.seed
+          ~instance:instance_fp ~seed:p.seed
       in
       let job =
         Job_table.add t.jobs ~request_id:rid ~engine:engine_name ~key
@@ -527,7 +586,7 @@ let handle_partition t fd (req : Http.request) accepted_s =
               {
                 Run_store.engine = engine_name;
                 config = config_fingerprint p;
-                instance = Fingerprint.of_instance h;
+                instance = instance_fp;
                 seed = p.seed;
                 cut = result.Engine.Result.cut;
                 legal = result.Engine.Result.legal;
@@ -590,6 +649,8 @@ let healthz_body t =
       ("workers", J.int t.config.workers);
       ("jobs_total", J.int (Job_table.total t.jobs));
       ("cache_size", J.int (Cache.size t.cache));
+      ("instances_resident", J.int (Instance_cache.resident t.instances));
+      ("instance_cache_bytes", J.int (Instance_cache.bytes t.instances));
       (* instrumentation self-check: nonzero means some code path has
          mismatched begin/end spans and the trace is incomplete *)
       ("unbalanced_spans", J.int (Trace.unbalanced_spans ()));

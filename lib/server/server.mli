@@ -20,7 +20,12 @@
     resubmission is answered from the cache with zero engine runs
     (and, with [store], the cache is persistent across daemon
     restarts — every fresh run appends a {!Hypart_lab.Run_store}
-    record).
+    record).  Request bodies are content-cached too
+    ({!Instance_cache}): resubmitting the same netlist bytes — one
+    huge instance under many seeds, say — reuses the parsed
+    hypergraph and fingerprint without reparsing, and the packed
+    binary format ([format=hgrb], {!Hypart_hypergraph.Instance_store})
+    is accepted alongside the text formats.
 
     Deadlines are cooperative: the worker installs a
     {!Hypart_engine.Cancel} hook for the request, and the FM pass loop
@@ -39,11 +44,16 @@ type config = {
   max_body : int;  (** request bodies above this are 413 *)
   store : string option;  (** lab run-store directory for persistence *)
   retention : int;  (** jobs kept for [/jobs/<id>] *)
+  instance_cache_bytes : int;
+      (** byte bound of the parsed-instance cache ({!Instance_cache}):
+          repeat submissions of the same body reuse the parsed
+          hypergraph and fingerprint instead of reparsing *)
 }
 
 val default_config : config
 (** 127.0.0.1:8817, [Parallel.recommended_domains ()] workers, queue
-    64, 64 MiB bodies, no store, retention 1024. *)
+    64, 64 MiB bodies, no store, retention 1024, 512 MiB instance
+    cache. *)
 
 type t
 

@@ -14,6 +14,10 @@ module Client = Hypart_server.Client
 module Engine = Hypart_engine.Engine
 module Rng = Hypart_rng.Rng
 module Io = Hypart_hypergraph.Netlist_io
+module Instance_store = Hypart_hypergraph.Instance_store
+module Instance_cache = Hypart_server.Instance_cache
+module Fingerprint = Hypart_lab.Fingerprint
+module Hg = Hypart_hypergraph.Hypergraph
 module Problem = Hypart_partition.Problem
 module Bipartition = Hypart_partition.Bipartition
 module Initial = Hypart_partition.Initial
@@ -206,6 +210,15 @@ let test_with_retries_exhausts () =
 (* a 4-vertex instance small enough that every engine is instant *)
 let tiny_hgr = "2 4\n1 2\n3 4\n"
 
+let parse_tiny () =
+  let tmp = Filename.temp_file "hypart_test" ".hgr" in
+  let oc = open_out tmp in
+  output_string oc tiny_hgr;
+  close_out oc;
+  let h = Io.read_hgr tmp in
+  Sys.remove tmp;
+  h
+
 (* test-only engines, registered once: [test-count] counts invocations
    (for the zero-engine-runs dedup assertion), [test-gate] blocks until
    released (to hold a worker busy deterministically), [test-poll]
@@ -325,6 +338,93 @@ let test_serve_dedup_zero_runs () =
       Alcotest.(check string) "other fresh" "false"
         (hdr other "x-hypart-cached");
       Alcotest.(check int) "second engine run" 2 (Atomic.get count_runs))
+
+(* ---------------- parsed-instance cache ---------------- *)
+
+let test_icache_lru () =
+  let h = parse_tiny () in
+  let key i = Instance_cache.key ~format:"hgr" ~body:(string_of_int i) in
+  (* entry footprint as the cache computes it, so a two-entry bound is
+     exact *)
+  let per = Hg.memory_bytes h + 2 + String.length (key 0) + 128 in
+  let c = Instance_cache.create ~max_bytes:(2 * per) () in
+  Instance_cache.add c (key 1) h ~fingerprint:"fp";
+  Instance_cache.add c (key 2) h ~fingerprint:"fp";
+  Alcotest.(check int) "two resident" 2 (Instance_cache.resident c);
+  (* touch 1 so 2 becomes the LRU victim *)
+  (match Instance_cache.find c (key 1) with
+  | Some (h', fp) ->
+    Alcotest.(check string) "fingerprint" "fp" fp;
+    Alcotest.(check bool) "shared, not copied" true (h' == h)
+  | None -> Alcotest.fail "key 1 missing");
+  Instance_cache.add c (key 3) h ~fingerprint:"fp";
+  Alcotest.(check int) "still two resident" 2 (Instance_cache.resident c);
+  Alcotest.(check bool) "LRU evicted" true
+    (Option.is_none (Instance_cache.find c (key 2)));
+  Alcotest.(check bool) "recently used survives" true
+    (Option.is_some (Instance_cache.find c (key 1)));
+  Alcotest.(check bool) "bytes bounded" true (Instance_cache.bytes c <= 2 * per);
+  (* an entry larger than the whole cache is never retained *)
+  let tiny = Instance_cache.create ~max_bytes:8 () in
+  Instance_cache.add tiny (key 9) h ~fingerprint:"fp";
+  Alcotest.(check int) "oversized dropped" 0 (Instance_cache.resident tiny)
+
+let test_serve_instance_cache () =
+  with_server (fun _server port ->
+      let counter = Hypart_telemetry.Metrics.counter_value in
+      let hits0 = counter "server.instance_cache_hits" in
+      let misses0 = counter "server.instance_cache_misses" in
+      let first = submit ~query:"&engine=flat&seed=21" port in
+      Alcotest.(check int) "first status" 200 first.Http.status;
+      (* same body, different seed: the dedup key differs (the engine
+         runs again) but the body is recognized — no reparse *)
+      let second = submit ~query:"&engine=flat&seed=22" port in
+      Alcotest.(check int) "second status" 200 second.Http.status;
+      Alcotest.(check string) "second is a fresh run" "false"
+        (hdr second "x-hypart-cached");
+      Alcotest.(check int) "one parse miss" (misses0 + 1)
+        (counter "server.instance_cache_misses");
+      Alcotest.(check int) "one cache hit" (hits0 + 1)
+        (counter "server.instance_cache_hits");
+      Alcotest.(check bool) "resident bytes gauge set" true
+        (Hypart_telemetry.Metrics.gauge_value "server.instance_cache_bytes"
+        > 0.);
+      let health = get port "/healthz" in
+      let module Mini_json = Hypart_telemetry.Json_in in
+      match
+        Mini_json.member "instances_resident"
+          (Mini_json.parse health.Http.resp_body)
+      with
+      | Some (Mini_json.Num n) ->
+        Alcotest.(check bool) "at least one resident" true (n >= 1.)
+      | _ -> Alcotest.fail "no instances_resident in /healthz")
+
+let test_serve_hgrb_format () =
+  with_server (fun _server port ->
+      let h = parse_tiny () in
+      let fp = Fingerprint.of_instance h in
+      let tmp = Filename.temp_file "hypart_test" ".hgrb" in
+      Instance_store.save tmp ~fingerprint:fp h;
+      let ic = open_in_bin tmp in
+      let packed = really_input_string ic (in_channel_length ic) in
+      close_in ic;
+      Sys.remove tmp;
+      let text = submit ~query:"&engine=flat&seed=31" port in
+      Alcotest.(check int) "text accepted" 200 text.Http.status;
+      let binary =
+        submit ~query:"&engine=flat&seed=31&format=hgrb" ~body:packed port
+      in
+      Alcotest.(check int) "binary accepted" 200 binary.Http.status;
+      (* the packed header's fingerprint equals the text instance's, so
+         the binary resubmission lands on the same run-store key and is
+         answered from the dedup cache: zero engine runs *)
+      Alcotest.(check string) "dedup across formats" "true"
+        (hdr binary "x-hypart-cached");
+      Alcotest.(check string) "same cut" (hdr text "x-hypart-cut")
+        (hdr binary "x-hypart-cut");
+      (* corrupt binary is a located 400, never a crash *)
+      let bad = submit ~query:"&format=hgrb" ~body:"XXXX not packed" port in
+      Alcotest.(check int) "corrupt rejected" 400 bad.Http.status)
 
 let test_serve_queue_full_503 () =
   (* one worker, queue of one: A occupies the worker, B waits in the
@@ -663,6 +763,10 @@ let () =
         [
           Alcotest.test_case "served = offline" `Quick test_serve_matches_offline;
           Alcotest.test_case "dedup zero runs" `Quick test_serve_dedup_zero_runs;
+          Alcotest.test_case "instance cache LRU" `Quick test_icache_lru;
+          Alcotest.test_case "instance cache reuse" `Quick
+            test_serve_instance_cache;
+          Alcotest.test_case "hgrb format" `Quick test_serve_hgrb_format;
           Alcotest.test_case "queue full 503" `Quick test_serve_queue_full_503;
           Alcotest.test_case "deadline 504" `Quick test_serve_deadline_504;
           Alcotest.test_case "survives malformed" `Quick
