@@ -349,6 +349,60 @@ let ingest_benches =
              Fingerprint.of_instance h));
     ]
 
+(* ------------- evolve benches (memetic substrate) ------------- *)
+
+module Evolve = Hypart_evolve.Evolve
+module Population = Hypart_evolve.Population
+module Bipartition = Hypart_partition.Bipartition
+
+(* two decent parents produced once; recombine is the per-offspring hot
+   path of a memetic generation, so its cost vs a from-scratch ml start
+   is the number the campaign's CPU accounting hinges on *)
+let evolve_parents =
+  lazy
+    (let p = Lazy.force micro_problem in
+     let a = Ml.run (Rng.create 11) p in
+     let b = Ml.run (Rng.create 12) p in
+     (p, a, b))
+
+let evolve_benches =
+  Test.make_grouped ~name:"evolve"
+    [
+      Test.make ~name:"recombine"
+        (ignore1 (fun () ->
+             let p, a, b = Lazy.force evolve_parents in
+             Ml.recombine (Rng.create 13) p a.Hypart_fm.Fm.solution
+               b.Hypart_fm.Fm.solution));
+      Test.make ~name:"population_insert"
+        (ignore1 (fun () ->
+             let p, a, _ = Lazy.force evolve_parents in
+             let h = p.Problem.hypergraph in
+             let n = H.num_vertices h in
+             let pop = Population.create ~capacity:8 in
+             for i = 0 to 15 do
+               let sol = Bipartition.copy a.Hypart_fm.Fm.solution in
+               (* flip a few vertices so similarities differ per member *)
+               for v = 0 to min 7 (n - 1) do
+                 if (i + v) mod 3 = 0 then Bipartition.move sol h v
+               done;
+               ignore
+                 (Population.insert pop ~gen:0 ~slot:i ~kind:"seed" ~seed:i
+                    ~cut:(a.Hypart_fm.Fm.cut + i) ~legal:true ~seconds:0. sol)
+             done));
+      Test.make ~name:"campaign_small"
+        (ignore1 (fun () ->
+             let p = Lazy.force micro_problem in
+             Evolve.run
+               {
+                 Evolve.default with
+                 Evolve.population = 4;
+                 generations = 2;
+                 recombinations = 2;
+                 immigrants = 1;
+               }
+               ~seed:7 p));
+    ]
+
 (* ------------- driver ------------- *)
 
 let benchmark tests =
@@ -408,6 +462,7 @@ let all_groups =
     ("substrate", substrate_benches);
     ("micro", micro_benches);
     ("ingest", ingest_benches);
+    ("evolve", evolve_benches);
   ]
 
 let selected_groups =

@@ -26,6 +26,10 @@ module Reporter = Hypart_telemetry.Reporter
 module Server = Hypart_server.Server
 module Client = Hypart_server.Client
 module Http = Hypart_server.Http
+module Fleet = Hypart_server.Fleet
+module Evolve = Hypart_evolve.Evolve
+module Exec = Hypart_evolve.Executor
+module Pareto = Hypart_stats.Pareto
 
 (* populate the engine registry before any term is evaluated *)
 let () = Hypart_engines.init ()
@@ -1108,35 +1112,38 @@ let serve_cmd =
       const run $ common_t $ host_t $ port_t $ workers_t $ queue_t $ max_body_t
       $ store_t $ retention_t $ instance_cache_t)
 
-let submit_cmd =
+(* the wire form of an instance for daemon submission: raw file bytes
+   plus the daemon's format tag; suite names are generated locally and
+   shipped as .hgr text *)
+let instance_payload input scale =
   let read_file path =
     let ic = open_in_bin path in
     Fun.protect
       ~finally:(fun () -> close_in_noerr ic)
       (fun () -> really_input_string ic (in_channel_length ic))
   in
+  if Filename.check_suffix input ".hgr" then (read_file input, "hgr")
+  else if Filename.check_suffix input ".hgrb" then (read_file input, "hgrb")
+  else if
+    Filename.check_suffix input ".netD" || Filename.check_suffix input ".netd"
+  then (read_file input, "netd")
+  else if Filename.check_suffix input ".nodes" then
+    let base = Filename.remove_extension input in
+    (read_file (base ^ ".nodes") ^ read_file (base ^ ".nets"), "bookshelf")
+  else begin
+    let h = Suite.instance ~scale input in
+    let tmp = Filename.temp_file "hypart_submit" ".hgr" in
+    Fun.protect
+      ~finally:(fun () -> try Sys.remove tmp with Sys_error _ -> ())
+      (fun () ->
+        Io.write_hgr tmp h;
+        (read_file tmp, "hgr"))
+  end
+
+let submit_cmd =
   let run () input scale host port engine seed starts tolerance deadline_ms
       attempts out_file =
-    let body, format =
-      if Filename.check_suffix input ".hgr" then (read_file input, "hgr")
-      else if Filename.check_suffix input ".hgrb" then (read_file input, "hgrb")
-      else if
-        Filename.check_suffix input ".netD" || Filename.check_suffix input ".netd"
-      then (read_file input, "netd")
-      else if Filename.check_suffix input ".nodes" then
-        let base = Filename.remove_extension input in
-        (read_file (base ^ ".nodes") ^ read_file (base ^ ".nets"), "bookshelf")
-      else begin
-        (* a suite name: generate locally, ship as .hgr text *)
-        let h = Suite.instance ~scale input in
-        let tmp = Filename.temp_file "hypart_submit" ".hgr" in
-        Fun.protect
-          ~finally:(fun () -> try Sys.remove tmp with Sys_error _ -> ())
-          (fun () ->
-            Io.write_hgr tmp h;
-            (read_file tmp, "hgr"))
-      end
-    in
+    let body, format = instance_payload input scale in
     let path =
       Printf.sprintf
         "/partition?engine=%s&seed=%d&starts=%d&tol=%.9g&format=%s&out=plain%s"
@@ -1248,6 +1255,269 @@ let submit_cmd =
       const run $ common_t $ input_t $ scale_t $ host_t $ port_t $ engine_t
       $ seed_t $ starts_t $ tol_t $ deadline_t $ attempts_t $ out_t)
 
+(* ---------------- evolve ---------------- *)
+
+(* Executor over a daemon fleet.  Daemon-side cache hits carry no
+   assignment; the seeded-run contract makes a local recompute
+   bit-identical, so those (rare) answers fall back to it. *)
+let fleet_executor fleet ~body ~format ~tolerance ~attempts =
+  Exec.of_fun ~name:"fleet"
+    (fun problem jobs ->
+      let fleet_jobs =
+        List.map
+          (fun (j : Exec.job) ->
+            { Fleet.engine = j.Exec.engine; seed = j.Exec.seed;
+              starts = j.Exec.starts })
+          jobs
+      in
+      let results =
+        Fleet.submit_batch ~attempts_per_server:attempts ~tolerance fleet
+          ~body ~format fleet_jobs
+      in
+      List.map2
+        (fun (j : Exec.job) res ->
+          Result.map
+            (fun (o : Fleet.outcome) ->
+              match o.Fleet.assignment with
+              | Some assignment ->
+                {
+                  Exec.cut = o.Fleet.cut;
+                  legal = o.Fleet.legal;
+                  seconds = o.Fleet.seconds;
+                  assignment;
+                  source = o.Fleet.served_by;
+                }
+              | None ->
+                { (Exec.run_local problem j) with
+                  Exec.source = o.Fleet.served_by ^ "+local" })
+            res)
+        jobs results)
+
+let evolve_cmd =
+  let run () input scale seed tolerance engine population generations
+      recombinations immigrants starts servers store domains attempts out_file
+      =
+    let h = load_instance input scale in
+    let problem = Problem.make ~tolerance h in
+    let recombinations =
+      match recombinations with Some r -> r | None -> max 1 (population / 2)
+    in
+    let immigrants =
+      match immigrants with Some m -> m | None -> max 1 (population / 4)
+    in
+    let config =
+      {
+        Evolve.base_engine = Engine.name engine;
+        population;
+        generations;
+        recombinations;
+        immigrants;
+        starts;
+        tolerance;
+        ml = Ml.ml_clip;
+        domains;
+      }
+    in
+    let executor =
+      match servers with
+      | None -> Exec.in_process ?domains ()
+      | Some spec -> (
+        match Fleet.parse_servers spec with
+        | Error msg ->
+          Printf.eprintf "evolve: %s\n" msg;
+          exit 1
+        | Ok list ->
+          let body, format = instance_payload input scale in
+          fleet_executor (Fleet.create list) ~body ~format ~tolerance
+            ~attempts)
+    in
+    Format.printf "%a@." H.pp h;
+    Printf.printf
+      "campaign: %s base, population %d, %d generation(s) of %d \
+       recombinations + %d immigrants, %d start(s), tolerance %.0f%%\n"
+      (Engine.name engine) population generations recombinations immigrants
+      starts (100. *. tolerance);
+    Printf.printf "executor: %s%s\n%!" executor.Exec.name
+      (match store with Some d -> Printf.sprintf ", store %s" d | None -> "");
+    match Evolve.run ?store ~executor config ~seed problem with
+    | exception Failure msg ->
+      Printf.eprintf "evolve: %s\n" msg;
+      exit 1
+    | exception Hypart_evolve.Pop_log.Mismatch { expected; found } ->
+      Printf.eprintf
+        "evolve: store holds another campaign's population (campaign %s, \
+         store %s) — pick a fresh --store or rerun that campaign's \
+         parameters\n"
+        expected found;
+      exit 1
+    | o ->
+      List.iter
+        (fun (g : Evolve.generation) ->
+          Printf.printf
+            "gen %2d  best %6d (%s)  evaluated %2d  replayed %2d  cpu %8.3fs  \
+             total %8.3fs\n"
+            g.Evolve.g_index g.Evolve.g_best_cut
+            (if g.Evolve.g_best_legal then "legal" else "ILLEGAL")
+            g.Evolve.g_evaluated g.Evolve.g_replayed
+            (Machine.normalize g.Evolve.g_seconds)
+            (Machine.normalize g.Evolve.g_cum_seconds))
+        o.Evolve.history;
+      let best = o.Evolve.best in
+      Printf.printf "best cut: %d (%s), found by %s at gen %d\n"
+        best.Hypart_evolve.Population.cut
+        (if best.Hypart_evolve.Population.legal then "legal" else "ILLEGAL")
+        best.Hypart_evolve.Population.kind best.Hypart_evolve.Population.gen;
+      Printf.printf "part weights: %d / %d\n"
+        (Bipartition.part_weight best.Hypart_evolve.Population.solution 0)
+        (Bipartition.part_weight best.Hypart_evolve.Population.solution 1);
+      Printf.printf "evaluated %d, replayed %d, campaign CPU %.3fs\n"
+        o.Evolve.evaluated o.Evolve.replayed
+        (Machine.normalize o.Evolve.total_seconds);
+      (* the (cost, CPU) frontier over the campaign's own trajectory:
+         which generations were worth their cumulative CPU *)
+      let points =
+        List.map
+          (fun (g : Evolve.generation) ->
+            {
+              Pareto.label = Printf.sprintf "gen %d" g.Evolve.g_index;
+              Pareto.cost = float_of_int g.Evolve.g_best_cut;
+              Pareto.runtime = Machine.normalize g.Evolve.g_cum_seconds;
+            })
+          o.Evolve.history
+      in
+      Printf.printf "Pareto frontier (best cut vs cumulative CPU):\n";
+      List.iter
+        (fun p ->
+          Printf.printf "  %-8s  cut %6.0f  cpu %8.3fs\n" p.Pareto.label
+            p.Pareto.cost p.Pareto.runtime)
+        (Pareto.frontier points);
+      (* timing-free witness: byte-identical for a fixed seed at any
+         domain count or fleet size *)
+      Printf.printf "trajectory %s\n"
+        (Hypart_lab.Fingerprint.of_string (Evolve.trajectory o));
+      Option.iter
+        (fun out ->
+          let oc = open_out out in
+          Array.iter
+            (fun s -> output_string oc (string_of_int s ^ "\n"))
+            (Bipartition.assignment best.Hypart_evolve.Population.solution);
+          close_out oc;
+          Printf.printf "partition written to %s\n" out)
+        out_file
+  in
+  let input_t =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"INPUT"
+          ~doc:
+            "An instance name (ibm01..ibm18), an .hgr, .hgrb (packed binary) \
+             or .netD file, or a Bookshelf .nodes file.")
+  in
+  let tol_t =
+    Arg.(
+      value & opt float 0.02 & info [ "tol" ] ~docv:"T" ~doc:"Balance tolerance.")
+  in
+  let engine_t =
+    Arg.(
+      value
+      & opt engine_conv Hypart_multilevel.Ml_engines.mlclip
+      & info [ "engine" ] ~docv:"E"
+          ~doc:
+            "Base engine evaluated for population seeds and immigrants \
+             (recombination always refines multilevel).")
+  in
+  let population_t =
+    Arg.(
+      value
+      & opt (pos_int_conv "population") 12
+      & info [ "population" ] ~docv:"N" ~doc:"Population capacity.")
+  in
+  let generations_t =
+    Arg.(
+      value
+      & opt (pos_int_conv "generations") 8
+      & info [ "generations" ] ~docv:"N"
+          ~doc:"Recombination generations after the seeding generation.")
+  in
+  let recombinations_t =
+    Arg.(
+      value
+      & opt (some (pos_int_conv "recombinations")) None
+      & info [ "recombinations" ] ~docv:"N"
+          ~doc:"Offspring per generation (default population/2).")
+  in
+  let immigrants_t =
+    Arg.(
+      value
+      & opt (some (pos_int_conv "immigrants")) None
+      & info [ "immigrants" ] ~docv:"N"
+          ~doc:
+            "Fresh multistart entrants per generation (default population/4).")
+  in
+  let starts_t =
+    Arg.(
+      value
+      & opt (pos_int_conv "starts") 1
+      & info [ "starts" ] ~docv:"N"
+          ~doc:"Seeded multistart width per evaluation.")
+  in
+  let servers_t =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "servers" ] ~docv:"HOST:PORT,..."
+          ~doc:
+            "Shard evaluations across these $(b,hypart serve) daemons \
+             (round-robin with failover); omit to evaluate in-process.")
+  in
+  let store_t =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "store" ] ~docv:"DIR"
+          ~doc:
+            "Persist the population log and run records here; re-running the \
+             same campaign resumes from it without recomputing logged \
+             candidates.")
+  in
+  let domains_t =
+    Arg.(
+      value
+      & opt (some (pos_int_conv "domains")) None
+      & info [ "domains" ] ~docv:"D"
+          ~doc:
+            "Local fan-out for recombinations and in-process evaluations.  \
+             The trajectory is bit-identical for every D.")
+  in
+  let attempts_t =
+    Arg.(
+      value
+      & opt (pos_int_conv "attempts") 3
+      & info [ "attempts" ] ~docv:"N"
+          ~doc:
+            "Per-server tries before failing over to the next daemon \
+             (fleet mode).")
+  in
+  let out_t =
+    Arg.(
+      value
+      & opt (some out_path_conv) None
+      & info [ "o"; "out" ] ~docv:"FILE"
+          ~doc:"Write the winning partition (one side per line).")
+  in
+  Cmd.v
+    (Cmd.info "evolve"
+       ~doc:
+         "Run a memetic partitioning campaign: a persistent population \
+          improved by cut-respecting recombination and multistart \
+          immigrants, evaluated in-process or across a daemon fleet \
+          (docs/SERVER.md).")
+    Term.(
+      const run $ common_t $ input_t $ scale_t $ seed_t $ tol_t $ engine_t
+      $ population_t $ generations_t $ recombinations_t $ immigrants_t
+      $ starts_t $ servers_t $ store_t $ domains_t $ attempts_t $ out_t)
+
 (* ---------------- bench-diff ---------------- *)
 
 let bench_diff_cmd =
@@ -1308,7 +1578,7 @@ let main_cmd =
       engines_cmd; table1_cmd; table2_cmd; table3_cmd;
       tables45_cmd; bsf_cmd; pareto_cmd; ranking_cmd; corking_cmd;
       regime_cmd; fixed_cmd; ablation_cmd; placement_cmd; compare_cmd; all_cmd;
-      lab_cmd; serve_cmd; submit_cmd; bench_diff_cmd;
+      lab_cmd; serve_cmd; submit_cmd; evolve_cmd; bench_diff_cmd;
     ]
 
 let () = exit (Cmd.eval main_cmd)

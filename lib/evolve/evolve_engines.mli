@@ -1,0 +1,14 @@
+(** Registry glue: the memetic campaign as an ordinary engine.
+
+    [memetic_ml] runs a compact in-memory campaign ({!Evolve.run} with
+    no store) over [mlclip] evaluations, so the CLI, benches and the
+    Tables 4–5 harness can compare it like any other heuristic.  An
+    [initial] solution, when given, is admitted into the starting
+    population. *)
+
+val engine_config : Evolve.config
+(** The embedded campaign shape (smaller than {!Evolve.default}:
+    population 6, 4 generations of 3 recombinations + 1 immigrant). *)
+
+val register : unit -> unit
+(** Idempotent. *)

@@ -1,0 +1,60 @@
+module Engine = Hypart_engine.Engine
+module Machine = Hypart_engine.Machine
+module Parallel = Hypart_engine.Parallel
+module Bipartition = Hypart_partition.Bipartition
+module Rng = Hypart_rng.Rng
+
+type job = { engine : string; seed : int; starts : int }
+
+type outcome = {
+  cut : int;
+  legal : bool;
+  seconds : float;
+  assignment : int array;
+  source : string;
+}
+
+type t = {
+  name : string;
+  eval :
+    Hypart_partition.Problem.t -> job list -> (outcome, string) result list;
+}
+
+let run_local problem (j : job) =
+  let engine = Engine.find_exn j.engine in
+  let result, seconds =
+    if j.starts = 1 then
+      (* the daemon's (and CLI's) sequential single-start path *)
+      Machine.cpu_time (fun () ->
+          Engine.run engine (Rng.create j.seed) problem None)
+    else begin
+      (* the daemon's seeded multistart: one derived seed per start *)
+      let seeds = List.init j.starts (fun i -> j.seed + i) in
+      let (_seed, best), records =
+        Engine.multistart_seeds engine problem ~seeds
+      in
+      ( best,
+        List.fold_left (fun acc r -> acc +. r.Engine.start_seconds) 0. records
+      )
+    end
+  in
+  {
+    cut = result.Engine.Result.cut;
+    legal = result.Engine.Result.legal;
+    seconds;
+    assignment = Bipartition.assignment result.Engine.Result.solution;
+    source = "local";
+  }
+
+let in_process ?domains () =
+  {
+    name = "in-process";
+    eval =
+      (fun problem jobs ->
+        let jobs = Array.of_list jobs in
+        Parallel.map_seeds ?domains
+          ~seeds:(List.init (Array.length jobs) Fun.id)
+          (fun i -> Ok (run_local problem jobs.(i))));
+  }
+
+let of_fun ~name eval = { name; eval }

@@ -1,0 +1,164 @@
+module Jsonl = Hypart_lab.Jsonl
+
+type entry = {
+  gen : int;
+  slot : int;
+  kind : string;
+  seed : int;
+  cut : int;
+  legal : bool;
+  seconds : float;
+  assignment : int array;
+}
+
+exception Mismatch of { expected : string; found : string }
+
+let filename dir = Filename.concat dir "population.jsonl"
+
+let sides_to_string sides =
+  String.init (Array.length sides) (fun i ->
+      if sides.(i) = 0 then '0' else '1')
+
+let sides_of_string s =
+  let ok = ref true in
+  let sides =
+    Array.init (String.length s) (fun i ->
+        match s.[i] with
+        | '0' -> 0
+        | '1' -> 1
+        | _ ->
+          ok := false;
+          0)
+  in
+  if !ok && Array.length sides > 0 then Some sides else None
+
+let entry_to_line e =
+  Jsonl.to_line
+    [
+      ("gen", Jsonl.Int e.gen);
+      ("slot", Jsonl.Int e.slot);
+      ("kind", Jsonl.String e.kind);
+      ("seed", Jsonl.Int e.seed);
+      ("cut", Jsonl.Int e.cut);
+      ("legal", Jsonl.Bool e.legal);
+      ("seconds", Jsonl.Float e.seconds);
+      ("sides", Jsonl.String (sides_to_string e.assignment));
+    ]
+
+let entry_of_line line =
+  match Jsonl.of_line line with
+  | None -> None
+  | Some fields ->
+    let ( let* ) = Option.bind in
+    let* gen = Jsonl.int_member "gen" fields in
+    let* slot = Jsonl.int_member "slot" fields in
+    let* kind = Jsonl.string_member "kind" fields in
+    let* seed = Jsonl.int_member "seed" fields in
+    let* cut = Jsonl.int_member "cut" fields in
+    let* legal = Jsonl.bool_member "legal" fields in
+    let* seconds = Jsonl.float_member "seconds" fields in
+    let* sides = Jsonl.string_member "sides" fields in
+    let* assignment = sides_of_string sides in
+    Some { gen; slot; kind; seed; cut; legal; seconds; assignment }
+
+let header_line campaign =
+  Jsonl.to_line
+    [ ("proto", Jsonl.String "evolve-v1"); ("campaign", Jsonl.String campaign) ]
+
+let header_of_line line =
+  Option.bind (Jsonl.of_line line) (Jsonl.string_member "campaign")
+
+type t = {
+  oc : out_channel;
+  lock : Mutex.t;
+  index : (int * int, entry) Hashtbl.t;
+  mutable dropped : int;
+}
+
+let rec mkdir_p dir =
+  if dir <> "" && dir <> "." && dir <> "/" && not (Sys.file_exists dir) then begin
+    mkdir_p (Filename.dirname dir);
+    (* another domain/process may have won the race *)
+    try Sys.mkdir dir 0o755 with Sys_error _ -> ()
+  end
+
+(* a crash can leave the file ending mid-record; the next append must
+   not glue its record onto that partial line, so an unterminated tail
+   gets its newline first (same contract as Run_store) *)
+let ends_with_newline path =
+  (not (Sys.file_exists path))
+  ||
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      let len = in_channel_length ic in
+      len = 0
+      ||
+      (seek_in ic (len - 1);
+       input_char ic = '\n'))
+
+let fold_lines path f init =
+  if not (Sys.file_exists path) then init
+  else begin
+    let ic = open_in path in
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () ->
+        let acc = ref init in
+        (try
+           while true do
+             acc := f !acc (input_line ic)
+           done
+         with End_of_file -> ());
+        !acc)
+  end
+
+let open_log ~dir ~campaign =
+  mkdir_p dir;
+  let path = filename dir in
+  let index = Hashtbl.create 64 in
+  let header, dropped =
+    fold_lines path
+      (fun (header, dropped) line ->
+        if String.trim line = "" then (header, dropped)
+        else
+          match header_of_line line with
+          | Some found ->
+            if found <> campaign then
+              raise (Mismatch { expected = campaign; found });
+            (true, dropped)
+          | None -> (
+            match entry_of_line line with
+            | Some e ->
+              Hashtbl.replace index (e.gen, e.slot) e;
+              (header, dropped)
+            | None -> (header, dropped + 1)))
+      (false, 0)
+  in
+  let terminate = not (ends_with_newline path) in
+  let oc = open_out_gen [ Open_append; Open_creat; Open_wronly ] 0o644 path in
+  if terminate then output_char oc '\n';
+  (* a crash that truncated the header (or a pre-header crash) leaves
+     no intact stamp; restore it so the next open can still verify *)
+  if not header then output_string oc (header_line campaign ^ "\n");
+  flush oc;
+  { oc; lock = Mutex.create (); index; dropped }
+
+let find t ~gen ~slot = Hashtbl.find_opt t.index (gen, slot)
+
+let append t e =
+  Mutex.lock t.lock;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock t.lock)
+    (fun () ->
+      output_string t.oc (entry_to_line e);
+      output_char t.oc '\n';
+      (* per-entry flush: a killed campaign loses at most the
+         candidate being written *)
+      flush t.oc;
+      Hashtbl.replace t.index (e.gen, e.slot) e)
+
+let entries t = Hashtbl.length t.index
+let dropped t = t.dropped
+let close t = close_out t.oc

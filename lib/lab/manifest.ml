@@ -31,7 +31,8 @@ let make ~name ~seed ~experiments =
 
 (* -- built-in campaigns -- *)
 
-let campaign_names = [ "smoke"; "tables"; "multistart"; "ablation"; "corking" ]
+let campaign_names =
+  [ "smoke"; "tables"; "multistart"; "ablation"; "corking"; "memetic" ]
 
 (* The paper's four named variants plus the deliberately weak
    "reported" baselines — all registry names, so lab results line up
@@ -64,6 +65,12 @@ let campaign ?(scale = 8.0) ?(runs = 20) ~seed name =
           [ "ibm01" ];
       ]
     | "corking" -> [ exp "corking" [ "clip"; "reported-clip" ] [ "ibm01" ] ]
+    | "memetic" ->
+      (* memetic campaigns vs the plain multilevel baseline on the
+         small instances; best-of-k and CPU totals come out of the
+         stored per-run population, so the report's (cost, CPU) Pareto
+         view answers whether the population search pays for itself *)
+      [ exp "memetic" [ "memetic_ml"; "mlclip" ] Suite.names_small ]
     | other ->
       invalid_arg
         (Printf.sprintf "Manifest.campaign: unknown campaign %s (known: %s)"

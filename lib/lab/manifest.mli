@@ -31,7 +31,7 @@ val make : name:string -> seed:int -> experiments:experiment list -> t
 (** {1 Built-in campaigns} *)
 
 val campaign_names : string list
-(** ["smoke"; "tables"; "multistart"; "ablation"; "corking"]. *)
+(** ["smoke"; "tables"; "multistart"; "ablation"; "corking"; "memetic"]. *)
 
 val campaign : ?scale:float -> ?runs:int -> seed:int -> string -> t
 (** [campaign ~seed name] instantiates a built-in campaign at [scale]
@@ -43,7 +43,11 @@ val campaign : ?scale:float -> ?runs:int -> seed:int -> string -> t
       the evaluation suite at 2% and 10% (best-of-k statistics derive
       from the stored single-run population);
     - ["ablation"]: every registered engine family on ibm01;
-    - ["corking"]: CLIP with and without the corking fix.
+    - ["corking"]: CLIP with and without the corking fix;
+    - ["memetic"]: the memetic campaign engine against its plain
+      multilevel baseline on the small instances — the report's
+      (cost, CPU) view shows whether the population search pays for
+      its extra evaluations.
     @raise Invalid_argument for unknown names, listing the known
     campaigns. *)
 

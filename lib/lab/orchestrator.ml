@@ -40,8 +40,12 @@ let problem_of table (job : Manifest.job) =
       job.Manifest.experiment.Manifest.scale,
       job.Manifest.experiment.Manifest.tolerance )
 
+(* engines are resolved by name at execution time; the calling binary
+   registers them (Hypart_engines.init) — the lab layer itself stays
+   below the engine implementations in the dependency order, so new
+   engine families (e.g. the memetic layer, which itself builds on the
+   lab store) can register without a cycle *)
 let run ?domains ~store_dir ~(manifest : Manifest.t) () =
-  Hypart_engines.init ();
   Trace.span "lab.campaign" @@ fun () ->
   let jobs = Manifest.jobs manifest in
   let problems = build_problems manifest in

@@ -188,6 +188,81 @@ let vcycle ?(config = default) ?workspace rng problem solution =
       legal = before_legal;
     }
 
+(* Cut-respecting recombination (memetic multilevel, PAPERS.md): the
+   overlay label [2*side_a(v) + side_b(v)] partitions the vertices into
+   the (up to) four agreement regions of the two parents; matching
+   compares restriction labels for equality, so no cluster ever
+   straddles either parent's cut.  Projecting the better parent onto
+   the coarsest hypergraph is therefore well-defined per cluster and
+   preserves its cut exactly, and refinement can only improve it. *)
+let recombine ?(config = default) ?workspace rng problem parent_a parent_b =
+  let ws =
+    match workspace with
+    | Some ws -> ws
+    | None -> make_workspace config rng problem
+  in
+  Trace.begin_span "ml.recombine";
+  let h = problem.Problem.hypergraph in
+  let balance = problem.Problem.balance in
+  let cut_a = Bipartition.cut h parent_a in
+  let legal_a = Bipartition.is_legal parent_a balance in
+  let cut_b = Bipartition.cut h parent_b in
+  let legal_b = Bipartition.is_legal parent_b balance in
+  let best, best_cut, best_legal =
+    if (legal_a && not legal_b) || (legal_a = legal_b && cut_a <= cut_b) then
+      (parent_a, cut_a, legal_a)
+    else (parent_b, cut_b, legal_b)
+  in
+  let overlay =
+    Array.init (H.num_vertices h) (fun v ->
+        (2 * Bipartition.side parent_a v) + Bipartition.side parent_b v)
+  in
+  let hier =
+    Coarsen.build ~scheme:config.scheme ~rng ~coarsest_size:config.coarsest_size
+      ~max_cluster_weight:(cluster_weight_cap problem config.coarsest_size)
+      ~restrict_to_parts:overlay problem
+  in
+  let coarse_h, coarse_fixed = Coarsen.coarsest hier in
+  let coarse_problem =
+    Problem.with_balance ~fixed:coarse_fixed balance coarse_h
+  in
+  let coarse_side = Array.make (H.num_vertices coarse_h) 0 in
+  let fine_to_coarse v =
+    List.fold_left
+      (fun v (level : Coarsen.level) -> level.Coarsen.cluster_of.(v))
+      v hier.Coarsen.levels
+  in
+  Array.iteri
+    (fun v s -> coarse_side.(fine_to_coarse v) <- s)
+    (Bipartition.assignment best);
+  let sol = Bipartition.make coarse_h coarse_side in
+  let refined = refine config rng ws coarse_problem sol in
+  let r = uncoarsen config rng ws hier refined in
+  let keep_new =
+    (r.Fm.legal && not best_legal)
+    || (r.Fm.legal = best_legal && r.Fm.cut <= best_cut)
+  in
+  if Tel.is_enabled () then begin
+    Metrics.incr "ml.recombines";
+    if keep_new && r.Fm.cut < best_cut then
+      Metrics.incr "ml.recombine_improvements"
+  end;
+  Trace.end_span "ml.recombine"
+    ~args:
+      [
+        ("cut_a", float_of_int cut_a);
+        ("cut_b", float_of_int cut_b);
+        ("cut_after", float_of_int (if keep_new then r.Fm.cut else best_cut));
+      ];
+  if keep_new then r
+  else
+    {
+      r with
+      Fm.solution = Bipartition.copy best;
+      cut = best_cut;
+      legal = best_legal;
+    }
+
 let run ?(config = default) ?workspace rng problem =
   let ws =
     match workspace with

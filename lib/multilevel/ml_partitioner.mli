@@ -56,6 +56,22 @@ val vcycle :
 (** One V-cycle: re-coarsen restricted to the given solution's parts
     and refine it back up.  Never returns a worse legal cut. *)
 
+val recombine :
+  ?config:config ->
+  ?workspace:Hypart_fm.Fm_workspace.t ->
+  Hypart_rng.Rng.t ->
+  Hypart_partition.Problem.t ->
+  Hypart_partition.Bipartition.t ->
+  Hypart_partition.Bipartition.t ->
+  Hypart_fm.Fm.result
+(** Cut-respecting recombination of two parent partitions (memetic
+    multilevel): coarsen restricted to the overlay of both parents'
+    parts — so no cluster ever straddles either parent's cut — project
+    the better parent onto the coarsest hypergraph (well-defined per
+    cluster, preserving its cut exactly), then refine back up.  Never
+    returns a result worse than the better parent (legality first,
+    then cut). *)
+
 val multistart :
   ?config:config ->
   ?vcycle_best:int ->

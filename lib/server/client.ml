@@ -99,16 +99,23 @@ let retry_after_of resp =
   | None -> None
   | Some s -> float_of_string_opt (String.trim s)
 
+(* Retriable statuses are the transient ones the daemon emits under
+   load: queue-full 503 and deadline 504 (a fresh submission restarts
+   the deadline clock).  Everything else — 400 bad request, 413 too
+   large, and any success — reflects the request itself, so retrying
+   verbatim cannot help and the client fails fast. *)
+let retryable_status status = status = 503 || status = 504
+
 let with_retries ?(attempts = 6) ?base ?cap ?(sleep = Unix.sleepf)
     ?(rng = fun () -> 0.5) f =
   let rec go attempt last =
     if attempt >= attempts then last
     else
       match f () with
-      | Ok resp when resp.status <> 503 -> Ok resp
+      | Ok resp when not (retryable_status resp.status) -> Ok resp
       | outcome ->
-        (* retryable: queue-full 503, or a transport error (daemon not
-           up yet / connection reset) *)
+        (* retryable: queue-full 503, deadline 504, or a transport
+           error (daemon not up yet / connection reset) *)
         let retry_after =
           match outcome with
           | Ok resp -> retry_after_of resp

@@ -1,13 +1,14 @@
 (** The daemon's CLI client ([hypart submit]).
 
     A blocking HTTP/1.1 client over stdlib [Unix] sockets with retry
-    logic tuned for the daemon's backpressure contract: a
-    [503 Retry-After] (queue full) is retried with capped exponential
-    backoff and equal jitter — honouring the server's [Retry-After]
-    as the floor — while [4xx] responses and [504] (deadline) are
-    terminal.  Connection failures (daemon not up yet, connection
-    reset) retry on the same schedule, which makes
-    "start daemon & submit" scripts race-free. *)
+    logic tuned for the daemon's backpressure contract: the transient
+    statuses — [503 Retry-After] (queue full) and [504] (deadline,
+    which a fresh submission restarts) — are retried with capped
+    exponential backoff and equal jitter, honouring the server's
+    [Retry-After] as the floor, while non-retriable HTTP errors
+    ([400] bad request, [413] too large, …) fail fast.  Connection
+    failures (daemon not up yet, connection reset) retry on the same
+    schedule, which makes "start daemon & submit" scripts race-free. *)
 
 type response = Http.response = {
   status : int;
@@ -45,6 +46,11 @@ val backoff_delay :
     caller supplies the jitter sample — so tests are deterministic.
     Defaults: [base = 0.25], [cap = 8.0]. *)
 
+val retryable_status : int -> bool
+(** Whether an HTTP status is worth retrying verbatim: [503]
+    (queue full) and [504] (deadline) are; success and request-shaped
+    errors ([400], [413], …) are not. *)
+
 val with_retries :
   ?attempts:int ->
   ?base:float ->
@@ -54,7 +60,8 @@ val with_retries :
   (unit -> (response, string) result) ->
   (response, string) result
 (** Run [f] until it yields a non-retryable outcome: success, any
-    status other than 503, or [attempts] (default 6) exhausted (the
-    last result is returned).  [sleep] and [rng] are injectable for
-    tests; [rng] defaults to a fixed mid-range jitter of [0.5] so the
-    client needs no global random state. *)
+    status for which {!retryable_status} is false, or [attempts]
+    (default 6) exhausted (the last result is returned).  Transport
+    errors ([Error _]) are always retried.  [sleep] and [rng] are
+    injectable for tests; [rng] defaults to a fixed mid-range jitter
+    of [0.5] so the client needs no global random state. *)

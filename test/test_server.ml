@@ -21,6 +21,9 @@ module Hg = Hypart_hypergraph.Hypergraph
 module Problem = Hypart_partition.Problem
 module Bipartition = Hypart_partition.Bipartition
 module Initial = Hypart_partition.Initial
+module Fleet = Hypart_server.Fleet
+module Executor = Hypart_evolve.Executor
+module Evolve = Hypart_evolve.Evolve
 
 (* ---------------- http codec ---------------- *)
 
@@ -204,6 +207,55 @@ let test_with_retries_exhausts () =
   match outcome with
   | Error msg -> Alcotest.(check string) "last error" "connection refused" msg
   | Ok _ -> Alcotest.fail "cannot succeed"
+
+(* non-retriable statuses fail fast: a malformed request (400) or an
+   oversized body (413) will not get better by resending it *)
+let test_with_retries_fail_fast () =
+  List.iter
+    (fun status ->
+      let calls = ref 0 in
+      let outcome =
+        Client.with_retries ~attempts:5
+          ~sleep:(fun _ -> Alcotest.fail "must not sleep before a terminal status")
+          (fun () ->
+            incr calls;
+            Ok { Http.status; resp_headers = []; resp_body = "no" })
+      in
+      Alcotest.(check int)
+        (Printf.sprintf "single attempt for %d" status)
+        1 !calls;
+      match outcome with
+      | Ok r -> Alcotest.(check int) "status surfaced" status r.Http.status
+      | Error msg -> Alcotest.fail msg)
+    [ 400; 404; 413 ]
+
+let test_with_retries_retries_504 () =
+  let calls = ref 0 in
+  let outcome =
+    Client.with_retries ~attempts:4 ~sleep:(fun _ -> ()) (fun () ->
+        incr calls;
+        if !calls < 2 then
+          Ok { Http.status = 504; resp_headers = []; resp_body = "" }
+        else Ok { Http.status = 200; resp_headers = []; resp_body = "ok" })
+  in
+  Alcotest.(check int) "504 then success" 2 !calls;
+  match outcome with
+  | Ok r -> Alcotest.(check int) "final status" 200 r.Http.status
+  | Error msg -> Alcotest.fail msg
+
+let test_retryable_status_classification () =
+  List.iter
+    (fun s ->
+      Alcotest.(check bool)
+        (Printf.sprintf "%d retriable" s)
+        true (Client.retryable_status s))
+    [ 503; 504 ];
+  List.iter
+    (fun s ->
+      Alcotest.(check bool)
+        (Printf.sprintf "%d terminal" s)
+        false (Client.retryable_status s))
+    [ 200; 400; 404; 413; 500 ]
 
 (* ---------------- live server ---------------- *)
 
@@ -711,6 +763,194 @@ let test_serve_event_lifecycle () =
       | _ -> Alcotest.failf "event %s without ts_us" n)
     events
 
+(* ---------------- fleet ---------------- *)
+
+let with_two_servers f =
+  with_server (fun server1 port1 ->
+      with_server (fun server2 port2 -> f server1 port1 server2 port2))
+
+let jobs_total port =
+  let resp = get port "/healthz" in
+  match Mini_json.member "jobs_total" (Mini_json.parse resp.Http.resp_body) with
+  | Some (Mini_json.Num n) -> int_of_float n
+  | _ -> Alcotest.fail "healthz without jobs_total"
+
+let local port = { Fleet.host = "127.0.0.1"; port }
+
+(* a port that refuses connections: bind, read the number, close *)
+let dead_port () =
+  let sock = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.bind sock (Unix.ADDR_INET (Unix.inet_addr_loopback, 0));
+  let port =
+    match Unix.getsockname sock with
+    | Unix.ADDR_INET (_, p) -> p
+    | _ -> assert false
+  in
+  Unix.close sock;
+  port
+
+let fleet_jobs seeds =
+  List.map (fun seed -> { Fleet.engine = "flat"; seed; starts = 1 }) seeds
+
+let test_fleet_parse_servers () =
+  (match Fleet.parse_servers "host1:8080, :9090,7070" with
+  | Ok [ a; b; c ] ->
+    Alcotest.(check string) "explicit host" "host1:8080" (Fleet.address a);
+    Alcotest.(check string) "bare colon port" "127.0.0.1:9090"
+      (Fleet.address b);
+    Alcotest.(check string) "bare port" "127.0.0.1:7070" (Fleet.address c)
+  | Ok _ -> Alcotest.fail "wrong server count"
+  | Error msg -> Alcotest.fail msg);
+  (match Fleet.parse_servers "host:notaport" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "bad port must be rejected");
+  match Fleet.parse_servers " , " with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "empty spec must be rejected"
+
+let test_fleet_shards_both_servers () =
+  with_two_servers (fun _s1 port1 _s2 port2 ->
+      let fleet = Fleet.create [ local port1; local port2 ] in
+      let results =
+        Fleet.submit_batch fleet ~body:tiny_hgr ~format:"hgr"
+          (fleet_jobs [ 1; 2; 3; 4; 5; 6 ])
+      in
+      Alcotest.(check int) "all jobs answered" 6 (List.length results);
+      List.iter
+        (function
+          | Ok o -> Alcotest.(check bool) "has assignment" true
+              (o.Fleet.assignment <> None)
+          | Error msg -> Alcotest.fail msg)
+        results;
+      (* round-robin preference: both daemons actually served *)
+      Alcotest.(check bool) "daemon 1 served" true (jobs_total port1 > 0);
+      Alcotest.(check bool) "daemon 2 served" true (jobs_total port2 > 0);
+      (* a fleet answer equals the in-process evaluation of the same job *)
+      let problem = Problem.make ~tolerance:0.02 (parse_tiny ()) in
+      let reference =
+        Executor.run_local problem { Executor.engine = "flat"; seed = 1; starts = 1 }
+      in
+      match List.hd results with
+      | Ok o ->
+        Alcotest.(check int) "fleet cut = local cut" reference.Executor.cut
+          o.Fleet.cut
+      | Error msg -> Alcotest.fail msg)
+
+let test_fleet_failover_on_dead_server () =
+  with_server (fun _server port ->
+      let fleet = Fleet.create [ local (dead_port ()); local port ] in
+      (* preferred server refuses: the job must land on the live one *)
+      match
+        Fleet.submit ~attempts_per_server:1 ~sleep:(fun _ -> ()) ~preferred:0
+          fleet ~body:tiny_hgr ~format:"hgr"
+          { Fleet.engine = "flat"; seed = 3; starts = 1 }
+      with
+      | Ok o ->
+        Alcotest.(check string) "served by the live daemon"
+          (Printf.sprintf "127.0.0.1:%d" port)
+          o.Fleet.served_by
+      | Error msg -> Alcotest.fail msg)
+
+let test_fleet_failover_mid_campaign () =
+  with_two_servers (fun _s1 port1 server2 port2 ->
+      let fleet = Fleet.create [ local port1; local port2 ] in
+      let ok_batch seeds =
+        List.iter
+          (function Ok _ -> () | Error msg -> Alcotest.fail msg)
+          (Fleet.submit_batch ~attempts_per_server:1
+             ~sleep:(fun _ -> ())
+             fleet ~body:tiny_hgr ~format:"hgr" (fleet_jobs seeds))
+      in
+      ok_batch [ 1; 2; 3; 4 ];
+      (* daemon 2 dies mid-campaign; later batches keep completing *)
+      Server.shutdown server2;
+      ok_batch [ 5; 6; 7; 8 ];
+      ok_batch [ 9; 10 ];
+      Alcotest.(check bool) "survivor took the load" true
+        (jobs_total port1 >= 6))
+
+let test_fleet_terminal_error_no_failover () =
+  with_two_servers (fun _s1 port1 _s2 port2 ->
+      let fleet = Fleet.create [ local port1; local port2 ] in
+      (* an unknown engine is a 400 everywhere: resending it to the
+         other daemon would just fail again, so the error is terminal *)
+      (match
+         Fleet.submit ~attempts_per_server:3 ~sleep:(fun _ -> ()) ~preferred:0
+           fleet ~body:tiny_hgr ~format:"hgr"
+           { Fleet.engine = "no-such-engine"; seed = 1; starts = 1 }
+       with
+      | Ok _ -> Alcotest.fail "unknown engine cannot succeed"
+      | Error msg ->
+        Alcotest.(check bool)
+          (Printf.sprintf "error names the status: %s" msg)
+          true
+          (let has needle =
+             let nl = String.length needle and ml = String.length msg in
+             let rec go i = i + nl <= ml && (String.sub msg i nl = needle || go (i + 1)) in
+             go 0
+           in
+           has "400"));
+      Alcotest.(check int) "second daemon never tried" 0 (jobs_total port2))
+
+(* the fleet executor contract end to end: a campaign sharded over two
+   daemons reproduces the single-daemon (and in-process) trajectory
+   byte for byte *)
+let fleet_campaign_executor fleet =
+  Executor.of_fun ~name:"test-fleet" (fun problem jobs ->
+      let fjobs =
+        List.map
+          (fun (j : Executor.job) ->
+            { Fleet.engine = j.Executor.engine; seed = j.Executor.seed;
+              starts = j.Executor.starts })
+          jobs
+      in
+      let results =
+        Fleet.submit_batch ~sleep:(fun _ -> ()) fleet ~body:tiny_hgr
+          ~format:"hgr" fjobs
+      in
+      List.map2
+        (fun (j : Executor.job) res ->
+          Result.map
+            (fun (o : Fleet.outcome) ->
+              match o.Fleet.assignment with
+              | Some assignment ->
+                {
+                  Executor.cut = o.Fleet.cut;
+                  legal = o.Fleet.legal;
+                  seconds = o.Fleet.seconds;
+                  assignment;
+                  source = o.Fleet.served_by;
+                }
+              | None -> Executor.run_local problem j)
+            res)
+        jobs results)
+
+let small_campaign =
+  {
+    Evolve.default with
+    Evolve.base_engine = "flat";
+    population = 4;
+    generations = 2;
+    recombinations = 2;
+    immigrants = 1;
+  }
+
+let test_fleet_campaign_identical_to_single () =
+  let problem = Problem.make ~tolerance:0.02 (parse_tiny ()) in
+  let run executor =
+    Evolve.trajectory (Evolve.run ~executor small_campaign ~seed:19 problem)
+  in
+  let in_process = run (Executor.in_process ()) in
+  with_two_servers (fun _s1 port1 _s2 port2 ->
+      let one = run (fleet_campaign_executor (Fleet.create [ local port1 ])) in
+      let two =
+        run
+          (fleet_campaign_executor
+             (Fleet.create [ local port1; local port2 ]))
+      in
+      Alcotest.(check string) "fleet of 1 = in-process" in_process one;
+      Alcotest.(check string) "fleet of 2 = fleet of 1" one two)
+
 let test_serve_shutdown_drains () =
   let server =
     Server.create
@@ -758,6 +998,25 @@ let () =
           Alcotest.test_case "retries stop on success" `Quick
             test_with_retries_stops_on_success;
           Alcotest.test_case "retries exhaust" `Quick test_with_retries_exhausts;
+          Alcotest.test_case "terminal statuses fail fast" `Quick
+            test_with_retries_fail_fast;
+          Alcotest.test_case "504 retried" `Quick test_with_retries_retries_504;
+          Alcotest.test_case "retryable classification" `Quick
+            test_retryable_status_classification;
+        ] );
+      ( "fleet",
+        [
+          Alcotest.test_case "parse servers" `Quick test_fleet_parse_servers;
+          Alcotest.test_case "shards across both daemons" `Quick
+            test_fleet_shards_both_servers;
+          Alcotest.test_case "failover to live daemon" `Quick
+            test_fleet_failover_on_dead_server;
+          Alcotest.test_case "failover mid-campaign" `Quick
+            test_fleet_failover_mid_campaign;
+          Alcotest.test_case "terminal error no failover" `Quick
+            test_fleet_terminal_error_no_failover;
+          Alcotest.test_case "campaign identical across fleet sizes" `Quick
+            test_fleet_campaign_identical_to_single;
         ] );
       ( "live",
         [

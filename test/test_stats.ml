@@ -197,6 +197,80 @@ let prop_pareto_sound =
              List.memq a f || List.exists (fun b -> Pareto.dominates b a) pts)
            pts)
 
+(* the frontier is a function of the point {e set}: presentation order
+   must not change what is kept *)
+let prop_pareto_permutation_invariant =
+  QCheck.Test.make ~name:"frontier is permutation-invariant" ~count:200
+    QCheck.(
+      pair
+        (list_of_size (Gen.int_range 1 30)
+           (pair (float_range 0. 100.) (float_range 0. 100.)))
+        (int_bound 1000))
+    (fun (pts, perm_seed) ->
+      let pts =
+        List.mapi
+          (fun i (c, r) -> { Pareto.label = i; cost = c; runtime = r })
+          pts
+      in
+      let shuffled =
+        let a = Array.of_list pts in
+        let st = Random.State.make [| perm_seed |] in
+        for i = Array.length a - 1 downto 1 do
+          let j = Random.State.int st (i + 1) in
+          let t = a.(i) in
+          a.(i) <- a.(j);
+          a.(j) <- t
+        done;
+        Array.to_list a
+      in
+      let key p = (p.Pareto.runtime, p.Pareto.cost, p.Pareto.label) in
+      let canon f = List.sort compare (List.map key f) in
+      canon (Pareto.frontier pts) = canon (Pareto.frontier shuffled))
+
+(* strict dominance is transitive, so every excluded point must be
+   dominated by a point that was itself kept — the frontier alone
+   justifies every exclusion *)
+let prop_pareto_excluded_dominated_by_kept =
+  QCheck.Test.make ~name:"every excluded point dominated by a kept point"
+    ~count:200
+    QCheck.(
+      list_of_size (Gen.int_range 1 30)
+        (pair (float_range 0. 100.) (float_range 0. 100.)))
+    (fun pts ->
+      let pts =
+        List.mapi
+          (fun i (c, r) -> { Pareto.label = i; cost = c; runtime = r })
+          pts
+      in
+      let f = Pareto.frontier pts in
+      List.for_all
+        (fun a ->
+          List.memq a f || List.exists (fun b -> Pareto.dominates b a) f)
+        pts)
+
+(* equal performance points never dominate each other, so duplicating
+   the input duplicates the frontier *)
+let prop_pareto_duplicates_retained =
+  QCheck.Test.make ~name:"duplicate performance points all retained"
+    ~count:200
+    QCheck.(
+      list_of_size (Gen.int_range 1 20)
+        (pair (float_range 0. 100.) (float_range 0. 100.)))
+    (fun pts ->
+      let mk tag =
+        List.mapi
+          (fun i (c, r) -> { Pareto.label = (tag, i); cost = c; runtime = r })
+          pts
+      in
+      let once = mk `A in
+      let doubled = once @ mk `B in
+      let perf p = (p.Pareto.runtime, p.Pareto.cost) in
+      let canon f = List.sort compare (List.map perf f) in
+      let expected =
+        canon (Pareto.frontier once) @ canon (Pareto.frontier once)
+      in
+      List.sort compare expected = canon (Pareto.frontier doubled))
+
 (* -- Histogram -- *)
 
 module Hist = Hypart_stats.Histogram
@@ -364,5 +438,8 @@ let () =
         [
           QCheck_alcotest.to_alcotest prop_welch_p_range;
           QCheck_alcotest.to_alcotest prop_pareto_sound;
+          QCheck_alcotest.to_alcotest prop_pareto_permutation_invariant;
+          QCheck_alcotest.to_alcotest prop_pareto_excluded_dominated_by_kept;
+          QCheck_alcotest.to_alcotest prop_pareto_duplicates_retained;
         ] );
     ]
