@@ -403,6 +403,61 @@ let evolve_benches =
                ~seed:7 p));
     ]
 
+(* ------------- eco benches (incremental repartitioning) ------------- *)
+
+module Patch = Hypart_delta.Patch
+module Delta_gen = Hypart_delta.Delta_gen
+module Eco = Hypart_delta.Eco
+module Eco_engines = Hypart_delta.Eco_engines
+
+(* a 1% delta against ibm01 at the ingest fixture's scale; the prior is
+   one mlclip start so warm refinement has a realistic boundary.  The
+   scratch bench runs the same engine on the patched instance, so the
+   warm_refine/scratch_repartition ratio is the subsystem's whole point
+   measured under the same harness. *)
+let eco_fixture =
+  lazy
+    (let h = Suite.instance ~scale:8.0 "ibm01" in
+     let fp = Fingerprint.of_instance h in
+     let problem = Problem.make ~tolerance:0.02 h in
+     let prior =
+       Bipartition.assignment (Ml.run (Rng.create 7) problem).Hypart_fm.Fm.solution
+     in
+     let delta = Delta_gen.perturb ~base_fingerprint:fp ~rng:(Rng.create 11) ~fraction:0.01 h in
+     let patch = Patch.apply ~base:h ~base_fingerprint:fp delta in
+     (h, fp, delta, patch, prior))
+
+let eco_benches =
+  let module Engine = Hypart_engine.Engine in
+  let scratch = lazy (Engine.find_exn "mlclip") in
+  Test.make_grouped ~name:"eco"
+    [
+      Test.make ~name:"delta_apply"
+        (ignore1 (fun () ->
+             let h, fp, delta, _, _ = Lazy.force eco_fixture in
+             Patch.apply ~base:h ~base_fingerprint:fp delta));
+      Test.make ~name:"warm_start_project"
+        (ignore1 (fun () ->
+             let _, _, _, patch, prior = Lazy.force eco_fixture in
+             Eco.project patch ~prior));
+      Test.make ~name:"boundary_localize"
+        (ignore1 (fun () ->
+             let _, _, _, patch, prior = Lazy.force eco_fixture in
+             Eco.localize patch ~radius:1 ~assignment:(Eco.project patch ~prior)));
+      Test.make ~name:"warm_refine"
+        (ignore1 (fun () ->
+             let _, _, _, patch, prior = Lazy.force eco_fixture in
+             Eco.run ~engine:Eco_engines.eco_fm ~scratch:(Lazy.force scratch)
+               ~seed:5 ~prior patch));
+      Test.make ~name:"scratch_repartition"
+        (ignore1 (fun () ->
+             let _, _, _, patch, _ = Lazy.force eco_fixture in
+             let problem =
+               Problem.make ~tolerance:0.02 patch.Patch.hypergraph
+             in
+             Engine.run (Lazy.force scratch) (Rng.create 5) problem None));
+    ]
+
 (* ------------- driver ------------- *)
 
 let benchmark tests =
@@ -463,6 +518,7 @@ let all_groups =
     ("micro", micro_benches);
     ("ingest", ingest_benches);
     ("evolve", evolve_benches);
+    ("eco", eco_benches);
   ]
 
 let selected_groups =

@@ -30,6 +30,12 @@ module Fleet = Hypart_server.Fleet
 module Evolve = Hypart_evolve.Evolve
 module Exec = Hypart_evolve.Executor
 module Pareto = Hypart_stats.Pareto
+module Delta = Hypart_delta.Delta
+module Patch = Hypart_delta.Patch
+module Eco = Hypart_delta.Eco
+module Delta_gen = Hypart_delta.Delta_gen
+module Eco_lab = Hypart_delta.Eco_lab
+module Kway_objective = Hypart_partition.Kway_objective
 
 (* populate the engine registry before any term is evaluated *)
 let () = Hypart_engines.init ()
@@ -261,7 +267,7 @@ let load_instance input scale =
   else Suite.instance ~scale input
 
 let partition_cmd =
-  let run () input scale seed tolerance engine starts domains =
+  let run () input scale seed tolerance engine starts domains out =
     let h = load_instance input scale in
     let problem = Problem.make ~tolerance h in
     let (result, records), dt =
@@ -281,13 +287,20 @@ let partition_cmd =
       (Engine.name engine) starts (100. *. tolerance);
     Printf.printf "best cut: %d (%s)\n" result.Engine.Result.cut
       (if result.Engine.Result.legal then "legal" else "ILLEGAL");
-    Printf.printf "part weights: %d / %d\n"
-      (Bipartition.part_weight result.Engine.Result.solution 0)
-      (Bipartition.part_weight result.Engine.Result.solution 1);
+    let weights = Bipartition.block_weights result.Engine.Result.solution in
+    Printf.printf "part weights: %d / %d (imbalance %.2f%%)\n" weights.(0)
+      weights.(1)
+      (100. *. Bipartition.imbalance result.Engine.Result.solution);
     Printf.printf "per-start cuts: %s\n"
       (String.concat " "
          (List.map (fun r -> string_of_int r.Engine.start_cut) records));
-    Printf.printf "CPU: %.3fs\n" (Machine.normalize dt)
+    Printf.printf "CPU: %.3fs\n" (Machine.normalize dt);
+    Option.iter
+      (fun path ->
+        Io.write_partition path
+          (Bipartition.assignment result.Engine.Result.solution);
+        Printf.printf "wrote %s\n" path)
+      out
   in
   let input_t =
     Arg.(
@@ -321,11 +334,18 @@ let partition_cmd =
              runs derive one seed per start, so results differ from the \
              sequential seed stream but remain deterministic.")
   in
+  let out_t =
+    Arg.(
+      value
+      & opt (some out_path_conv) None
+      & info [ "o"; "out" ] ~docv:"FILE"
+          ~doc:"Write the winning partition (one side per line).")
+  in
   Cmd.v
     (Cmd.info "partition" ~doc:"Bipartition an instance and report the cut.")
     Term.(
       const run $ common_t $ input_t $ scale_t $ seed_t $ tol_t $ engine_t
-      $ starts_t $ domains_t)
+      $ starts_t $ domains_t $ out_t)
 
 (* ---------------- pack ---------------- *)
 
@@ -383,8 +403,9 @@ let evaluate_cmd =
       let s = Bipartition.make h side in
       let problem = Problem.make ~tolerance h in
       Printf.printf "cut:          %d\n" (Bipartition.cut h s);
-      Printf.printf "part weights: %d / %d (%s)\n"
+      Printf.printf "part weights: %d / %d (imbalance %.2f%%, %s)\n"
         (Bipartition.part_weight s 0) (Bipartition.part_weight s 1)
+        (100. *. Bipartition.imbalance s)
         (if Bipartition.is_legal s problem.Hypart_partition.Problem.balance then
            Printf.sprintf "legal at %.0f%%" (100. *. tolerance)
          else Printf.sprintf "ILLEGAL at %.0f%%" (100. *. tolerance));
@@ -398,11 +419,10 @@ let evaluate_cmd =
     else begin
       Printf.printf "%d-way cut:   %d\n" k
         (Hypart_multilevel.Recursive_bisection.kway_cut h side);
-      let weights = Array.make k 0 in
-      Array.iteri (fun v p -> weights.(p) <- weights.(p) + H.vertex_weight h v) side;
       Printf.printf "part weights:";
-      Array.iter (Printf.printf " %d") weights;
-      print_newline ()
+      Array.iter (Printf.printf " %d") (Kway_objective.part_weights h side ~k);
+      Printf.printf " (imbalance %.2f%%)\n"
+        (100. *. Kway_objective.imbalance h side ~k)
     end
   in
   let input_t = Arg.(required & pos 0 (some string) None & info [] ~docv:"INPUT") in
@@ -433,18 +453,17 @@ let kway_cmd =
                 Hypart_multilevel.Ml_kway.run ~tolerance ~k rng h
               else Hypart_fm.Kway_fm.run_random_start ~tolerance ~k rng h
             in
-            let weights = Array.make k 0 in
-            Array.iteri
-              (fun v p -> weights.(p) <- weights.(p) + H.vertex_weight h v)
-              r.Hypart_fm.Kway_fm.part_of;
-            (r.Hypart_fm.Kway_fm.part_of, r.Hypart_fm.Kway_fm.cut, weights)
+            ( r.Hypart_fm.Kway_fm.part_of,
+              r.Hypart_fm.Kway_fm.cut,
+              Kway_objective.part_weights h r.Hypart_fm.Kway_fm.part_of ~k )
           | other -> failwith ("unknown kway engine: " ^ other))
     in
     Format.printf "%a@." H.pp h;
     Printf.printf "%d-way cut (%s): %d (%.3fs)\n" k engine cut (Machine.normalize dt);
     Printf.printf "part weights:";
     Array.iter (Printf.printf " %d") weights;
-    print_newline ();
+    Printf.printf " (imbalance %.2f%%)\n"
+      (100. *. Kway_objective.imbalance h part_of ~k);
     Option.iter
       (fun path ->
         Io.write_partition path part_of;
@@ -864,14 +883,19 @@ module Lab_report = Hypart_lab.Report
 module Lab_store = Hypart_lab.Run_store
 
 let lab_cmd =
+  (* "eco" is not a manifest campaign: its cells form a chain (each
+     step's instance and prior derive from the previous step), which
+     the declarative grid cannot express, so it dispatches to
+     Eco_lab *)
+  let campaign_names = Lab_manifest.campaign_names @ [ "eco" ] in
   let campaign_conv =
     let parse s =
-      if List.mem s Lab_manifest.campaign_names then Ok s
+      if List.mem s campaign_names then Ok s
       else
         Error
           (`Msg
              (Printf.sprintf "unknown campaign %s (known: %s)" s
-                (String.concat " | " Lab_manifest.campaign_names)))
+                (String.concat " | " campaign_names)))
     in
     Arg.conv ~docv:"CAMPAIGN" (parse, Format.pp_print_string)
   in
@@ -882,7 +906,7 @@ let lab_cmd =
       & info [ "campaign" ] ~docv:"NAME"
           ~doc:
             (Printf.sprintf "Built-in campaign: %s."
-               (String.concat " | " Lab_manifest.campaign_names)))
+               (String.concat " | " campaign_names)))
   in
   let store_dir_t =
     Arg.(
@@ -912,14 +936,29 @@ let lab_cmd =
              the stored results bit-identical for every D.")
   in
   let execute ~what campaign store scale runs seed domains =
-    let manifest = Lab_manifest.campaign ~scale ~runs ~seed campaign in
-    let outcome = Lab_orchestrator.run ?domains ~store_dir:store ~manifest () in
-    Printf.printf "%s campaign %s into %s: %d jobs, %d cached, %d executed\n"
-      what campaign store outcome.Lab_orchestrator.jobs
-      outcome.Lab_orchestrator.cached outcome.Lab_orchestrator.executed;
-    if outcome.Lab_orchestrator.dropped > 0 then
-      Printf.printf "dropped %d malformed store line(s) on load\n"
-        outcome.Lab_orchestrator.dropped
+    if campaign = "eco" then begin
+      (* the chain is sequential by construction, so --domains has
+         nothing to fan out; --runs becomes the number of ECO steps *)
+      ignore domains;
+      let p = Eco_lab.params ~scale ~steps:runs ~seed () in
+      let outcome = Eco_lab.run p ~store_dir:store in
+      Printf.printf "%s campaign eco into %s: %d jobs, %d cached, %d executed\n"
+        what store outcome.Eco_lab.jobs outcome.Eco_lab.cached
+        outcome.Eco_lab.executed;
+      if outcome.Eco_lab.dropped > 0 then
+        Printf.printf "dropped %d malformed store line(s) on load\n"
+          outcome.Eco_lab.dropped
+    end
+    else begin
+      let manifest = Lab_manifest.campaign ~scale ~runs ~seed campaign in
+      let outcome = Lab_orchestrator.run ?domains ~store_dir:store ~manifest () in
+      Printf.printf "%s campaign %s into %s: %d jobs, %d cached, %d executed\n"
+        what campaign store outcome.Lab_orchestrator.jobs
+        outcome.Lab_orchestrator.cached outcome.Lab_orchestrator.executed;
+      if outcome.Lab_orchestrator.dropped > 0 then
+        Printf.printf "dropped %d malformed store line(s) on load\n"
+          outcome.Lab_orchestrator.dropped
+    end
   in
   let run_cmd =
     let run () campaign store scale runs seed domains =
@@ -958,8 +997,15 @@ let lab_cmd =
   in
   let report_cmd =
     let run () campaign store scale runs seed out timing =
-      let manifest = Lab_manifest.campaign ~scale ~runs ~seed campaign in
-      let report = Lab_report.generate ~timing ~store_dir:store ~manifest () in
+      let report =
+        if campaign = "eco" then
+          Eco_lab.report
+            (Eco_lab.params ~scale ~steps:runs ~seed ())
+            ~store_dir:store
+        else
+          let manifest = Lab_manifest.campaign ~scale ~runs ~seed campaign in
+          Lab_report.generate ~timing ~store_dir:store ~manifest ()
+      in
       match out with
       | None -> print_string report
       | Some path ->
@@ -1518,6 +1564,284 @@ let evolve_cmd =
       $ population_t $ generations_t $ recombinations_t $ immigrants_t
       $ starts_t $ servers_t $ store_t $ domains_t $ attempts_t $ out_t)
 
+(* ---------------- delta-gen / eco ---------------- *)
+
+let delta_gen_cmd =
+  let run () input scale fraction seed out =
+    if fraction > 1. then begin
+      Printf.eprintf "delta-gen: fraction must be in (0, 1]\n";
+      exit 1
+    end;
+    let h = load_instance input scale in
+    let fp = Hypart_lab.Fingerprint.of_instance h in
+    let delta =
+      Delta_gen.perturb ~base_fingerprint:fp ~rng:(Rng.create seed) ~fraction h
+    in
+    let out =
+      match out with
+      | Some o -> o
+      | None ->
+        if Filename.check_suffix input ".hgr" then
+          Filename.remove_extension input ^ ".hgrd"
+        else input ^ ".hgrd"
+    in
+    Delta.write out delta;
+    Printf.printf "wrote %s (%d ops against base %s)\n" out
+      (Delta.num_ops delta) fp
+  in
+  let input_t =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"INPUT"
+          ~doc:"An instance name (ibm01..ibm18) or an .hgr/.hgrb/.netD file.")
+  in
+  let fraction_t =
+    Arg.(
+      value
+      & opt (pos_float_conv "fraction") 0.01
+      & info [ "fraction" ] ~docv:"F"
+          ~doc:"Perturbation size as a fraction of the instance (0 < F <= 1).")
+  in
+  let out_t =
+    Arg.(
+      value
+      & opt (some out_path_conv) None
+      & info [ "o"; "out" ] ~docv:"FILE.hgrd"
+          ~doc:"Output path; defaults to the input basename + .hgrd.")
+  in
+  Cmd.v
+    (Cmd.info "delta-gen"
+       ~doc:
+         "Generate a seeded random ECO delta (.hgrd edit script: net and cell \
+          adds/removals, reweights) against an instance — the perturbation \
+          model of the eco lab campaign (docs/FORMATS.md).")
+    Term.(const run $ common_t $ input_t $ scale_t $ fraction_t $ seed_t $ out_t)
+
+let eco_cmd =
+  let run () base prior_file delta_file scale seed tolerance engine scratch
+      radius fallback compare out submit host port attempts =
+    let h = load_instance base scale in
+    let fp = Hypart_lab.Fingerprint.of_instance h in
+    let delta =
+      try Delta.read delta_file
+      with Delta.Parse_error msg ->
+        Printf.eprintf "eco: %s\n" msg;
+        exit 1
+    in
+    let prior =
+      match delta.Delta.prior with
+      | Some p -> p  (* the delta already embeds its warm start *)
+      | None -> Io.read_partition prior_file ~num_vertices:(H.num_vertices h)
+    in
+    if submit then begin
+      (* ship the edit script with the prior embedded: one body carries
+         the whole warm-start request *)
+      let delta = Delta.with_base (Delta.with_prior delta (Some prior)) fp in
+      let path =
+        Printf.sprintf
+          "/delta?engine=%s&scratch=%s&seed=%d&tol=%.9g&radius=%d&fallback_fraction=%.9g&out=plain"
+          (Engine.name engine) (Engine.name scratch) seed tolerance radius
+          fallback
+      in
+      let rid = Client.mint_request_id () in
+      match
+        Client.with_retries ~attempts (fun () ->
+            Client.http_request ~host ~port ~meth:"POST" ~path
+              ~headers:[ ("X-Hypart-Request-Id", rid) ]
+              ~body:(Delta.to_string delta) ())
+      with
+      | Error msg ->
+        Printf.eprintf "eco: %s\n" msg;
+        exit 1
+      | Ok resp when resp.Client.status <> 200 ->
+        Printf.eprintf "eco: HTTP %d %s\n%s\n" resp.Client.status
+          (Http.status_text resp.Client.status)
+          resp.Client.resp_body;
+        exit 1
+      | Ok resp -> (
+        let hdr name =
+          Option.value ~default:"?" (Http.resp_header resp name)
+        in
+        let cached = hdr "x-hypart-cached" = "true" in
+        Printf.printf "delta fingerprint: %s\n"
+          (hdr "x-hypart-delta-fingerprint");
+        Printf.printf "warm cut: %s (%s) in %ss%s\n" (hdr "x-hypart-cut")
+          (if hdr "x-hypart-legal" = "true" then "legal" else "ILLEGAL")
+          (hdr "x-hypart-seconds")
+          (if cached then " [cached]"
+           else Printf.sprintf " [mode %s]" (hdr "x-hypart-mode"));
+        Printf.printf "server job %s, request id %s\n" (hdr "x-hypart-job")
+          (Option.value ~default:rid
+             (Http.resp_header resp "x-hypart-request-id"));
+        match out with
+        | None -> ()
+        | Some path ->
+          if cached then
+            Printf.eprintf
+              "note: cached result carries no assignment; %s not written\n"
+              path
+          else begin
+            let oc = open_out path in
+            output_string oc resp.Client.resp_body;
+            close_out oc;
+            Printf.printf "partition written to %s\n" path
+          end)
+    end
+    else begin
+      let patch =
+        try Patch.apply ~base:h ~base_fingerprint:fp delta
+        with Patch.Apply_error msg ->
+          Printf.eprintf "eco: %s\n" msg;
+          exit 1
+      in
+      let st = patch.Patch.stats in
+      Format.printf "%a@." H.pp h;
+      Printf.printf
+        "delta: %d ops (+%d/-%d nets, +%d/-%d cells, %d reweights), %d pins \
+         touched\n"
+        (Delta.num_ops delta) st.Patch.nets_added st.Patch.nets_removed
+        st.Patch.cells_added st.Patch.cells_removed st.Patch.cells_reweighted
+        st.Patch.pins_touched;
+      Printf.printf "patched: %d cells, %d nets, fingerprint %s\n"
+        (H.num_vertices patch.Patch.hypergraph)
+        (H.num_edges patch.Patch.hypergraph)
+        patch.Patch.fingerprint;
+      let config =
+        { Eco.radius; fallback_fraction = fallback; tolerance }
+      in
+      let outcome = Eco.run ~config ~engine ~scratch ~seed ~prior patch in
+      Printf.printf "projected cut: %d, free %d/%d\n" outcome.Eco.projected_cut
+        outcome.Eco.free_vertices
+        (H.num_vertices patch.Patch.hypergraph);
+      let r = outcome.Eco.result in
+      Printf.printf "warm cut: %d (%s) in %.4fs [mode %s]\n"
+        r.Engine.Result.cut
+        (if r.Engine.Result.legal then "legal" else "ILLEGAL")
+        outcome.Eco.seconds
+        (match outcome.Eco.mode with Eco.Warm -> "warm" | Eco.Scratch -> "scratch");
+      if compare then begin
+        let sres, ss =
+          Machine.cpu_time (fun () ->
+              Engine.run scratch (Rng.create seed)
+                (Problem.make ~tolerance patch.Patch.hypergraph)
+                None)
+        in
+        Printf.printf "scratch cut: %d (%s) in %.4fs\n" sres.Engine.Result.cut
+          (if sres.Engine.Result.legal then "legal" else "ILLEGAL")
+          ss;
+        Printf.printf "speedup: %.1fx\n" (ss /. Float.max outcome.Eco.seconds 1e-9)
+      end;
+      Option.iter
+        (fun path ->
+          Io.write_partition path
+            (Bipartition.assignment r.Engine.Result.solution);
+          Printf.printf "wrote %s\n" path)
+        out
+    end
+  in
+  let base_t =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"BASE"
+          ~doc:"The base instance the delta applies to (name or netlist file).")
+  in
+  let prior_t =
+    Arg.(
+      required
+      & pos 1 (some string) None
+      & info [] ~docv:"PRIOR"
+          ~doc:
+            "Prior partition of the base instance (one side per line, as \
+             written by $(b,partition -o)).  Ignored when the delta embeds \
+             its own prior section.")
+  in
+  let delta_t =
+    Arg.(
+      required
+      & pos 2 (some string) None
+      & info [] ~docv:"DELTA.hgrd" ~doc:"The .hgrd edit script.")
+  in
+  let tol_t =
+    Arg.(
+      value & opt float 0.02 & info [ "tol" ] ~docv:"T" ~doc:"Balance tolerance.")
+  in
+  let engine_t =
+    Arg.(
+      value
+      & opt engine_conv Hypart_delta.Eco_engines.eco_fm
+      & info [ "engine" ] ~docv:"E"
+          ~doc:"Warm-start refinement engine (eco_fm | eco_ml).")
+  in
+  let scratch_t =
+    Arg.(
+      value
+      & opt engine_conv Hypart_multilevel.Ml_engines.mlclip
+      & info [ "scratch" ] ~docv:"E"
+          ~doc:"From-scratch fallback (and --compare baseline) engine.")
+  in
+  let radius_t =
+    Arg.(
+      value
+      & opt (pos_int_conv "radius") Eco.default_config.Eco.radius
+      & info [ "radius" ] ~docv:"R"
+          ~doc:
+            "Boundary-localization radius: vertices within R hyperedge hops \
+             of the delta's touched set stay free; everything else is fixed.")
+  in
+  let fallback_t =
+    Arg.(
+      value
+      & opt float Eco.default_config.Eco.fallback_fraction
+      & info [ "fallback-fraction" ] ~docv:"F"
+          ~doc:
+            "Touched fraction above which the warm start is abandoned and the \
+             scratch engine runs instead.")
+  in
+  let compare_t =
+    Arg.(
+      value & flag
+      & info [ "compare" ]
+          ~doc:
+            "Also run the scratch engine from scratch on the patched instance \
+             and print the speedup.")
+  in
+  let out_t =
+    Arg.(
+      value
+      & opt (some out_path_conv) None
+      & info [ "o"; "out" ] ~docv:"FILE"
+          ~doc:"Write the repartitioned solution (one side per line).")
+  in
+  let submit_t =
+    Arg.(
+      value & flag
+      & info [ "submit" ]
+          ~doc:
+            "Send the delta to a running daemon's POST /delta instead of \
+             patching locally.  The base instance must be resident there \
+             (submit it first); the prior is embedded in the request body.")
+  in
+  let attempts_t =
+    Arg.(
+      value
+      & opt (pos_int_conv "attempts") 6
+      & info [ "attempts" ] ~docv:"N"
+          ~doc:"Total tries against an unreachable or busy daemon.")
+  in
+  Cmd.v
+    (Cmd.info "eco"
+       ~doc:
+         "Incremental (ECO) repartitioning: apply a .hgrd delta to a base \
+          instance and refine the prior partition with boundary-localized \
+          warm-start FM instead of repartitioning from scratch \
+          (docs/FORMATS.md, docs/SERVER.md).")
+    Term.(
+      const run $ common_t $ base_t $ prior_t $ delta_t $ scale_t $ seed_t
+      $ tol_t $ engine_t $ scratch_t $ radius_t $ fallback_t $ compare_t
+      $ out_t $ submit_t $ host_t $ port_t $ attempts_t)
+
 (* ---------------- bench-diff ---------------- *)
 
 let bench_diff_cmd =
@@ -1578,7 +1902,8 @@ let main_cmd =
       engines_cmd; table1_cmd; table2_cmd; table3_cmd;
       tables45_cmd; bsf_cmd; pareto_cmd; ranking_cmd; corking_cmd;
       regime_cmd; fixed_cmd; ablation_cmd; placement_cmd; compare_cmd; all_cmd;
-      lab_cmd; serve_cmd; submit_cmd; evolve_cmd; bench_diff_cmd;
+      lab_cmd; serve_cmd; submit_cmd; evolve_cmd; delta_gen_cmd; eco_cmd;
+      bench_diff_cmd;
     ]
 
 let () = exit (Cmd.eval main_cmd)

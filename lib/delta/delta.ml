@@ -1,0 +1,233 @@
+module Fingerprint = Hypart_lab.Fingerprint
+
+type op =
+  | Add_cell of int
+  | Remove_cell of int
+  | Reweight_cell of int * int
+  | Add_net of int * int array
+  | Remove_net of int
+
+type t = {
+  source : string;
+  base : (string * int) option;
+  ops : (int * op) array;
+  prior : int array option;
+}
+
+exception Parse_error of string
+
+let parse_error path line fmt =
+  Printf.ksprintf
+    (fun msg -> raise (Parse_error (Printf.sprintf "%s:%d: %s" path line msg)))
+    fmt
+
+let magic = "HGRD"
+let version = 1
+
+(* same tokenizer conventions as Netlist_io.fields_of_line *)
+let fields_of_line l =
+  String.split_on_char ' ' l
+  |> List.concat_map (String.split_on_char '\t')
+  |> List.filter (fun s -> s <> "")
+
+let int_field path line s =
+  match int_of_string_opt s with
+  | Some v -> v
+  | None -> parse_error path line "expected integer, got %S" s
+
+let is_hex_fp s =
+  String.length s = 16
+  && String.for_all
+       (function '0' .. '9' | 'a' .. 'f' -> true | _ -> false)
+       s
+
+(* Data lines with 1-based positions, like Netlist_io.read_lines:
+   String.trim strips '\r', blank and '%' lines are skipped but still
+   counted, so diagnostics name the physical line. *)
+let data_lines body =
+  let lines = String.split_on_char '\n' body in
+  let acc = ref [] in
+  List.iteri
+    (fun i l ->
+      let l = String.trim l in
+      if l <> "" && l.[0] <> '%' then acc := (i + 1, l) :: !acc)
+    lines;
+  List.rev !acc
+
+let of_string ?(source = "<delta>") body =
+  let path = source in
+  match data_lines body with
+  | [] -> raise (Parse_error (path ^ ": empty delta"))
+  | (hline, header) :: rest ->
+    (match fields_of_line header with
+    | [ m; v ] when m = magic ->
+      let v = int_field path hline v in
+      if v <> version then
+        parse_error path hline "unsupported %s version %d (have %d)" magic v
+          version
+    | _ -> parse_error path hline "expected \"%s %d\" header" magic version);
+    let base = ref None in
+    let ops = ref [] in
+    let removed_nets = Hashtbl.create 16 in
+    let removed_cells = Hashtbl.create 16 in
+    let cell_id path line s =
+      let c = int_field path line s in
+      if c < 1 then parse_error path line "cell id %d out of range" c;
+      c - 1
+    in
+    let rec go = function
+      | [] -> None
+      | (line, l) :: rest -> (
+        match fields_of_line l with
+        | "base" :: [ fp ] ->
+          if not (is_hex_fp fp) then
+            parse_error path line "malformed base fingerprint %S" fp;
+          if !base <> None then parse_error path line "duplicate base line";
+          base := Some (fp, line);
+          go rest
+        | "addcell" :: [ w ] ->
+          let w = int_field path line w in
+          if w < 1 then parse_error path line "non-positive cell weight %d" w;
+          ops := (line, Add_cell w) :: !ops;
+          go rest
+        | "rmcell" :: [ c ] ->
+          let c = cell_id path line c in
+          if Hashtbl.mem removed_cells c then
+            parse_error path line "duplicate removal of cell %d" (c + 1);
+          Hashtbl.add removed_cells c ();
+          ops := (line, Remove_cell c) :: !ops;
+          go rest
+        | "reweight" :: [ c; w ] ->
+          let c = cell_id path line c in
+          let w = int_field path line w in
+          if w < 1 then parse_error path line "non-positive cell weight %d" w;
+          ops := (line, Reweight_cell (c, w)) :: !ops;
+          go rest
+        | "rmnet" :: [ e ] ->
+          let e = int_field path line e in
+          if e < 1 then parse_error path line "net id %d out of range" e;
+          if Hashtbl.mem removed_nets (e - 1) then
+            parse_error path line "duplicate removal of net %d" e;
+          Hashtbl.add removed_nets (e - 1) ();
+          ops := (line, Remove_net (e - 1)) :: !ops;
+          go rest
+        | "addnet" :: w :: pins ->
+          let w = int_field path line w in
+          if w < 1 then parse_error path line "non-positive net weight %d" w;
+          let pins = List.map (cell_id path line) pins in
+          let distinct = List.sort_uniq compare pins in
+          if List.length distinct <> List.length pins then
+            parse_error path line "duplicate pin in added net";
+          if List.length pins < 2 then
+            parse_error path line "added net needs at least 2 pins";
+          ops := (line, Add_net (w, Array.of_list pins)) :: !ops;
+          go rest
+        | [ "prior"; n ] ->
+          let n = int_field path line n in
+          if n < 0 then parse_error path line "negative prior length %d" n;
+          Some (line, n, rest)
+        | tok :: _ -> parse_error path line "unknown delta op %S" tok
+        | [] -> assert false)
+    in
+    let prior =
+      match go rest with
+      | None -> None
+      | Some (pline, n, rest) ->
+        let sides = Array.make n 0 in
+        let rec fill i = function
+          | rest when i = n ->
+            (match rest with
+            | (line, l) :: _ ->
+              parse_error path line "trailing line %S after prior section" l
+            | [] -> ());
+            Some sides
+          | [] ->
+            parse_error path pline
+              "truncated prior section: expected %d side lines, found %d" n i
+          | (line, l) :: rest ->
+            (match fields_of_line l with
+            | [ s ] ->
+              let s = int_field path line s in
+              if s <> 0 && s <> 1 then
+                parse_error path line "prior side must be 0 or 1, got %d" s;
+              sides.(i) <- s
+            | _ -> parse_error path line "expected one side per prior line");
+            fill (i + 1) rest
+        in
+        fill 0 rest
+    in
+    { source; base = !base; ops = Array.of_list (List.rev !ops); prior }
+
+let read path =
+  let ic = open_in_bin path in
+  let body =
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
+  of_string ~source:path body
+
+let op_to_line = function
+  | Add_cell w -> Printf.sprintf "addcell %d" w
+  | Remove_cell c -> Printf.sprintf "rmcell %d" (c + 1)
+  | Reweight_cell (c, w) -> Printf.sprintf "reweight %d %d" (c + 1) w
+  | Add_net (w, pins) ->
+    let b = Buffer.create 32 in
+    Buffer.add_string b (Printf.sprintf "addnet %d" w);
+    Array.iter (fun p -> Buffer.add_string b (Printf.sprintf " %d" (p + 1))) pins;
+    Buffer.contents b
+  | Remove_net e -> Printf.sprintf "rmnet %d" (e + 1)
+
+let to_string ?(with_prior = true) t =
+  let b = Buffer.create 256 in
+  Buffer.add_string b (Printf.sprintf "%s %d\n" magic version);
+  (match t.base with
+  | Some (fp, _) -> Buffer.add_string b (Printf.sprintf "base %s\n" fp)
+  | None -> ());
+  Array.iter
+    (fun (_, op) ->
+      Buffer.add_string b (op_to_line op);
+      Buffer.add_char b '\n')
+    t.ops;
+  (match t.prior with
+  | Some sides when with_prior ->
+    Buffer.add_string b (Printf.sprintf "prior %d\n" (Array.length sides));
+    Array.iter
+      (fun s ->
+        Buffer.add_string b (string_of_int s);
+        Buffer.add_char b '\n')
+      sides
+  | _ -> ());
+  Buffer.contents b
+
+let write path t =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () -> output_string oc (to_string t))
+
+let with_prior t prior =
+  (match prior with
+  | Some sides ->
+    Array.iter
+      (fun s ->
+        if s <> 0 && s <> 1 then
+          invalid_arg
+            (Printf.sprintf "Delta.with_prior: side must be 0 or 1, got %d" s))
+      sides
+  | None -> ());
+  { t with prior = Option.map Array.copy prior }
+
+let with_base t fp = { t with base = Some (fp, 0) }
+let num_ops t = Array.length t.ops
+
+let chain_fingerprint ~base t =
+  let b = Buffer.create 256 in
+  Buffer.add_string b base;
+  Buffer.add_char b '\n';
+  Array.iter
+    (fun (_, op) ->
+      Buffer.add_string b (op_to_line op);
+      Buffer.add_char b '\n')
+    t.ops;
+  Fingerprint.of_string (Buffer.contents b)

@@ -1,0 +1,123 @@
+module H = Hypart_hypergraph.Hypergraph
+module Rng = Hypart_rng.Rng
+
+(* The generator emits .hgrd text and reparses it, so every delta it
+   produces is by construction one the codec accepts — and the codec
+   itself gets exercised on every campaign step. *)
+let perturb ?base_fingerprint ~rng ~fraction h =
+  if not (fraction > 0. && fraction <= 1.) then
+    invalid_arg "Delta_gen.perturb: fraction must be in (0, 1]";
+  let nv = H.num_vertices h and ne = H.num_edges h in
+  if nv < 4 then invalid_arg "Delta_gen.perturb: instance too small";
+  (* [fraction] bounds the TOTAL churn: the op counts below sum to
+     less than [fraction * (nv + ne)] affected elements, so a "1%
+     perturbation" affects about 1% of the instance, not 1% per op
+     kind *)
+  let round x = int_of_float (x +. 0.5) in
+  let n_rm_nets = if ne = 0 then 0 else min ne (max 1 (round (fraction *. float_of_int ne /. 4.))) in
+  let n_rm_cells = min (nv / 8) (round (fraction *. float_of_int nv /. 8.)) in
+  let n_reweight = max 1 (round (fraction *. float_of_int nv /. 2.)) in
+  let n_add_cells = max 1 (round (fraction *. float_of_int nv /. 8.)) in
+  let n_add_nets = if ne = 0 then 1 else max 1 (round (fraction *. float_of_int ne /. 4.)) in
+  (* grow the edit region by hyperedge BFS from a random seed cell;
+     disconnected instances restart from fresh seeds until the region
+     can host the cell ops *)
+  let target = min nv (max 16 (2 * (n_rm_cells + n_reweight))) in
+  let in_region = Bytes.make nv '\000' in
+  let region = ref [] and region_n = ref 0 in
+  let net_seen = Bytes.make (max ne 1) '\000' in
+  let nets = ref [] and nets_n = ref 0 in
+  let queue = Queue.create () in
+  let add v =
+    if Bytes.get in_region v = '\000' then begin
+      Bytes.set in_region v '\001';
+      region := v :: !region;
+      incr region_n;
+      Queue.add v queue
+    end
+  in
+  add (Rng.int rng nv);
+  let reseeds = ref 0 in
+  while !region_n < target && !reseeds < 64 do
+    if Queue.is_empty queue then begin
+      incr reseeds;
+      add (Rng.int rng nv)
+    end
+    else begin
+      let v = Queue.pop queue in
+      H.iter_edges h v (fun e ->
+          if Bytes.get net_seen e = '\000' then begin
+            Bytes.set net_seen e '\001';
+            nets := e :: !nets;
+            incr nets_n;
+            H.iter_pins h e (fun u -> if !region_n < target then add u)
+          end)
+    end
+  done;
+  let region = Array.of_list (List.rev !region) in
+  let region_nets = Array.of_list (List.rev !nets) in
+  (* cell removals and reweights stay clear of macros: deleting or
+     resizing a cell that holds a double-digit share of the total area
+     is a floorplan redesign, not an incremental change, and one such
+     op swings the balance geometry of the whole instance *)
+  let avg_weight =
+    max 1 (H.total_vertex_weight h / max 1 nv)
+  in
+  let light c = H.vertex_weight h c <= 4 * avg_weight in
+  let light_region = Array.of_list (List.filter light (Array.to_list region)) in
+  (* [n] distinct elements of [arr] by partial Fisher-Yates (capped) *)
+  let sample arr n =
+    let a = Array.copy arr in
+    let n = min n (Array.length a) in
+    for i = 0 to n - 1 do
+      let j = i + Rng.int rng (Array.length a - i) in
+      let t = a.(i) in
+      a.(i) <- a.(j);
+      a.(j) <- t
+    done;
+    Array.sub a 0 n
+  in
+  let b = Buffer.create 1024 in
+  let line fmt = Printf.ksprintf (fun s -> Buffer.add_string b (s ^ "\n")) fmt in
+  line "HGRD 1";
+  (match base_fingerprint with Some fp -> line "base %s" fp | None -> ());
+  (* net removals, drawn from the nets incident to the region *)
+  Array.iter (fun e -> line "rmnet %d" (e + 1)) (sample region_nets n_rm_nets);
+  (* cell removals: at most nv/8 so chains of deltas keep a live core *)
+  let removed = Array.make nv false in
+  Array.iter
+    (fun c ->
+      removed.(c) <- true;
+      line "rmcell %d" (c + 1))
+    (sample light_region n_rm_cells);
+  (* reweights over the surviving region cells: multiplicative jitter
+     (50%..150% of the old weight) — an ECO resizes cells modestly, and
+     a flat replacement range would let one heavy macro swing the
+     balance by itself *)
+  let alive_region = Array.of_list (List.filter (fun c -> not removed.(c)) (Array.to_list region)) in
+  let alive_light = Array.of_list (List.filter (fun c -> not removed.(c)) (Array.to_list light_region)) in
+  Array.iter
+    (fun c ->
+      let w = H.vertex_weight h c in
+      let w' = max 1 (w * (50 + Rng.int rng 101) / 100) in
+      line "reweight %d %d" (c + 1) w')
+    (sample alive_light n_reweight);
+  (* added cells extend the id space past nv *)
+  for _ = 1 to n_add_cells do
+    line "addcell %d" (1 + Rng.int rng 4)
+  done;
+  (* added nets: small (2..4 pins), drawn over the surviving region
+     cells plus the added cells, so new cells get connected locally *)
+  let pool =
+    Array.append alive_region (Array.init n_add_cells (fun i -> nv + i))
+  in
+  if Array.length pool >= 2 then
+    for _ = 1 to n_add_nets do
+      let size = min (2 + Rng.int rng 3) (Array.length pool) in
+      let pins = sample pool size in
+      line "addnet %d%s" (1 + Rng.int rng 2)
+        (String.concat ""
+           (Array.to_list
+              (Array.map (fun p -> Printf.sprintf " %d" (p + 1)) pins)))
+    done;
+  Delta.of_string ~source:"<generated>" (Buffer.contents b)

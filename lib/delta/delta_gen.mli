@@ -1,0 +1,29 @@
+(** Seeded random perturbations — the ECO workload generator.
+
+    [perturb ~rng ~fraction h] builds a delta that edits roughly
+    [fraction] of the instance: it removes and adds [fraction *
+    num_edges] nets, reweights [fraction * num_vertices] cells, and
+    adds/removes [fraction * num_vertices / 4] cells, all drawn
+    deterministically from [rng].
+
+    The edit is {e localized}: a region of cells is grown by
+    hyperedge BFS around a random seed cell, and every op targets that
+    region (removed/added nets are incident to it, reweighted and
+    removed cells lie inside it).  A real engineering change order
+    edits a neighborhood of the design, not uniformly random nets —
+    and the locality is what makes warm-start repartitioning
+    ({!Eco.run}) meaningfully cheaper than from-scratch.
+
+    The result always applies cleanly to [h] (added nets avoid removed
+    cells, reweights avoid removed cells), so campaigns and CI can
+    chain patched instances without ever constructing an invalid edit
+    script. *)
+
+val perturb :
+  ?base_fingerprint:string ->
+  rng:Hypart_rng.Rng.t ->
+  fraction:float ->
+  Hypart_hypergraph.Hypergraph.t ->
+  Delta.t
+(** @raise Invalid_argument when [fraction] is not in (0, 1] or the
+    instance is too small to perturb (fewer than 4 cells). *)

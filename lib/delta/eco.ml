@@ -1,0 +1,381 @@
+module H = Hypart_hypergraph.Hypergraph
+module Problem = Hypart_partition.Problem
+module Bipartition = Hypart_partition.Bipartition
+module Engine = Hypart_engine.Engine
+module Machine = Hypart_engine.Machine
+module Rng = Hypart_rng.Rng
+module Tel = Hypart_telemetry.Control
+module Metrics = Hypart_telemetry.Metrics
+
+type config = { radius : int; fallback_fraction : float; tolerance : float }
+
+let default_config = { radius = 1; fallback_fraction = 0.25; tolerance = 0.02 }
+
+let project (p : Patch.t) ~prior =
+  if Array.length prior <> p.Patch.num_base_vertices then
+    invalid_arg
+      (Printf.sprintf "Eco.project: prior has %d sides, base has %d cells"
+         (Array.length prior) p.Patch.num_base_vertices);
+  let h = p.Patch.hypergraph in
+  let nv = H.num_vertices h in
+  let side = Array.make nv (-1) in
+  Array.iteri
+    (fun old nw ->
+      if nw >= 0 then begin
+        let s = prior.(old) in
+        if s <> 0 && s <> 1 then
+          invalid_arg
+            (Printf.sprintf "Eco.project: prior side must be 0 or 1, got %d" s);
+        side.(nw) <- s
+      end)
+    p.Patch.vertex_map;
+  (* place the delta-added cells: heaviest first (deterministic id
+     tie-break), each on the side its placed pins pull toward unless
+     that overflows the half-weight target *)
+  let unplaced = ref [] in
+  for v = nv - 1 downto 0 do
+    if side.(v) < 0 then unplaced := v :: !unplaced
+  done;
+  let order = Array.of_list !unplaced in
+  Array.sort
+    (fun a b ->
+      let c = compare (H.vertex_weight h b) (H.vertex_weight h a) in
+      if c <> 0 then c else compare a b)
+    order;
+  let w = [| 0; 0 |] in
+  for v = 0 to nv - 1 do
+    if side.(v) >= 0 then w.(side.(v)) <- w.(side.(v)) + H.vertex_weight h v
+  done;
+  let total = H.total_vertex_weight h in
+  let half = (total + 1) / 2 in
+  Array.iter
+    (fun v ->
+      let score = [| 0; 0 |] in
+      H.iter_edges h v (fun e ->
+          let we = H.edge_weight h e in
+          H.iter_pins h e (fun u ->
+              if u <> v && side.(u) >= 0 then
+                score.(side.(u)) <- score.(side.(u)) + we));
+      let pref =
+        if score.(0) > score.(1) then 0
+        else if score.(1) > score.(0) then 1
+        else if w.(0) <= w.(1) then 0
+        else 1
+      in
+      let wv = H.vertex_weight h v in
+      let s =
+        if w.(pref) + wv <= half || w.(pref) + wv <= w.(1 - pref) then pref
+        else 1 - pref
+      in
+      side.(v) <- s;
+      w.(s) <- w.(s) + wv)
+    order;
+  side
+
+(* the BFS never expands through nets above this size: one
+   high-fanout net (a clock or reset) would otherwise pull its whole
+   fanout — often most of the instance — into the free set in a single
+   hop, and moving one cell of such a net barely changes its cut state
+   anyway *)
+let max_expand_net = 16
+
+let localize (p : Patch.t) ~radius ~assignment =
+  let h = p.Patch.hypergraph in
+  let nv = H.num_vertices h in
+  let free = Bytes.make nv '\000' in
+  let edge_seen = Bytes.make (max (H.num_edges h) 1) '\000' in
+  let frontier = ref [] in
+  Array.iter
+    (fun v ->
+      if Bytes.get free v = '\000' then begin
+        Bytes.set free v '\001';
+        frontier := v :: !frontier
+      end)
+    p.Patch.touched;
+  for _ = 1 to radius do
+    let next = ref [] in
+    List.iter
+      (fun v ->
+        H.iter_edges h v (fun e ->
+            if Bytes.get edge_seen e = '\000' then begin
+              Bytes.set edge_seen e '\001';
+              if H.edge_size h e <= max_expand_net then
+                H.iter_pins h e (fun u ->
+                    if Bytes.get free u = '\000' then begin
+                      Bytes.set free u '\001';
+                      next := u :: !next
+                    end)
+            end))
+      !frontier;
+    frontier := !next
+  done;
+  Array.init nv (fun v ->
+      if Bytes.get free v = '\001' then -1 else assignment.(v))
+
+module Balance = Hypart_partition.Balance
+
+(* Legalize the projection in place: reweights and cell removals can
+   push the prior past tolerance, and FM started from an illegal
+   solution legalizes greedily at a large cut cost.  Move the
+   least-damaging cells off the heavy side until balance holds,
+   returning the moved cells so the caller can unfreeze them. *)
+let rebalance h side (balance : Balance.t) =
+  let nv = H.num_vertices h in
+  let w0 = ref 0 in
+  for v = 0 to nv - 1 do
+    if side.(v) = 0 then w0 := !w0 + H.vertex_weight h v
+  done;
+  if Balance.is_legal balance ~part0_weight:!w0 then []
+  else begin
+    let heavy = if !w0 > balance.Balance.upper then 0 else 1 in
+    (* cut gain of moving [v] off the heavy side: a net incident to
+       [v] stops being cut if [v] was its only heavy-side pin, and
+       becomes cut if all its pins were on the heavy side *)
+    let gain v =
+      let g = ref 0 in
+      H.iter_edges h v (fun e ->
+          let same = ref 0 and other = ref 0 in
+          H.iter_pins h e (fun u ->
+              if u <> v then
+                if side.(u) = heavy then incr same else incr other);
+          if !same = 0 then g := !g + H.edge_weight h e
+          else if !other = 0 then g := !g - H.edge_weight h e);
+      !g
+    in
+    let candidates = ref [] in
+    for v = nv - 1 downto 0 do
+      if side.(v) = heavy then candidates := (v, gain v) :: !candidates
+    done;
+    let order = Array.of_list !candidates in
+    Array.sort
+      (fun (a, ga) (b, gb) ->
+        if ga <> gb then compare gb ga
+        else
+          let c = compare (H.vertex_weight h b) (H.vertex_weight h a) in
+          if c <> 0 then c else compare a b)
+      order;
+    let moved = ref [] in
+    let i = ref 0 in
+    while
+      (not (Balance.is_legal balance ~part0_weight:!w0))
+      && !i < Array.length order
+    do
+      let v, _ = order.(!i) in
+      incr i;
+      let wv = H.vertex_weight h v in
+      let w0' = if heavy = 0 then !w0 - wv else !w0 + wv in
+      (* never overshoot across the window: skip cells too heavy to fit *)
+      if
+        (heavy = 0 && w0' >= balance.Balance.lower)
+        || (heavy = 1 && w0' <= balance.Balance.upper)
+      then begin
+        side.(v) <- 1 - heavy;
+        w0 := w0';
+        moved := v :: !moved
+      end
+    done;
+    !moved
+  end
+
+type mode = Warm | Scratch
+
+type outcome = {
+  result : Engine.Result.t;
+  seconds : float;
+  mode : mode;
+  free_vertices : int;
+  projected_cut : int;
+}
+
+let count m = if Tel.is_enabled () then Metrics.incr m
+
+(* Extract the boundary subproblem: the free vertices plus two fixed
+   terminal vertices standing in for the frozen sides.  Every net with
+   at least one free pin survives; its frozen pins collapse into the
+   matching terminal.  The terminals carry the frozen sides' full
+   weight, so the subproblem's balance constraint IS the global one,
+   and the engine's work scales with the free set, not the instance. *)
+let extract h ~fixed ~free_vertices =
+  let nv = H.num_vertices h in
+  let to_sub = Array.make nv (-1) in
+  let n = ref 0 in
+  for v = 0 to nv - 1 do
+    if fixed.(v) < 0 then begin
+      to_sub.(v) <- !n;
+      incr n
+    end
+  done;
+  let t0 = free_vertices and t1 = free_vertices + 1 in
+  let frozen = [| 0; 0 |] in
+  for v = 0 to nv - 1 do
+    if fixed.(v) >= 0 then
+      frozen.(fixed.(v)) <- frozen.(fixed.(v)) + H.vertex_weight h v
+  done;
+  let vertex_weight = Array.make (free_vertices + 2) 1 in
+  for v = 0 to nv - 1 do
+    if fixed.(v) < 0 then vertex_weight.(to_sub.(v)) <- H.vertex_weight h v
+  done;
+  (* CSR vertex weights must stay positive: an empty frozen side keeps
+     the placeholder weight 1 *)
+  vertex_weight.(t0) <- max 1 frozen.(0);
+  vertex_weight.(t1) <- max 1 frozen.(1);
+  let pins = ref [] and offsets = ref [ 0 ] and weights = ref [] in
+  let npins = ref 0 and nedges = ref 0 in
+  for e = 0 to H.num_edges h - 1 do
+    let any_free = ref false and f0 = ref false and f1 = ref false in
+    H.iter_pins h e (fun v ->
+        if fixed.(v) < 0 then any_free := true
+        else if fixed.(v) = 0 then f0 := true
+        else f1 := true);
+    if !any_free then begin
+      let before = !npins in
+      H.iter_pins h e (fun v ->
+          if fixed.(v) < 0 then begin
+            pins := to_sub.(v) :: !pins;
+            incr npins
+          end);
+      if !f0 then begin
+        pins := t0 :: !pins;
+        incr npins
+      end;
+      if !f1 then begin
+        pins := t1 :: !pins;
+        incr npins
+      end;
+      if !npins - before >= 2 then begin
+        offsets := !npins :: !offsets;
+        weights := H.edge_weight h e :: !weights;
+        incr nedges
+      end
+      else begin
+        (* a single-pin remnant cannot be cut; drop it *)
+        pins := List.filteri (fun i _ -> i >= !npins - before) !pins;
+        npins := before
+      end
+    end
+  done;
+  let edge_offset =
+    Bigarray.Array1.of_array Bigarray.int32 Bigarray.c_layout
+      (Array.map Int32.of_int (Array.of_list (List.rev !offsets)))
+  in
+  let edge_pins =
+    Bigarray.Array1.of_array Bigarray.int32 Bigarray.c_layout
+      (Array.map Int32.of_int (Array.of_list (List.rev !pins)))
+  in
+  let vw =
+    Bigarray.Array1.of_array Bigarray.int32 Bigarray.c_layout
+      (Array.map Int32.of_int vertex_weight)
+  in
+  let ew =
+    Bigarray.Array1.of_array Bigarray.int32 Bigarray.c_layout
+      (Array.map Int32.of_int (Array.of_list (List.rev !weights)))
+  in
+  ignore !nedges;
+  let sub_h =
+    H.of_int32_csr ~num_vertices:(free_vertices + 2) ~edge_offset ~edge_pins
+      ~vertex_weight:vw ~edge_weight:ew
+  in
+  (sub_h, to_sub, t0, t1)
+
+let run ?(config = default_config) ~engine ~scratch ~seed ~prior
+    (p : Patch.t) =
+  let h = p.Patch.hypergraph in
+  let nv = H.num_vertices h in
+  let side = project p ~prior in
+  let problem = Problem.make ~tolerance:config.tolerance h in
+  let moved = rebalance h side problem.Hypart_partition.Problem.balance in
+  let initial = Bipartition.make h side in
+  let projected_cut = Bipartition.cut h initial in
+  let touched_fraction =
+    float_of_int (Array.length p.Patch.touched) /. float_of_int (max nv 1)
+  in
+  let scratch_run extra_seconds =
+    count "eco.fallback_runs";
+    let result, seconds =
+      Machine.cpu_time (fun () ->
+          Engine.run scratch (Rng.create seed) problem None)
+    in
+    {
+      result;
+      seconds = seconds +. extra_seconds;
+      mode = Scratch;
+      free_vertices = nv;
+      projected_cut;
+    }
+  in
+  if touched_fraction > config.fallback_fraction then scratch_run 0.
+  else begin
+    let fixed = localize p ~radius:config.radius ~assignment:side in
+    (* cells the rebalance displaced sit at fresh positions: unfreeze
+       them so refinement can settle them properly *)
+    List.iter (fun v -> fixed.(v) <- -1) moved;
+    let free_vertices =
+      Array.fold_left (fun n f -> if f < 0 then n + 1 else n) 0 fixed
+    in
+    if Tel.is_enabled () then
+      Metrics.set_gauge "eco.free_fraction"
+        (float_of_int free_vertices /. float_of_int (max nv 1));
+    if free_vertices = 0 then begin
+      (* nothing to refine: the projection is the warm answer *)
+      count "eco.warm_runs";
+      {
+        result =
+          {
+            Engine.Result.solution = initial;
+            cut = projected_cut;
+            legal =
+              Bipartition.is_legal initial problem.Hypart_partition.Problem.balance;
+            stats = [];
+          };
+        seconds = 0.;
+        mode = Warm;
+        free_vertices;
+        projected_cut;
+      }
+    end
+    else begin
+      let (result : Engine.Result.t), seconds =
+        Machine.cpu_time (fun () ->
+            let sub_h, to_sub, t0, t1 = extract h ~fixed ~free_vertices in
+            let sub_fixed = Array.make (free_vertices + 2) (-1) in
+            sub_fixed.(t0) <- 0;
+            sub_fixed.(t1) <- 1;
+            let sub_problem =
+              Problem.make ~fixed:sub_fixed ~tolerance:config.tolerance sub_h
+            in
+            let sub_side = Array.make (free_vertices + 2) 0 in
+            for v = 0 to nv - 1 do
+              if to_sub.(v) >= 0 then sub_side.(to_sub.(v)) <- side.(v)
+            done;
+            sub_side.(t1) <- 1;
+            let sub_initial = Bipartition.make sub_h sub_side in
+            let sub_result =
+              Engine.run engine (Rng.create seed) sub_problem (Some sub_initial)
+            in
+            (* splice the refined region back into the projection *)
+            let final = Array.copy side in
+            for v = 0 to nv - 1 do
+              if to_sub.(v) >= 0 then
+                final.(v) <-
+                  Bipartition.side sub_result.Engine.Result.solution to_sub.(v)
+            done;
+            let solution = Bipartition.make h final in
+            {
+              Engine.Result.solution;
+              cut = Bipartition.cut h solution;
+              legal =
+                Bipartition.is_legal solution
+                  problem.Hypart_partition.Problem.balance;
+              stats = sub_result.Engine.Result.stats;
+            })
+      in
+      if not result.Engine.Result.legal then
+        (* a delta can move enough weight that no legal solution keeps
+           the frozen sides — rerun unrestricted from scratch *)
+        scratch_run seconds
+      else begin
+        count "eco.warm_runs";
+        { result; seconds; mode = Warm; free_vertices; projected_cut }
+      end
+    end
+  end

@@ -1,0 +1,46 @@
+(** The [eco] lab campaign: a seeded perturbation chain through the
+    persistent run store.
+
+    Per instance: partition the base from scratch ([mlclip]), then
+    replay [steps] seeded ECO perturbations — each step generates a
+    [fraction] delta against the previous instance, patches it, and
+    records {e two} runs on the patched instance: the warm-start
+    repartition ([eco_fm] from the previous step's solution, boundary
+    localized) and the from-scratch control ([mlclip]).  Every run is
+    content-addressed in the store — instance identity is the chained
+    delta fingerprint, seeds derive from
+    {!Hypart_lab.Fingerprint.mix_seed} — so re-running an unchanged
+    campaign appends nothing and the report rebuilds purely from stored
+    records (the report replays only the delta/patch chain, which needs
+    no engine runs, to re-derive the keys).
+
+    The campaign runs its chain sequentially (each step's prior is the
+    previous step's warm result), so results are bit-identical for a
+    fixed seed at any domain count by construction. *)
+
+type params = {
+  scale : float;
+  steps : int;
+  fraction : float;
+  tolerance : float;
+  radius : int;
+  fallback_fraction : float;
+  instances : string list;
+  seed : int;
+}
+
+val params : ?scale:float -> ?steps:int -> seed:int -> unit -> params
+(** Campaign defaults: scale 8, 1% perturbations, tolerance 0.02,
+    radius 2, fallback fraction 0.25, instances
+    {!Hypart_generator.Ibm_suite.names_small}; [steps] defaults to 8. *)
+
+type outcome = { jobs : int; cached : int; executed : int; dropped : int }
+
+val run : params -> store_dir:string -> outcome
+(** Execute the campaign against the store (creating it if needed). *)
+
+val report : params -> store_dir:string -> string
+(** Rebuild the campaign table from the store: per-step warm/scratch
+    cuts and CPU seconds, per-instance speedup (total scratch seconds /
+    total warm seconds) and the final-cut comparison the acceptance
+    criterion reads.  Missing cells render as pending. *)

@@ -1,0 +1,51 @@
+(** Apply a {!Delta} to a base instance.
+
+    The patcher rebuilds the int32 CSR in one linear sweep: pin slices
+    of untouched nets are blitted wholesale (plain [memcpy] when no
+    cell was removed), and only nets named by the delta — plus nets
+    incident to removed cells — are rewritten pin by pin, so the work
+    beyond the bulk copy is O(|delta| + touched pins).  Removed cells
+    compact the id space (vertex weights must stay positive, so there
+    is no tombstone encoding); {!t.vertex_map} carries old id -> new id
+    for projecting prior partitions forward.
+
+    Every apply-time failure (unknown cell, delta for a different base,
+    pin into a removed cell) is an {!Apply_error} located at the
+    offending op's source line, in the same ["path:line: message"]
+    shape as the codec's parse errors. *)
+
+type stats = {
+  nets_added : int;
+  nets_removed : int;  (** removed by the delta or collapsed below 2 pins *)
+  cells_added : int;
+  cells_removed : int;
+  cells_reweighted : int;
+  pins_touched : int;
+      (** pins of every net the delta added, removed or rewrote *)
+}
+
+type t = {
+  hypergraph : Hypart_hypergraph.Hypergraph.t;
+  vertex_map : int array;
+      (** base vertex id -> patched id, [-1] when removed *)
+  num_base_vertices : int;
+  added_cells : int array;  (** patched ids of delta-added cells, in op order *)
+  touched : int array;
+      (** patched ids incident to any touched net, plus reweighted and
+          added cells — sorted, distinct; the seed set for boundary
+          localization *)
+  base_fingerprint : string;
+  fingerprint : string;  (** {!Delta.chain_fingerprint} of the result *)
+  stats : stats;
+}
+
+exception Apply_error of string
+
+val apply :
+  base:Hypart_hypergraph.Hypergraph.t ->
+  base_fingerprint:string ->
+  Delta.t ->
+  t
+(** [apply ~base ~base_fingerprint delta] patches [base].  When the
+    delta carries a [base] line, it must equal [base_fingerprint].
+    @raise Apply_error on any located failure. *)

@@ -5,6 +5,7 @@ let registered =
      Hypart_kl.Kl_engines.register ();
      Hypart_sa.Sa_engines.register ();
      Hypart_spectral.Spectral_engines.register ();
-     Hypart_evolve.Evolve_engines.register ())
+     Hypart_evolve.Evolve_engines.register ();
+     Hypart_delta.Eco_engines.register ())
 
 let init () = Lazy.force registered

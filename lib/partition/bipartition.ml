@@ -16,6 +16,15 @@ let make h side =
 let side s v = s.side.(v)
 let num_vertices s = Array.length s.side
 let part_weight s p = s.weight.(p)
+let block_weights s = Array.copy s.weight
+
+let imbalance s =
+  let total = s.weight.(0) + s.weight.(1) in
+  if total = 0 then 0.
+  else
+    let target = float_of_int total /. 2. in
+    (float_of_int (max s.weight.(0) s.weight.(1)) /. target) -. 1.
+
 let assignment s = Array.copy s.side
 let copy s = { side = Array.copy s.side; weight = Array.copy s.weight }
 

@@ -14,6 +14,15 @@ val make : Hypart_hypergraph.Hypergraph.t -> int array -> t
 val side : t -> int -> int
 val num_vertices : t -> int
 val part_weight : t -> int -> int
+
+val block_weights : t -> int array
+(** Fresh [|weight of side 0; weight of side 1|] pair. *)
+
+val imbalance : t -> float
+(** [(max block weight) / (total weight / 2) - 1]: how far the heavier
+    side overshoots a perfect bisection ([0.] is exact).  [0.] for an
+    empty instance. *)
+
 val assignment : t -> int array
 (** Fresh copy of the side array. *)
 

@@ -30,3 +30,11 @@ let part_weights h part_of ~k =
       weights.(p) <- weights.(p) + H.vertex_weight h v)
     part_of;
   weights
+
+let imbalance h part_of ~k =
+  let weights = part_weights h part_of ~k in
+  let total = Array.fold_left ( + ) 0 weights in
+  if total = 0 then 0.
+  else
+    let target = float_of_int total /. float_of_int k in
+    (float_of_int (Array.fold_left max 0 weights) /. target) -. 1.

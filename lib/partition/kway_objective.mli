@@ -22,3 +22,8 @@ val soed : Hypart_hypergraph.Hypergraph.t -> int array -> int
 val part_weights : Hypart_hypergraph.Hypergraph.t -> int array -> k:int -> int array
 (** Total vertex weight per part.  @raise Invalid_argument when an
     assignment entry falls outside [0, k). *)
+
+val imbalance : Hypart_hypergraph.Hypergraph.t -> int array -> k:int -> float
+(** [(max part weight) / (total weight / k) - 1]: how far the heaviest
+    part overshoots the perfect k-way split ([0.] is exact).  [0.] for
+    an empty instance.  @raise Invalid_argument as {!part_weights}. *)

@@ -104,7 +104,7 @@ let retry_after_of resp =
    the deadline clock).  Everything else — 400 bad request, 413 too
    large, and any success — reflects the request itself, so retrying
    verbatim cannot help and the client fails fast. *)
-let retryable_status status = status = 503 || status = 504
+let retryable_status status = status = 502 || status = 503 || status = 504
 
 let with_retries ?(attempts = 6) ?base ?cap ?(sleep = Unix.sleepf)
     ?(rng = fun () -> 0.5) f =

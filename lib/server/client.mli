@@ -47,9 +47,10 @@ val backoff_delay :
     Defaults: [base = 0.25], [cap = 8.0]. *)
 
 val retryable_status : int -> bool
-(** Whether an HTTP status is worth retrying verbatim: [503]
-    (queue full) and [504] (deadline) are; success and request-shaped
-    errors ([400], [413], …) are not. *)
+(** Whether an HTTP status is worth retrying verbatim: [502] (a proxy
+    in front of a restarting daemon), [503] (queue full) and [504]
+    (deadline) are; success and request-shaped errors ([400], [413], …)
+    are not. *)
 
 val with_retries :
   ?attempts:int ->

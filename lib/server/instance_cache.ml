@@ -10,6 +10,9 @@ type entry = {
 type t = {
   mutex : Mutex.t;
   table : (string, entry) Hashtbl.t;
+  (* lab fingerprint -> primary key, so POST /delta can resolve a base
+     instance that arrived under any body encoding *)
+  by_fingerprint : (string, string) Hashtbl.t;
   max_bytes : int;
   mutable resident_bytes : int;
   mutable tick : int;
@@ -21,6 +24,7 @@ let create ?(max_bytes = 512 * 1024 * 1024) () =
   {
     mutex = Mutex.create ();
     table = Hashtbl.create 16;
+    by_fingerprint = Hashtbl.create 16;
     max_bytes;
     resident_bytes = 0;
     tick = 0;
@@ -52,8 +56,39 @@ let find t k =
         e.last_used <- t.tick;
         Some (e.hypergraph, e.fingerprint))
 
-(* the caller holds the lock; evict least-recently-used entries until
-   [need] bytes fit under the bound *)
+let find_fingerprint t fp =
+  locked t (fun () ->
+      match Hashtbl.find_opt t.by_fingerprint fp with
+      | None -> None
+      | Some k -> (
+        match Hashtbl.find_opt t.table k with
+        | None -> None
+        | Some e ->
+          t.tick <- t.tick + 1;
+          e.last_used <- t.tick;
+          Some e.hypergraph))
+
+(* the caller holds the lock.  Dropping an entry must keep the
+   fingerprint index truthful: two keys can carry the same fingerprint
+   (the text and binary encodings of one instance), so the index
+   re-points to a surviving entry when one exists. *)
+let drop_entry t k (e : entry) =
+  Hashtbl.remove t.table k;
+  t.resident_bytes <- t.resident_bytes - e.bytes;
+  match Hashtbl.find_opt t.by_fingerprint e.fingerprint with
+  | Some owner when owner = k ->
+    Hashtbl.remove t.by_fingerprint e.fingerprint;
+    Hashtbl.iter
+      (fun k' e' ->
+        if
+          e'.fingerprint = e.fingerprint
+          && not (Hashtbl.mem t.by_fingerprint e.fingerprint)
+        then Hashtbl.replace t.by_fingerprint e.fingerprint k')
+      t.table
+  | _ -> ()
+
+(* evict least-recently-used entries until [need] bytes fit under the
+   bound *)
 let rec make_room t need =
   if t.resident_bytes + need > t.max_bytes && Hashtbl.length t.table > 0 then begin
     let victim =
@@ -67,8 +102,7 @@ let rec make_room t need =
     match victim with
     | None -> ()
     | Some (k, e) ->
-      Hashtbl.remove t.table k;
-      t.resident_bytes <- t.resident_bytes - e.bytes;
+      drop_entry t k e;
       make_room t need
   end
 
@@ -84,14 +118,13 @@ let add t k hypergraph ~fingerprint =
          retained — caching it would just evict everything else *)
       if bytes <= t.max_bytes then begin
         (match Hashtbl.find_opt t.table k with
-        | Some old ->
-          Hashtbl.remove t.table k;
-          t.resident_bytes <- t.resident_bytes - old.bytes
+        | Some old -> drop_entry t k old
         | None -> ());
         make_room t bytes;
         t.tick <- t.tick + 1;
         Hashtbl.replace t.table k
           { hypergraph; fingerprint; bytes; last_used = t.tick };
+        Hashtbl.replace t.by_fingerprint fingerprint k;
         t.resident_bytes <- t.resident_bytes + bytes
       end)
 

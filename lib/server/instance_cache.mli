@@ -28,6 +28,11 @@ val find : t -> string -> (Hypart_hypergraph.Hypergraph.t * string) option
 (** Cached instance and fingerprint for a key, marking it
     most-recently-used. *)
 
+val find_fingerprint : t -> string -> Hypart_hypergraph.Hypergraph.t option
+(** Resolve a resident instance by its lab fingerprint, marking it
+    most-recently-used.  [POST /delta] uses this to find the base
+    instance no matter which body encoding originally delivered it. *)
+
 val add : t -> string -> Hypart_hypergraph.Hypergraph.t -> fingerprint:string -> unit
 (** Insert, evicting least-recently-used entries to stay under the
     byte bound.  An entry larger than the whole cache is dropped

@@ -8,6 +8,9 @@ module Engine = Hypart_engine.Engine
 module Machine = Hypart_engine.Machine
 module Parallel = Hypart_engine.Parallel
 module Cancel = Hypart_engine.Cancel
+module Delta = Hypart_delta.Delta
+module Patch = Hypart_delta.Patch
+module Eco = Hypart_delta.Eco
 module Cache = Hypart_lab.Cache
 module Run_store = Hypart_lab.Run_store
 module Fingerprint = Hypart_lab.Fingerprint
@@ -404,8 +407,14 @@ let result_headers job ~cached ~(cut : int) ~(legal : bool) ~seconds =
     ("X-Hypart-Seconds", Printf.sprintf "%.6f" seconds);
   ]
 
-let respond_result fd p job ~cached ~cut ~legal ~seconds ~assignment =
-  let headers = result_headers job ~cached ~cut ~legal ~seconds in
+let respond_result fd p job ~instance ~cached ~cut ~legal ~seconds ~assignment
+    =
+  (* the instance fingerprint lets the client name this instance as the
+     base of a later POST /delta without re-deriving it locally *)
+  let headers =
+    result_headers job ~cached ~cut ~legal ~seconds
+    @ [ ("X-Hypart-Instance", instance) ]
+  in
   match p.out with
   | `Plain ->
     (* body is exactly a Netlist_io partition file (one side per line);
@@ -533,9 +542,9 @@ let handle_partition t fd (req : Http.request) accepted_s =
         Job_table.update t.jobs job Job_table.Served_cached;
         event "request.dedup_hit"
           (jobf @ [ ("cut", Event_log.Int record.Run_store.cut) ]);
-        respond_result fd p job ~cached:true ~cut:record.Run_store.cut
-          ~legal:record.Run_store.legal ~seconds:record.Run_store.seconds
-          ~assignment:None
+        respond_result fd p job ~instance:instance_fp ~cached:true
+          ~cut:record.Run_store.cut ~legal:record.Run_store.legal
+          ~seconds:record.Run_store.seconds ~assignment:None
       | None -> (
         let deadline_abs = Option.map (fun d -> accepted_s +. d) p.deadline_s in
         let expired () =
@@ -611,7 +620,7 @@ let handle_partition t fd (req : Http.request) accepted_s =
                   ("legal", Event_log.Bool result.Engine.Result.legal);
                   ("seconds", Event_log.Num seconds);
                 ]);
-            respond_result fd p job ~cached:false
+            respond_result fd p job ~instance:instance_fp ~cached:false
               ~cut:result.Engine.Result.cut ~legal:result.Engine.Result.legal
               ~seconds
               ~assignment:
@@ -633,6 +642,334 @@ let handle_partition t fd (req : Http.request) accepted_s =
               ~body:(error_body ("engine failed: " ^ msg))
               ()
         end)))
+
+(* ------------------------------------------------------------------ *)
+(* POST /delta
+
+   The body is a .hgrd edit script with an embedded prior partition;
+   the base instance is resolved by lab fingerprint (the delta's [base]
+   line, or the X-Hypart-Base header) against the resident instance
+   cache — the daemon never re-reads a netlist it already parsed.  The
+   patched instance is re-cached under its chained fingerprint, so a
+   follow-up delta can name this response's X-Hypart-Delta-Fingerprint
+   as its base. *)
+
+type delta_params = {
+  d_engine : Engine.t;  (** the warm-start engine *)
+  d_scratch : Engine.t;  (** the fallback engine *)
+  d_seed : int;
+  d_tolerance : float;
+  d_radius : int;
+  d_fallback : float;
+  d_out : [ `Json | `Plain ];
+  d_want_assignment : bool;
+}
+
+let find_engine name =
+  match Engine.find name with
+  | Some e -> e
+  | None ->
+    raise
+      (Bad_param
+         (Printf.sprintf "unknown engine %s (registered: %s)" name
+            (String.concat " | " (Engine.names ()))))
+
+let parse_delta_params req =
+  let tolerance = param_float req "tol" 0.02 in
+  if tolerance <= 0. then raise (Bad_param "tol must be positive");
+  let radius = param_int req "radius" Eco.default_config.Eco.radius in
+  if radius < 0 then raise (Bad_param "radius must be >= 0");
+  let fallback =
+    param_float req "fallback_fraction" Eco.default_config.Eco.fallback_fraction
+  in
+  if not (fallback >= 0. && fallback <= 1.) then
+    raise (Bad_param "fallback_fraction must be in [0, 1]");
+  let out =
+    match param_string req "out" "json" with
+    | "json" -> `Json
+    | "plain" -> `Plain
+    | other -> raise (Bad_param (Printf.sprintf "unknown out %s (json | plain)" other))
+  in
+  {
+    d_engine = find_engine (param_string req "engine" "eco_fm");
+    d_scratch = find_engine (param_string req "scratch" "mlclip");
+    d_seed = param_int req "seed" 1;
+    d_tolerance = tolerance;
+    d_radius = radius;
+    d_fallback = fallback;
+    d_out = out;
+    d_want_assignment = param_int req "assignment" 1 <> 0;
+  }
+
+(* the prior partition participates in the dedup key: the same delta
+   warm-started from a different solution is a different computation *)
+let prior_fingerprint prior =
+  let b = Bytes.create (Array.length prior) in
+  Array.iteri (fun i s -> Bytes.set b i (if s = 0 then '0' else '1')) prior;
+  Fingerprint.of_string (Bytes.unsafe_to_string b)
+
+let delta_config_fingerprint p ~prior_fp =
+  Fingerprint.of_pairs
+    [
+      ("proto", "delta-v1");
+      ("tolerance", Printf.sprintf "%.9g" p.d_tolerance);
+      ("radius", string_of_int p.d_radius);
+      ("fallback", Printf.sprintf "%.9g" p.d_fallback);
+      ("scratch", Engine.name p.d_scratch);
+      ("prior", prior_fp);
+    ]
+
+let mode_string = function Eco.Warm -> "warm" | Eco.Scratch -> "scratch"
+
+let respond_delta fd p job ~cached ~cut ~legal ~seconds ~mode ~patch
+    ~assignment =
+  let extra =
+    ("X-Hypart-Delta-Fingerprint", patch.Patch.fingerprint)
+    ::
+    (match mode with Some m -> [ ("X-Hypart-Mode", mode_string m) ] | None -> [])
+  in
+  let headers = result_headers job ~cached ~cut ~legal ~seconds @ extra in
+  match p.d_out with
+  | `Plain ->
+    let body =
+      match assignment with
+      | Some sides ->
+        let b = Buffer.create (2 * Array.length sides) in
+        Array.iter
+          (fun s ->
+            Buffer.add_string b (string_of_int s);
+            Buffer.add_char b '\n')
+          sides;
+        Buffer.contents b
+      | None -> ""
+    in
+    send_response fd
+      ~headers:(("Content-Type", "text/plain") :: List.tl headers)
+      ~status:200 ~body ()
+  | `Json ->
+    let fields =
+      [
+        ("job", J.int job.Job_table.id);
+        ("engine", J.string job.Job_table.engine);
+        ("key", J.string job.Job_table.key);
+        ("seed", J.int job.Job_table.seed);
+        ("instance", J.string patch.Patch.fingerprint);
+        ("pins_touched", J.int patch.Patch.stats.Patch.pins_touched);
+        ("cut", J.int cut);
+        ("legal", if legal then "true" else "false");
+        ("cached", if cached then "true" else "false");
+        ("seconds", J.number seconds);
+      ]
+      @ (match mode with
+        | Some m -> [ ("mode", J.string (mode_string m)) ]
+        | None -> [])
+      @
+      match assignment with
+      | Some sides when p.d_want_assignment ->
+        [ ("assignment", J.arr (Array.to_list (Array.map J.int sides))) ]
+      | _ -> []
+    in
+    send_response fd ~headers ~status:200 ~body:(J.obj fields) ()
+
+let handle_delta t fd (req : Http.request) =
+  count "delta.requests";
+  let rid = request_id_of req in
+  let rid_headers =
+    [ ("Content-Type", "application/json"); (request_id_header, rid) ]
+  in
+  let event name fields =
+    Event_log.record name (("request_id", Event_log.Str rid) :: fields)
+  in
+  let reject ?(status = 400) msg =
+    count "server.bad_requests";
+    event "request.rejected" [ ("error", Event_log.Str msg) ];
+    send_response fd ~headers:rid_headers ~status ~body:(error_body msg) ()
+  in
+  match parse_delta_params req with
+  | exception Bad_param msg -> reject msg
+  | p -> (
+    match Delta.of_string ~source:"<delta>" req.Http.body with
+    | exception Delta.Parse_error msg -> reject ("delta: " ^ msg)
+    | delta -> (
+      let base_fp =
+        match delta.Delta.base with
+        | Some (fp, _) -> Some fp
+        | None -> Http.header req "x-hypart-base"
+      in
+      match (base_fp, delta.Delta.prior) with
+      | None, _ ->
+        reject
+          "delta: no base fingerprint (add a base line or the \
+           X-Hypart-Base header)"
+      | _, None ->
+        reject "delta: the request must embed a prior partition (prior <n> \
+                section)"
+      | Some base_fp, Some prior -> (
+        match Instance_cache.find_fingerprint t.instances base_fp with
+        | None ->
+          reject ~status:404
+            (Printf.sprintf
+               "base instance %s is not resident; submit it first via POST \
+                /partition"
+               base_fp)
+        | Some base -> (
+          match Patch.apply ~base ~base_fingerprint:base_fp delta with
+          | exception Patch.Apply_error msg -> reject ("delta: " ^ msg)
+          | exception Invalid_argument msg -> reject ("delta: " ^ msg)
+          | patch ->
+            if Array.length prior <> patch.Patch.num_base_vertices then
+              reject
+                (Printf.sprintf
+                   "delta: prior has %d sides but the base instance has %d \
+                    cells"
+                   (Array.length prior) patch.Patch.num_base_vertices)
+            else begin
+              let stats = patch.Patch.stats in
+              count "delta.applied";
+              if Tel.is_enabled () then begin
+                Metrics.observe "delta.ops"
+                  (float_of_int (Delta.num_ops delta));
+                Metrics.observe "delta.pins_touched"
+                  (float_of_int stats.Patch.pins_touched)
+              end;
+              event "request.delta_applied"
+                [
+                  ("base", Event_log.Str base_fp);
+                  ("instance", Event_log.Str patch.Patch.fingerprint);
+                  ("ops", Event_log.Int (Delta.num_ops delta));
+                  ("pins_touched", Event_log.Int stats.Patch.pins_touched);
+                  ("nets_added", Event_log.Int stats.Patch.nets_added);
+                  ("nets_removed", Event_log.Int stats.Patch.nets_removed);
+                  ("cells_added", Event_log.Int stats.Patch.cells_added);
+                  ("cells_removed", Event_log.Int stats.Patch.cells_removed);
+                ];
+              (* the patched instance becomes resident under its chained
+                 fingerprint, so the next delta can stack on this one *)
+              Instance_cache.add t.instances
+                ("fp:" ^ patch.Patch.fingerprint)
+                patch.Patch.hypergraph ~fingerprint:patch.Patch.fingerprint;
+              let engine_name = Engine.name p.d_engine in
+              let cfg =
+                delta_config_fingerprint p
+                  ~prior_fp:(prior_fingerprint prior)
+              in
+              let key =
+                Run_store.key ~engine:engine_name ~config:cfg
+                  ~instance:patch.Patch.fingerprint ~seed:p.d_seed
+              in
+              let job =
+                Job_table.add t.jobs ~request_id:rid ~engine:engine_name ~key
+                  ~seed:p.d_seed ~starts:1
+              in
+              let jobf = [ ("job", Event_log.Int job.Job_table.id) ] in
+              event "request.admitted"
+                (jobf
+                @ [
+                    ("engine", Event_log.Str engine_name);
+                    ("seed", Event_log.Int p.d_seed);
+                    ("key", Event_log.Str key);
+                  ]);
+              match Cache.find t.cache ~key with
+              | Some record ->
+                (* duplicate delta against the same base, prior and
+                   parameters: zero engine runs *)
+                count "delta.cache_served";
+                job.Job_table.cut <- Some record.Run_store.cut;
+                job.Job_table.legal <- Some record.Run_store.legal;
+                job.Job_table.seconds <- record.Run_store.seconds;
+                Job_table.update t.jobs job Job_table.Served_cached;
+                event "request.dedup_hit"
+                  (jobf @ [ ("cut", Event_log.Int record.Run_store.cut) ]);
+                respond_delta fd p job ~cached:true ~cut:record.Run_store.cut
+                  ~legal:record.Run_store.legal
+                  ~seconds:record.Run_store.seconds ~mode:None ~patch
+                  ~assignment:None
+              | None -> (
+                Job_table.update t.jobs job Job_table.Running;
+                event "request.started" jobf;
+                Atomic.incr t.in_flight;
+                if Tel.is_enabled () then
+                  Metrics.set_gauge "server.in_flight"
+                    (float_of_int (Atomic.get t.in_flight));
+                let finish () =
+                  Atomic.decr t.in_flight;
+                  if Tel.is_enabled () then
+                    Metrics.set_gauge "server.in_flight"
+                      (float_of_int (Atomic.get t.in_flight))
+                in
+                match
+                  Fun.protect ~finally:finish (fun () ->
+                      Trace.with_context
+                        [
+                          ("request_id", request_id_arg rid);
+                          ("job_id", float_of_int job.Job_table.id);
+                        ]
+                        (fun () ->
+                          Eco.run
+                            ~config:
+                              {
+                                Eco.radius = p.d_radius;
+                                fallback_fraction = p.d_fallback;
+                                tolerance = p.d_tolerance;
+                              }
+                            ~engine:p.d_engine ~scratch:p.d_scratch
+                            ~seed:p.d_seed ~prior patch))
+                with
+                | outcome ->
+                  let result = outcome.Eco.result in
+                  let seconds = outcome.Eco.seconds in
+                  let record =
+                    {
+                      Run_store.engine = engine_name;
+                      config = cfg;
+                      instance = patch.Patch.fingerprint;
+                      seed = p.d_seed;
+                      cut = result.Engine.Result.cut;
+                      legal = result.Engine.Result.legal;
+                      seconds;
+                      machine_factor = Provenance.machine_factor ();
+                      git = Provenance.git_describe ();
+                    }
+                  in
+                  Cache.add t.cache record;
+                  Option.iter
+                    (fun store -> Run_store.append store record)
+                    t.store;
+                  count "delta.executed";
+                  if Tel.is_enabled () then
+                    Metrics.observe "server.engine_seconds" seconds;
+                  job.Job_table.cut <- Some result.Engine.Result.cut;
+                  job.Job_table.legal <- Some result.Engine.Result.legal;
+                  job.Job_table.seconds <- seconds;
+                  Job_table.update t.jobs job Job_table.Done;
+                  event "request.done"
+                    (jobf
+                    @ [
+                        ("cut", Event_log.Int result.Engine.Result.cut);
+                        ("legal", Event_log.Bool result.Engine.Result.legal);
+                        ("seconds", Event_log.Num seconds);
+                        ("mode", Event_log.Str (mode_string outcome.Eco.mode));
+                        ( "free_vertices",
+                          Event_log.Int outcome.Eco.free_vertices );
+                      ]);
+                  respond_delta fd p job ~cached:false
+                    ~cut:result.Engine.Result.cut
+                    ~legal:result.Engine.Result.legal ~seconds
+                    ~mode:(Some outcome.Eco.mode) ~patch
+                    ~assignment:
+                      (Some
+                         (Bipartition.assignment result.Engine.Result.solution))
+                | exception e ->
+                  count "server.failures";
+                  let msg = Printexc.to_string e in
+                  Log.err (fun m -> m "job %d failed: %s" job.Job_table.id msg);
+                  Job_table.update t.jobs job (Job_table.Failed msg);
+                  event "request.failed"
+                    (jobf @ [ ("error", Event_log.Str msg) ]);
+                  send_response fd ~headers:rid_headers ~status:500
+                    ~body:(error_body ("engine failed: " ^ msg))
+                    ())
+            end))))
 
 (* ------------------------------------------------------------------ *)
 (* Dispatch                                                            *)
@@ -713,7 +1050,8 @@ let handle_request t fd (req : Http.request) accepted_s =
         send_response fd ~headers:json ~status:404
           ~body:(error_body (Printf.sprintf "no such job %d" id)) ()))
   | "POST", "/partition" -> handle_partition t fd req accepted_s
-  | _, ("/healthz" | "/metrics" | "/partition") ->
+  | "POST", "/delta" -> handle_delta t fd req
+  | _, ("/healthz" | "/metrics" | "/partition" | "/delta") ->
     send_response fd ~headers:json ~status:405
       ~body:(error_body "method not allowed") ()
   | _ ->

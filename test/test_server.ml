@@ -249,13 +249,29 @@ let test_retryable_status_classification () =
       Alcotest.(check bool)
         (Printf.sprintf "%d retriable" s)
         true (Client.retryable_status s))
-    [ 503; 504 ];
+    [ 502; 503; 504 ];
   List.iter
     (fun s ->
       Alcotest.(check bool)
         (Printf.sprintf "%d terminal" s)
         false (Client.retryable_status s))
     [ 200; 400; 404; 413; 500 ]
+
+(* a 502 from a proxy in front of a restarting daemon deserves the same
+   backoff-and-retry treatment as 503/504 *)
+let test_with_retries_retries_502 () =
+  let calls = ref 0 in
+  let outcome =
+    Client.with_retries ~attempts:4 ~sleep:(fun _ -> ()) (fun () ->
+        incr calls;
+        if !calls < 2 then
+          Ok { Http.status = 502; resp_headers = []; resp_body = "" }
+        else Ok { Http.status = 200; resp_headers = []; resp_body = "ok" })
+  in
+  Alcotest.(check int) "502 then success" 2 !calls;
+  match outcome with
+  | Ok r -> Alcotest.(check int) "final status" 200 r.Http.status
+  | Error msg -> Alcotest.fail msg
 
 (* ---------------- live server ---------------- *)
 
@@ -763,6 +779,120 @@ let test_serve_event_lifecycle () =
       | _ -> Alcotest.failf "event %s without ts_us" n)
     events
 
+(* ---------------- delta endpoint ---------------- *)
+
+let post_delta ?(query = "") ?headers port body =
+  match
+    Client.http_request ~host:"127.0.0.1" ~port ~meth:"POST"
+      ~path:("/delta?out=json" ^ query) ?headers ~body ()
+  with
+  | Ok resp -> resp
+  | Error msg -> Alcotest.fail ("transport: " ^ msg)
+
+(* tiny_hgr has 4 cells on 2 nets; this prior is legal at tolerance 0.02 *)
+let tiny_prior = "prior 4\n0\n0\n1\n1\n"
+
+let test_serve_delta_roundtrip () =
+  with_server (fun _server port ->
+      (* the base becomes resident via POST /partition, which names its
+         fingerprint on the response *)
+      let base = submit ~query:"&engine=flat&seed=7" port in
+      Alcotest.(check int) "base status" 200 base.Http.status;
+      let fp = hdr base "x-hypart-instance" in
+      let body =
+        Printf.sprintf "HGRD 1\nbase %s\naddnet 1 2 3\n%s" fp tiny_prior
+      in
+      let resp = post_delta port body in
+      Alcotest.(check int) "delta status" 200 resp.Http.status;
+      Alcotest.(check string) "fresh" "false" (hdr resp "x-hypart-cached");
+      let dfp = hdr resp "x-hypart-delta-fingerprint" in
+      Alcotest.(check bool) "chained fp differs from base" true
+        (String.length dfp > 0 && dfp <> fp);
+      let mode = hdr resp "x-hypart-mode" in
+      Alcotest.(check bool) "mode named" true
+        (mode = "warm" || mode = "scratch");
+      body_has "\"pins_touched\":" resp.Http.resp_body;
+      body_has "\"assignment\":" resp.Http.resp_body;
+      (* the patched instance is resident under its chained fingerprint,
+         so a follow-up delta can stack on it *)
+      let stacked =
+        post_delta port
+          (Printf.sprintf "HGRD 1\nbase %s\nreweight 1 2\n%s" dfp tiny_prior)
+      in
+      Alcotest.(check int) "stacked delta accepted" 200 stacked.Http.status)
+
+let test_serve_delta_dedup_zero_runs () =
+  with_server (fun _server port ->
+      let base = submit ~query:"&engine=flat&seed=8" port in
+      let fp = hdr base "x-hypart-instance" in
+      let body =
+        Printf.sprintf "HGRD 1\nbase %s\nreweight 1 3\n%s" fp tiny_prior
+      in
+      let q = "&engine=test-count&scratch=test-count&seed=5" in
+      Atomic.set count_runs 0;
+      let first = post_delta ~query:q port body in
+      Alcotest.(check int) "first status" 200 first.Http.status;
+      Alcotest.(check string) "first fresh" "false"
+        (hdr first "x-hypart-cached");
+      let runs = Atomic.get count_runs in
+      Alcotest.(check bool) "first ran the engine" true (runs >= 1);
+      (* the acceptance criterion: a duplicate POST /delta is a cache
+         hit with zero engine runs *)
+      let again = post_delta ~query:q port body in
+      Alcotest.(check int) "dup status" 200 again.Http.status;
+      Alcotest.(check string) "dup cached" "true" (hdr again "x-hypart-cached");
+      Alcotest.(check string) "same cut" (hdr first "x-hypart-cut")
+        (hdr again "x-hypart-cut");
+      Alcotest.(check int) "zero engine runs on the duplicate" runs
+        (Atomic.get count_runs);
+      (* the prior participates in the key: a different warm start is a
+         different computation, not a cache hit *)
+      let flipped =
+        post_delta ~query:q port
+          (Printf.sprintf "HGRD 1\nbase %s\nreweight 1 3\nprior 4\n1\n1\n0\n0\n"
+             fp)
+      in
+      Alcotest.(check string) "flipped prior is fresh" "false"
+        (hdr flipped "x-hypart-cached"))
+
+let test_serve_delta_rejections () =
+  with_server (fun _server port ->
+      let base = submit ~query:"&engine=flat&seed=9" port in
+      let fp = hdr base "x-hypart-instance" in
+      let expect status name body =
+        let resp = post_delta port body in
+        Alcotest.(check int) name status resp.Http.status
+      in
+      (* every codec corruption is a located 400, mirrored from the
+         offline parser *)
+      expect 400 "unknown op"
+        (Printf.sprintf "HGRD 1\nbase %s\nfrobnicate 1\n%s" fp tiny_prior);
+      expect 400 "truncated prior"
+        (Printf.sprintf "HGRD 1\nbase %s\nrmnet 1\nprior 4\n0\n1\n" fp);
+      expect 400 "duplicate rmnet"
+        (Printf.sprintf "HGRD 1\nbase %s\nrmnet 1\nrmnet 1\n%s" fp tiny_prior);
+      expect 400 "reweight of unknown cell"
+        (Printf.sprintf "HGRD 1\nbase %s\nreweight 9 3\n%s" fp tiny_prior);
+      expect 400 "no base fingerprint"
+        (Printf.sprintf "HGRD 1\nreweight 1 2\n%s" tiny_prior);
+      expect 400 "no prior"
+        (Printf.sprintf "HGRD 1\nbase %s\nreweight 1 2\n" fp);
+      expect 400 "prior length mismatch"
+        (Printf.sprintf "HGRD 1\nbase %s\nreweight 1 2\nprior 3\n0\n0\n1\n" fp);
+      (* a well-formed but non-resident base is 404, not 400 *)
+      expect 404 "unknown base"
+        (Printf.sprintf
+           "HGRD 1\nbase 0123456789abcdef\nreweight 1 2\n%s" tiny_prior);
+      (* the X-Hypart-Base header may carry the base instead of a base
+         line *)
+      let via_header =
+        post_delta
+          ~headers:[ ("X-Hypart-Base", fp) ]
+          port
+          (Printf.sprintf "HGRD 1\nreweight 1 2\n%s" tiny_prior)
+      in
+      Alcotest.(check int) "header base accepted" 200 via_header.Http.status)
+
 (* ---------------- fleet ---------------- *)
 
 let with_two_servers f =
@@ -1001,6 +1131,7 @@ let () =
           Alcotest.test_case "terminal statuses fail fast" `Quick
             test_with_retries_fail_fast;
           Alcotest.test_case "504 retried" `Quick test_with_retries_retries_504;
+          Alcotest.test_case "502 retried" `Quick test_with_retries_retries_502;
           Alcotest.test_case "retryable classification" `Quick
             test_retryable_status_classification;
         ] );
@@ -1039,5 +1170,13 @@ let () =
           Alcotest.test_case "event lifecycle" `Quick
             test_serve_event_lifecycle;
           Alcotest.test_case "shutdown drains" `Quick test_serve_shutdown_drains;
+        ] );
+      ( "delta",
+        [
+          Alcotest.test_case "roundtrip and stacking" `Quick
+            test_serve_delta_roundtrip;
+          Alcotest.test_case "dedup zero runs" `Quick
+            test_serve_delta_dedup_zero_runs;
+          Alcotest.test_case "rejections" `Quick test_serve_delta_rejections;
         ] );
     ]
